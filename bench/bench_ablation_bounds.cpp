@@ -1,0 +1,69 @@
+// Ablation: the 2K+f cleaning/agreement bound (paper Section 4, Lemma 4.1)
+// across the (K, f) plane. For each combination we crash one server plus f
+// consecutive coordinators and measure how many rtd the group needs to
+// re-agree on composition + stability. The measured value must stay within
+// the paper's 2K+f bound (plus one subrun of broadcast slack).
+
+#include <cstdio>
+
+#include "baselines/analytic.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+double run(int k, int f, int n) {
+  harness::ExperimentConfig config;
+  config.protocol.n = n;
+  config.protocol.k_attempts = k;
+  config.workload.load = 0.5;
+  config.workload.total_messages = 20 * n;
+  config.faults.crashes = {{static_cast<ProcessId>(n - 1), 4 * 20}};
+  config.faults.coordinator_crashes = f;
+  config.faults.coordinator_crash_start = 5;
+  config.seed = 23;
+  config.limit_rtd = 6000;
+
+  const auto report = harness::Experiment(config).run();
+  if (!report.all_ok()) {
+    std::fprintf(stderr, "INVARIANT VIOLATION at K=%d f=%d\n", k, f);
+  }
+  std::vector<ProcessId> crashed{static_cast<ProcessId>(n - 1)};
+  for (int i = 0; i < f; ++i) {
+    crashed.push_back(static_cast<ProcessId>((5 + i) % n));
+  }
+  return report.recovery_time_rtd(crashed, 4 * 20, 20);
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kN = 12;
+  std::printf(
+      "Ablation — agreement time vs (K, f); paper bound T <= 2K+f rtd\n"
+      "n=%d, one server crash + f consecutive coordinator crashes\n\n",
+      kN);
+
+  harness::Table table(
+      {"K", "f", "measured T (rtd)", "bound 2K+f", "within bound"});
+  bool all_within = true;
+  for (int k : {2, 3, 4, 6}) {
+    for (int f : {0, 1, 2, 3, 4}) {
+      const double t = run(k, f, kN);
+      const auto bound = baselines::analytic::urcgc_recovery_rtd(k, f);
+      const bool within = t >= 0 && t <= static_cast<double>(bound) + 1.0;
+      all_within = all_within && within;
+      table.row({harness::Table::num(static_cast<std::int64_t>(k)),
+                 harness::Table::num(static_cast<std::int64_t>(f)),
+                 harness::Table::num(t, 1),
+                 harness::Table::num(bound),
+                 within ? "OK" : "EXCEEDED"});
+    }
+  }
+  table.print();
+  std::printf("\nall points within 2K+f (+1 slack): %s\n",
+              all_within ? "YES" : "NO");
+  return all_within ? 0 : 1;
+}

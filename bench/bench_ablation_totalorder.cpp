@@ -1,0 +1,151 @@
+// Ablation: causal (urcgc) vs totally ordered (urgc-companion) delivery.
+//
+// The paper's Section 2 splits reliable multicast into total-order
+// services (replicated objects) and causal services (cooperative work),
+// with urgc and urcgc as the authors' two algorithms. Our
+// TotalOrderAdapter derives total order from the stability boundaries the
+// urcgc decisions already agree on — so the cost of total order is
+// exactly the stability lag. This bench measures that lag: mean delivery
+// latency, causal vs total, across loads and fault mixes.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/total_order.hpp"
+#include "harness/table.hpp"
+#include "net/endpoint.hpp"
+#include "stats/metrics.hpp"
+#include "stats/summary.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+struct Row {
+  double causal_mean;
+  double total_mean;
+  std::size_t delivered;
+  bool consistent;
+};
+
+Row run(double load, double omission, std::uint64_t seed) {
+  constexpr int kN = 8;
+  core::Config config;
+  config.n = kN;
+  config.track_stability_boundaries = true;
+
+  fault::FaultPlan plan(kN);
+  plan.uniform_omissions(omission);
+  sim::Simulation sim;
+  fault::FaultInjector faults(std::move(plan), Rng(seed).fork(1));
+  net::Network network(sim, faults, {.min_latency = 5, .max_latency = 9},
+                       Rng(seed).fork(2));
+
+  stats::DelayTracker causal_delays;
+  stats::DelayTracker total_delays;
+
+  std::vector<std::unique_ptr<net::DatagramEndpoint>> endpoints;
+  std::vector<std::unique_ptr<core::UrcgcProcess>> processes;
+  std::vector<std::unique_ptr<core::TotalOrderAdapter>> adapters;
+  for (ProcessId p = 0; p < kN; ++p) {
+    endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+    processes.push_back(std::make_unique<core::UrcgcProcess>(
+        config, p, sim, *endpoints.back(), faults));
+    adapters.push_back(
+        std::make_unique<core::TotalOrderAdapter>(*processes.back()));
+    // Every message carries its generation tick; registering it from any
+    // indication is idempotent, giving both trackers a common anchor.
+    adapters.back()->set_causal_ind([&, p](const core::AppMessage& msg) {
+      causal_delays.on_generated(msg.mid, msg.generated_at);
+      causal_delays.on_processed(msg.mid, p, sim.now());
+    });
+    adapters.back()->set_total_ind([&, p](const core::AppMessage& msg) {
+      total_delays.on_generated(msg.mid, msg.generated_at);
+      total_delays.on_processed(msg.mid, p, sim.now());
+    });
+    processes.back()->start();
+  }
+
+  workload::WorkloadConfig wl;
+  wl.load = load;
+  wl.total_messages = 200;
+  workload::LoadGenerator::Hooks hooks;
+  hooks.submit = [&](ProcessId p, std::vector<std::uint8_t> payload,
+                     std::vector<Mid> deps) {
+    return processes[p]->data_rq(std::move(payload), std::move(deps));
+  };
+  hooks.active = [&](ProcessId p) { return !processes[p]->halted(); };
+  hooks.pending = [&](ProcessId p) {
+    return static_cast<std::int64_t>(processes[p]->pending_user_messages());
+  };
+  hooks.last_processed = [&](ProcessId p, ProcessId origin) {
+    return processes[p]->last_processed_mid_of(origin);
+  };
+  workload::LoadGenerator gen(kN, wl, std::move(hooks), Rng(seed).fork(3));
+  sim.on_round([&](RoundId round) { gen.on_round(round); });
+
+  sim.run_until_quiescent(4000 * 20, [&] {
+    if (!gen.exhausted()) return false;
+    for (const auto& adapter : adapters) {
+      if (adapter->backlog() > 0) return false;
+    }
+    for (const auto& process : processes) {
+      if (!process->halted() && (process->pending_user_messages() > 0 ||
+                                 process->mt().waiting_size() > 0)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  sim.run_until(sim.now() + 8 * 20);
+
+  Row row{};
+  row.causal_mean = stats::summarize(causal_delays.delays_ticks()).mean / 20.0;
+  row.total_mean = stats::summarize(total_delays.delays_ticks()).mean / 20.0;
+  row.delivered = adapters[0]->total_log().size();
+
+  row.consistent = true;
+  const auto& reference = adapters[0]->total_log();
+  for (const auto& adapter : adapters) {
+    if (adapter->broken()) row.consistent = false;
+    const auto& log = adapter->total_log();
+    const std::size_t common = std::min(reference.size(), log.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (reference[i] != log[i]) row.consistent = false;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — causal (urcgc) vs total-order (urgc-companion) delivery"
+      " latency\nn=8, 200 messages per point\n\n");
+
+  harness::Table table({"load", "omission", "causal D (rtd)",
+                        "total D (rtd)", "lag (rtd)", "consistent"});
+  bool all_consistent = true;
+  for (double load : {0.3, 0.8}) {
+    for (double omission : {0.0, 1.0 / 100.0}) {
+      const Row row = run(load, omission, 41);
+      all_consistent = all_consistent && row.consistent;
+      table.row({harness::Table::num(load, 1),
+                 harness::Table::num(omission, 3),
+                 harness::Table::num(row.causal_mean, 3),
+                 harness::Table::num(row.total_mean, 3),
+                 harness::Table::num(row.total_mean - row.causal_mean, 3),
+                 row.consistent ? "OK" : "DIVERGED"});
+    }
+  }
+  table.print();
+  std::printf(
+      "\ntotal order costs the stability lag (>= one subrun: the next"
+      " full-group decision must cover the message); causal delivery is"
+      " immediate. All members delivered identical sequences: %s\n",
+      all_consistent ? "YES" : "NO");
+  return all_consistent ? 0 : 1;
+}

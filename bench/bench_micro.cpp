@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the urcgc
+// implementation: wire codecs, history operations, waiting-list release,
+// vector clocks, decision computation, and raw simulator throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "causal/vector_clock.hpp"
+#include "causal/waiting_list.hpp"
+#include "core/coordinator.hpp"
+#include "core/history.hpp"
+#include "core/pdu.hpp"
+#include "harness/experiment.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+void BM_EncodeDecision(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const core::Decision d = core::Decision::initial(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_pdu(d));
+  }
+  state.SetLabel(std::to_string(core::encode_pdu(d).size()) + " bytes");
+}
+BENCHMARK(BM_EncodeDecision)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_DecodeDecision(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto bytes = core::encode_pdu(core::Decision::initial(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decode_pdu(bytes));
+  }
+}
+BENCHMARK(BM_DecodeDecision)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_EncodeAppMessage(benchmark::State& state) {
+  core::AppMessage msg;
+  msg.mid = {3, 1000};
+  msg.deps = {{3, 999}, {0, 500}, {7, 123}};
+  msg.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_pdu(msg));
+  }
+}
+BENCHMARK(BM_EncodeAppMessage)->Arg(32)->Arg(512);
+
+void BM_HistoryStorePurge(benchmark::State& state) {
+  const auto batch = static_cast<Seq>(state.range(0));
+  for (auto _ : state) {
+    core::History history(8);
+    core::AppMessage msg;
+    for (Seq s = 1; s <= batch; ++s) {
+      msg.mid = {s % 8 == 0 ? ProcessId{0} : static_cast<ProcessId>(s % 8),
+                 s};
+      history.store(msg);
+    }
+    for (ProcessId p = 0; p < 8; ++p) history.purge_upto(p, batch);
+    benchmark::DoNotOptimize(history.total_size());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_HistoryStorePurge)->Arg(64)->Arg(1024);
+
+void BM_HistoryRange(benchmark::State& state) {
+  core::History history(4);
+  core::AppMessage msg;
+  for (Seq s = 1; s <= 4096; ++s) {
+    msg.mid = {1, s};
+    history.store(msg);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(history.range(1, 2000, 2040, 8));
+  }
+}
+BENCHMARK(BM_HistoryRange);
+
+void BM_WaitingListChainRelease(benchmark::State& state) {
+  const auto depth = static_cast<Seq>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    causal::WaitingList list;
+    for (Seq s = 2; s <= depth; ++s) {
+      causal::PendingMessage pending;
+      pending.mid = {0, s};
+      pending.deps = {{0, s - 1}};
+      const Mid missing{0, s - 1};
+      list.add(std::move(pending), std::span(&missing, 1));
+    }
+    state.ResumeTiming();
+    // Process the root; each release unlocks exactly one successor.
+    Mid current{0, 1};
+    for (Seq s = 1; s < depth; ++s) {
+      auto released = list.on_processed(current);
+      if (released.empty()) break;
+      current = released.front().mid;
+    }
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_WaitingListChainRelease)->Arg(64)->Arg(512);
+
+void BM_VectorClockDeliverable(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  causal::VectorClock local(n);
+  causal::VectorClock msg(n);
+  msg.tick(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local.deliverable(msg, 0));
+  }
+}
+BENCHMARK(BM_VectorClockDeliverable)->Arg(10)->Arg(100);
+
+void BM_ComputeDecision(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  core::CoordinatorInputs inputs;
+  inputs.subrun = 10;
+  inputs.coordinator = 0;
+  inputs.base = core::Decision::initial(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    core::Request rq;
+    rq.subrun = 10;
+    rq.from = p;
+    rq.last_processed.assign(n, 5);
+    rq.oldest_waiting.assign(n, kNoSeq);
+    rq.prev_decision = inputs.base;
+    inputs.requests.push_back(std::move(rq));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_decision(inputs));
+  }
+}
+BENCHMARK(BM_ComputeDecision)->Arg(10)->Arg(40);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (Tick t = 0; t < 1000; ++t) {
+      queue.schedule(t % 97, [] {});
+    }
+    while (!queue.empty()) {
+      auto [at, fn] = queue.pop();
+      benchmark::DoNotOptimize(at);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_FullProtocolRun(benchmark::State& state) {
+  // End-to-end: a complete reliable run, n=8, 80 messages.
+  for (auto _ : state) {
+    harness::ExperimentConfig config;
+    config.protocol.n = 8;
+    config.workload.load = 0.6;
+    config.workload.total_messages = 80;
+    config.seed = 37;
+    config.limit_rtd = 2000;
+    auto report = harness::Experiment(config).run();
+    benchmark::DoNotOptimize(report.processed_events);
+  }
+}
+BENCHMARK(BM_FullProtocolRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Table 1 reproduction: amount of control messages and their size (bytes),
+// urcgc vs CBCAST, under reliable and crash conditions.
+//
+// The paper reports per-stability-decision counts and per-message sizes:
+//            reliable                  crash
+//   urcgc    2(n-1) msgs, n(36+l/4) B  2(2K+f)(n-1) msgs, same size
+//   CBCAST   (n+1) msgs, 4(n+1) B     K((f+1)(2n-3)+1) msgs, grows with data
+//
+// We print the analytic formulas next to measured values from our wire
+// encodings and full protocol runs. Also checks the datagram-fit claims:
+// n=15 decision fits a 576 B IP datagram, n=40 fits an Ethernet payload.
+
+#include <cstdio>
+
+#include "baselines/analytic.hpp"
+#include "baselines/runner.hpp"
+#include "core/pdu.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+struct Measured {
+  double ctrl_msgs_per_subrun = 0;
+  double acks_per_subrun = 0;
+  std::uint64_t max_ctrl_size = 0;
+  double blocked_rtd = 0;
+};
+
+Measured measure_urcgc(int n, bool crash) {
+  harness::ExperimentConfig config;
+  config.protocol.n = n;
+  config.protocol.k_attempts = 3;
+  config.workload.load = 0.5;
+  config.workload.total_messages = 15 * n;
+  if (crash) config.faults.crashes = {{static_cast<ProcessId>(n - 1), 150}};
+  config.seed = 13;
+  config.limit_rtd = 6000;
+  const auto report = harness::Experiment(config).run();
+
+  Measured m;
+  const double subruns = report.end_rtd;
+  m.ctrl_msgs_per_subrun =
+      static_cast<double>(
+          report.traffic.count(stats::MsgClass::kRequest) +
+          report.traffic.count(stats::MsgClass::kDecision) +
+          report.traffic.count(stats::MsgClass::kRecoverRq) +
+          report.traffic.count(stats::MsgClass::kRecoverRsp)) /
+      subruns;
+  m.max_ctrl_size =
+      std::max(report.traffic.max_bytes(stats::MsgClass::kRequest),
+               report.traffic.max_bytes(stats::MsgClass::kDecision));
+  return m;
+}
+
+Measured measure_cbcast(int n, bool crash) {
+  baselines::BaselineConfig config;
+  config.n = n;
+  config.k_attempts = 3;
+  config.workload.load = 0.5;
+  config.workload.total_messages = 15 * n;
+  if (crash) config.faults.flush_coordinator_crashes = 0;  // single crash
+  config.seed = 13;
+  config.limit_rtd = 6000;
+  const auto report = baselines::run_cbcast(config);
+
+  Measured m;
+  // Protocol-level control traffic only (stability + flush); transport
+  // acknowledgements are the reliable-channel substrate the ISIS design
+  // assumes and are reported separately.
+  const std::uint64_t ctrl =
+      report.traffic.count(stats::MsgClass::kCbcastStability) +
+      report.traffic.count(stats::MsgClass::kCbcastFlush);
+  const double subruns = report.end_rtd > 0 ? report.end_rtd : 1.0;
+  m.ctrl_msgs_per_subrun = static_cast<double>(ctrl) / subruns;
+  m.acks_per_subrun =
+      static_cast<double>(
+          report.traffic.count(stats::MsgClass::kTransportAck)) /
+      subruns;
+  m.max_ctrl_size =
+      std::max(report.traffic.max_bytes(stats::MsgClass::kCbcastFlush),
+               report.traffic.max_bytes(stats::MsgClass::kCbcastStability));
+  m.blocked_rtd = report.blocked_rtd;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 1 — control messages per subrun and max control-message size\n"
+      "(measured from wire encodings; paper formulas alongside)\n\n");
+
+  for (int n : {5, 15, 40}) {
+    std::printf("== n = %d ==\n", n);
+    harness::Table table({"protocol", "condition", "ctrl msgs/subrun",
+                          "paper count", "acks/subrun", "max ctrl size B",
+                          "paper size B", "blocked rtd"});
+
+    const auto u_rel = measure_urcgc(n, false);
+    table.row({"urcgc", "reliable",
+               harness::Table::num(u_rel.ctrl_msgs_per_subrun, 1),
+               harness::Table::num(baselines::analytic::urcgc_msgs_reliable(n)),
+               "0", harness::Table::num(u_rel.max_ctrl_size),
+               harness::Table::num(baselines::analytic::urcgc_msg_size(n)),
+               "0.0"});
+
+    const auto u_crash = measure_urcgc(n, true);
+    table.row(
+        {"urcgc", "crash (f=0)",
+         harness::Table::num(u_crash.ctrl_msgs_per_subrun, 1),
+         harness::Table::num(baselines::analytic::urcgc_msgs_reliable(n)),
+         "0", harness::Table::num(u_crash.max_ctrl_size),
+         harness::Table::num(baselines::analytic::urcgc_msg_size(n)),
+         "0.0"});
+
+    const auto c_rel = measure_cbcast(n, false);
+    table.row(
+        {"cbcast", "reliable", harness::Table::num(c_rel.ctrl_msgs_per_subrun, 1),
+         harness::Table::num(baselines::analytic::cbcast_msgs_reliable(n)),
+         harness::Table::num(c_rel.acks_per_subrun, 1),
+         harness::Table::num(c_rel.max_ctrl_size),
+         harness::Table::num(baselines::analytic::cbcast_msg_size_reliable(n)),
+         harness::Table::num(c_rel.blocked_rtd, 1)});
+
+    const auto c_crash = measure_cbcast(n, true);
+    table.row(
+        {"cbcast", "crash (f=0)",
+         harness::Table::num(c_crash.ctrl_msgs_per_subrun, 1),
+         harness::Table::num(baselines::analytic::cbcast_msgs_crash(n, 3, 0)),
+         harness::Table::num(c_crash.acks_per_subrun, 1),
+         harness::Table::num(c_crash.max_ctrl_size),
+         harness::Table::num(baselines::analytic::cbcast_flush_size(n)),
+         harness::Table::num(c_crash.blocked_rtd, 1)});
+    table.print();
+
+    // Datagram-fit claims.
+    const auto decision_size =
+        core::encode_pdu(core::Decision::initial(n)).size();
+    std::printf("urcgc decision for n=%d: %zu bytes", n, decision_size);
+    if (n == 15) {
+      std::printf(" — fits 576 B IP datagram: %s",
+                  decision_size <= 576 ? "YES" : "NO");
+    }
+    if (n == 40) {
+      std::printf(" — fits 1500 B Ethernet payload: %s",
+                  decision_size <= 1500 ? "YES" : "NO");
+    }
+    std::printf("\n\n");
+  }
+
+  std::printf(
+      "shape notes: urcgc pays a constant 2(n-1) agreement cost per subrun"
+      " whether or not failures occur, with constant message size; CBCAST is"
+      " cheaper when reliable but its flush traffic (and blocked time) grows"
+      " with failures while urcgc's stays flat.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+#pragma once
+// CBCAST baseline (Birman-Schiper-Stephenson, ISIS): the comparison point
+// of the paper's Section 6.
+//
+// Faithful to the cost structure the paper measures against:
+//  * causal delivery via vector clocks piggybacked on every message
+//    (temporal causality — less concurrency than urcgc's explicit lists);
+//  * stability via piggybacked clocks, with explicit stability/heartbeat
+//    messages when a process has nothing to send;
+//  * reliability from the transport below (ISIS assumes reliable channels;
+//    here the retransmitting TransportEndpoint, whose acks are accounted);
+//  * crash handling via a *blocking* flush view change: on suspicion every
+//    member stops generating, reports its unstable messages to the flush
+//    coordinator (lowest-id unsuspected member), which re-disseminates them
+//    and installs the new view. A flush-coordinator crash is detected by
+//    timeout and restarts the flush — that serial restart is exactly why
+//    the paper credits CBCAST with K(5f+6) rtds against urcgc's 2K+f.
+//
+// The group runs over the same simulator/network/fault substrate as urcgc,
+// so Figure 5 and Table 1 comparisons are apples to apples.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "causal/vector_clock.hpp"
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "net/transport.hpp"
+#include "sim/simulation.hpp"
+#include "stats/metrics.hpp"
+
+namespace urcgc::baselines {
+
+struct CbcastConfig {
+  int n = 10;
+  /// Suspicion threshold, in subruns of silence — the K of the paper.
+  int k_attempts = 3;
+  std::size_t payload_bytes = 32;
+  /// Explicit stability message when idle for this many rounds.
+  int heartbeat_every_rounds = 2;
+};
+
+/// Instrumentation mirror of core::Observer for the baseline.
+class CbcastObserver {
+ public:
+  virtual ~CbcastObserver() = default;
+  virtual void on_generated(ProcessId /*p*/, const Mid& /*mid*/,
+                            Tick /*at*/) {}
+  virtual void on_delivered(ProcessId /*p*/, const Mid& /*mid*/,
+                            Tick /*at*/) {}
+  virtual void on_sent(ProcessId /*p*/, stats::MsgClass /*cls*/,
+                       std::size_t /*bytes*/, Tick /*at*/) {}
+  virtual void on_view_installed(ProcessId /*p*/, int /*view_id*/,
+                                 int /*members*/, Tick /*at*/) {}
+  virtual void on_flush_started(ProcessId /*p*/, Tick /*at*/) {}
+};
+
+class CbcastProcess {
+ public:
+  CbcastProcess(const CbcastConfig& config, ProcessId self,
+                sim::Simulation& sim, net::TransportEndpoint& endpoint,
+                fault::FaultInjector& faults,
+                CbcastObserver* observer = nullptr);
+
+  void start();
+
+  /// Queues a payload; one message is broadcast per round, but only in
+  /// normal state — during a flush the application is blocked, which is the
+  /// behaviour Figure 5 charges CBCAST for.
+  bool data_rq(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] ProcessId id() const { return self_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] bool flushing() const { return flushing_; }
+  [[nodiscard]] int view_id() const { return view_id_; }
+  [[nodiscard]] const std::vector<bool>& members() const { return members_; }
+  [[nodiscard]] const std::vector<Mid>& delivery_log() const { return log_; }
+  [[nodiscard]] std::size_t pending_user_messages() const {
+    return user_queue_.size();
+  }
+  [[nodiscard]] std::size_t holdback_size() const {
+    return holdback_.size();
+  }
+  [[nodiscard]] std::size_t unstable_size() const {
+    return unstable_.size();
+  }
+  /// Total ticks spent with the application blocked by flushes.
+  [[nodiscard]] Tick blocked_ticks() const { return blocked_ticks_; }
+
+ private:
+  struct DataMsg {
+    ProcessId sender = kNoProcess;
+    int view_id = 0;
+    causal::VectorClock vc;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void on_round(RoundId round);
+  void on_payload(ProcessId src, std::span<const std::uint8_t> bytes);
+
+  void broadcast_data(std::vector<std::uint8_t> payload);
+  void send_heartbeat();
+  void try_deliver();
+  void deliver(const DataMsg& msg);
+  void collect_stable();
+
+  void start_flush(int proposed_view);
+  void send_flush_report();
+  void maybe_finish_flush();
+  void install_view(int view_id, const std::vector<bool>& members,
+                    const std::vector<DataMsg>& retransmissions);
+
+  [[nodiscard]] ProcessId flush_coordinator() const;
+  [[nodiscard]] std::vector<ProcessId> live_members() const;
+  void note_heard(ProcessId q);
+
+  CbcastConfig config_;
+  ProcessId self_;
+  sim::Simulation& sim_;
+  net::TransportEndpoint& endpoint_;
+  fault::FaultInjector& faults_;
+  CbcastObserver* observer_;
+
+  causal::VectorClock vc_;
+  std::vector<bool> members_;
+  std::vector<bool> suspected_;
+  int view_id_ = 0;
+
+  std::deque<std::vector<std::uint8_t>> user_queue_;
+  std::vector<DataMsg> holdback_;
+  std::vector<DataMsg> unstable_;  // delivered, not yet known stable
+  std::vector<Mid> log_;
+
+  /// Latest clock seen from each member (stability inference).
+  std::vector<causal::VectorClock> seen_vc_;
+  std::vector<Tick> last_heard_;
+  int rounds_since_send_ = 0;
+
+  bool flushing_ = false;
+  int proposed_view_ = 0;
+  std::vector<bool> flush_reported_;       // coordinator: who reported
+  std::vector<DataMsg> flush_pool_;        // coordinator: union of unstable
+  Tick flush_started_at_ = 0;
+  Tick flush_deadline_ = 0;
+  Tick blocked_ticks_ = 0;
+
+  bool halted_ = false;
+  bool started_ = false;
+};
+
+}  // namespace urcgc::baselines

@@ -1,0 +1,335 @@
+#include "baselines/psync.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sim/clock.hpp"
+#include "wire/buffer.hpp"
+#include "wire/codec.hpp"
+
+namespace urcgc::baselines {
+
+namespace {
+
+constexpr std::uint8_t kGraphData = 1;
+constexpr std::uint8_t kRetransRq = 2;
+constexpr std::uint8_t kMaskVote = 3;
+constexpr std::uint8_t kHeartbeat = 4;
+
+}  // namespace
+
+PsyncProcess::PsyncProcess(const PsyncConfig& config, ProcessId self,
+                           sim::Simulation& sim, net::Endpoint& endpoint,
+                           fault::FaultInjector& faults,
+                           PsyncObserver* observer)
+    : config_(config),
+      self_(self),
+      sim_(sim),
+      endpoint_(endpoint),
+      faults_(faults),
+      observer_(observer),
+      members_(config.n, true),
+      last_heard_(config.n, 0),
+      mask_votes_(config.n, false) {
+  URCGC_ASSERT(self >= 0 && self < config.n);
+}
+
+void PsyncProcess::start() {
+  URCGC_ASSERT(!started_);
+  started_ = true;
+  endpoint_.set_upcall(
+      [this](ProcessId src, std::span<const std::uint8_t> bytes) {
+        on_payload(src, bytes);
+      });
+  sim_.on_round([this](RoundId round) { on_round(round); });
+}
+
+bool PsyncProcess::data_rq(std::vector<std::uint8_t> payload) {
+  if (halted_) return false;
+  user_queue_.push_back(std::move(payload));
+  return true;
+}
+
+void PsyncProcess::on_round(RoundId round) {
+  (void)round;
+  if (halted_) return;
+  if (faults_.is_crashed(self_, sim_.now())) {
+    halted_ = true;
+    return;
+  }
+
+  // Failure detection on conversation silence.
+  const Tick budget = static_cast<Tick>(config_.k_attempts) *
+                      sim_.clock().ticks_per_subrun();
+  if (!masking_) {
+    for (ProcessId q = 0; q < config_.n; ++q) {
+      if (q == self_ || !members_[q]) continue;
+      if (sim_.now() - last_heard_[q] > budget) {
+        start_mask_out(q);
+        break;
+      }
+    }
+  } else if (sim_.now() - mask_started_at_ > budget) {
+    // Votes are not arriving (another failure): restart the vote.
+    start_mask_out(mask_target_);
+  }
+
+  if (masking_) {
+    blocked_ticks_ += sim_.clock().ticks_per_round();
+    return;  // mask_out blocks the conversation
+  }
+
+  if (!user_queue_.empty()) {
+    auto payload = std::move(user_queue_.front());
+    user_queue_.pop_front();
+    broadcast_data(std::move(payload));
+  } else {
+    // Keep the conversation alive so silence means failure, not idleness.
+    wire::Writer w(8);
+    w.u8(kHeartbeat);
+    w.i32(self_);
+    auto frame = std::move(w).take();
+    if (observer_ != nullptr) {
+      for (ProcessId q = 0; q < config_.n; ++q) {
+        if (q != self_ && members_[q]) {
+          observer_->on_sent(self_, stats::MsgClass::kPsyncData, frame.size(),
+                             sim_.now());
+        }
+      }
+    }
+    endpoint_.broadcast(std::move(frame));
+  }
+
+  nack_missing();
+}
+
+void PsyncProcess::broadcast_data(std::vector<std::uint8_t> payload) {
+  GraphMsg msg;
+  msg.mid = Mid{self_, next_seq_++};
+  msg.deps = leaves_;
+  msg.payload = std::move(payload);
+
+  if (observer_ != nullptr) {
+    observer_->on_generated(self_, msg.mid, sim_.now());
+  }
+
+  wire::Writer w(64 + msg.payload.size());
+  w.u8(kGraphData);
+  wire::put_mid(w, msg.mid);
+  wire::put_mids(w, msg.deps);
+  w.bytes(msg.payload);
+  auto frame = std::move(w).take();
+  if (observer_ != nullptr) {
+    for (ProcessId q = 0; q < config_.n; ++q) {
+      if (q != self_ && members_[q]) {
+        observer_->on_sent(self_, stats::MsgClass::kPsyncData, frame.size(),
+                           sim_.now());
+      }
+    }
+  }
+  endpoint_.broadcast(std::move(frame));
+
+  deliver(std::move(msg));
+}
+
+bool PsyncProcess::all_deps_delivered(const GraphMsg& msg) const {
+  return std::all_of(msg.deps.begin(), msg.deps.end(), [&](const Mid& dep) {
+    return delivered_.contains(dep);
+  });
+}
+
+void PsyncProcess::deliver(GraphMsg msg) {
+  const Mid mid = msg.mid;
+  // The new node subsumes its predecessors as graph leaves.
+  std::erase_if(leaves_, [&](const Mid& leaf) {
+    return std::find(msg.deps.begin(), msg.deps.end(), leaf) !=
+           msg.deps.end();
+  });
+  leaves_.push_back(mid);
+  log_.push_back(mid);
+  delivered_.emplace(mid, std::move(msg));
+  if (observer_ != nullptr) observer_->on_delivered(self_, mid, sim_.now());
+}
+
+void PsyncProcess::try_deliver_waiting() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      if (all_deps_delivered(it->second)) {
+        GraphMsg msg = std::move(it->second);
+        waiting_.erase(it);
+        deliver(std::move(msg));
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void PsyncProcess::receive_graph_msg(GraphMsg msg, ProcessId via) {
+  (void)via;
+  if (delivered_.contains(msg.mid) || waiting_.contains(msg.mid)) return;
+  if (!members_[msg.mid.origin]) return;  // masked-out sender
+  if (all_deps_delivered(msg)) {
+    deliver(std::move(msg));
+    try_deliver_waiting();
+    return;
+  }
+  if (config_.waiting_bound > 0 && waiting_.size() >= config_.waiting_bound) {
+    // Psync flow control: delete the excess message — an induced omission.
+    ++flow_drops_;
+    if (observer_ != nullptr) {
+      observer_->on_dropped_by_flow_control(self_, msg.mid, sim_.now());
+    }
+    return;
+  }
+  waiting_.emplace(msg.mid, std::move(msg));
+}
+
+void PsyncProcess::nack_missing() {
+  // For each waiting message, ask its originator for the missing ancestors.
+  std::unordered_map<ProcessId, std::vector<Mid>> wanted;
+  for (const auto& [mid, msg] : waiting_) {
+    for (const Mid& dep : msg.deps) {
+      if (delivered_.contains(dep) || waiting_.contains(dep)) continue;
+      if (!members_[dep.origin]) continue;
+      wanted[dep.origin].push_back(dep);
+    }
+  }
+  for (auto& [target, mids] : wanted) {
+    if (target == self_) continue;
+    std::sort(mids.begin(), mids.end());
+    mids.erase(std::unique(mids.begin(), mids.end()), mids.end());
+    wire::Writer w(16 + mids.size() * 12);
+    w.u8(kRetransRq);
+    w.i32(self_);
+    wire::put_mids(w, mids);
+    auto frame = std::move(w).take();
+    if (observer_ != nullptr) {
+      observer_->on_sent(self_, stats::MsgClass::kPsyncRetransRq,
+                         frame.size(), sim_.now());
+    }
+    endpoint_.send(target, std::move(frame));
+  }
+}
+
+void PsyncProcess::start_mask_out(ProcessId suspect) {
+  masking_ = true;
+  mask_target_ = suspect;
+  mask_started_at_ = sim_.now();
+  std::fill(mask_votes_.begin(), mask_votes_.end(), false);
+  mask_votes_[self_] = true;
+
+  wire::Writer w(16);
+  w.u8(kMaskVote);
+  w.i32(self_);
+  w.i32(suspect);
+  auto frame = std::move(w).take();
+  if (observer_ != nullptr) {
+    for (ProcessId q = 0; q < config_.n; ++q) {
+      if (q != self_ && members_[q] && q != suspect) {
+        observer_->on_sent(self_, stats::MsgClass::kPsyncMaskOut,
+                           frame.size(), sim_.now());
+      }
+    }
+  }
+  endpoint_.broadcast(std::move(frame));
+  finish_mask_out();
+}
+
+void PsyncProcess::finish_mask_out() {
+  if (!masking_) return;
+  for (ProcessId q = 0; q < config_.n; ++q) {
+    if (q == mask_target_ || !members_[q]) continue;
+    if (!mask_votes_[q]) return;
+  }
+  members_[mask_target_] = false;
+  // Waiting messages from the masked member, and those depending on its
+  // undelivered messages, can never complete: delete them.
+  std::erase_if(waiting_, [&](const auto& entry) {
+    const GraphMsg& msg = entry.second;
+    if (msg.mid.origin == mask_target_) return true;
+    return std::any_of(msg.deps.begin(), msg.deps.end(), [&](const Mid& d) {
+      return d.origin == mask_target_ && !delivered_.contains(d);
+    });
+  });
+  if (observer_ != nullptr) {
+    observer_->on_mask_out(self_, mask_target_, sim_.now());
+  }
+  masking_ = false;
+  mask_target_ = kNoProcess;
+  try_deliver_waiting();
+}
+
+void PsyncProcess::on_payload(ProcessId src,
+                              std::span<const std::uint8_t> bytes) {
+  if (halted_) return;
+  if (faults_.is_crashed(self_, sim_.now())) {
+    halted_ = true;
+    return;
+  }
+  last_heard_[src] = sim_.now();
+
+  wire::Reader r(bytes);
+  auto type = r.u8();
+  if (!type) return;
+
+  switch (type.value()) {
+    case kGraphData: {
+      auto mid = wire::get_mid(r);
+      if (!mid) return;
+      auto deps = wire::get_mids(r);
+      if (!deps) return;
+      auto payload = r.bytes();
+      if (!payload) return;
+      receive_graph_msg(GraphMsg{mid.value(), std::move(deps).value(),
+                                 std::move(payload).value()},
+                        src);
+      return;
+    }
+    case kRetransRq: {
+      auto from = r.i32();
+      if (!from) return;
+      auto mids = wire::get_mids(r);
+      if (!mids) return;
+      for (const Mid& mid : mids.value()) {
+        auto it = delivered_.find(mid);
+        if (it == delivered_.end()) continue;
+        const GraphMsg& msg = it->second;
+        wire::Writer w(64 + msg.payload.size());
+        w.u8(kGraphData);
+        wire::put_mid(w, msg.mid);
+        wire::put_mids(w, msg.deps);
+        w.bytes(msg.payload);
+        auto frame = std::move(w).take();
+        if (observer_ != nullptr) {
+          observer_->on_sent(self_, stats::MsgClass::kPsyncData, frame.size(),
+                             sim_.now());
+        }
+        endpoint_.send(from.value(), std::move(frame));
+      }
+      return;
+    }
+    case kMaskVote: {
+      auto from = r.i32();
+      auto suspect = r.i32();
+      if (!from || !suspect) return;
+      if (suspect.value() == self_) return;  // outvoted; keep running
+      if (!masking_) {
+        start_mask_out(suspect.value());
+      }
+      if (masking_ && suspect.value() == mask_target_) {
+        mask_votes_[from.value()] = true;
+        finish_mask_out();
+      }
+      return;
+    }
+    case kHeartbeat:
+      return;  // liveness only
+    default:
+      return;
+  }
+}
+
+}  // namespace urcgc::baselines

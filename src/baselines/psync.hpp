@@ -1,0 +1,125 @@
+#pragma once
+// Psync baseline (Peterson-Buchholz-Schlichting, 1989): the conversation /
+// context-graph protocol the paper cites as the other causal multicast.
+//
+// Every message carries the mids of the *leaves* of the sender's context
+// graph (its most recent causal frontier); a receiver delivers a message
+// once all its ancestors are delivered, NACKing missing ones from the
+// message's sender. Failures are handled with the specialised mask_out
+// operation: on suspicion the group votes the member out, blocking normal
+// traffic while the vote is collected and restarting on further failures —
+// the behaviour the paper contrasts with urcgc's embedded recovery.
+// Psync's flow control deletes waiting messages beyond a bound, raising
+// the effective omission rate (paper Section 6).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
+#include "stats/metrics.hpp"
+
+namespace urcgc::baselines {
+
+struct PsyncConfig {
+  int n = 10;
+  int k_attempts = 3;
+  std::size_t payload_bytes = 32;
+  /// Waiting-room bound; 0 = unbounded. Beyond it, newly arriving
+  /// undeliverable messages are deleted (Psync's flow control).
+  std::size_t waiting_bound = 0;
+};
+
+class PsyncObserver {
+ public:
+  virtual ~PsyncObserver() = default;
+  virtual void on_generated(ProcessId /*p*/, const Mid& /*mid*/,
+                            Tick /*at*/) {}
+  virtual void on_delivered(ProcessId /*p*/, const Mid& /*mid*/,
+                            Tick /*at*/) {}
+  virtual void on_sent(ProcessId /*p*/, stats::MsgClass /*cls*/,
+                       std::size_t /*bytes*/, Tick /*at*/) {}
+  virtual void on_dropped_by_flow_control(ProcessId /*p*/, const Mid& /*mid*/,
+                                          Tick /*at*/) {}
+  virtual void on_mask_out(ProcessId /*p*/, ProcessId /*masked*/,
+                           Tick /*at*/) {}
+};
+
+class PsyncProcess {
+ public:
+  PsyncProcess(const PsyncConfig& config, ProcessId self,
+               sim::Simulation& sim, net::Endpoint& endpoint,
+               fault::FaultInjector& faults,
+               PsyncObserver* observer = nullptr);
+
+  void start();
+  bool data_rq(std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] ProcessId id() const { return self_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] bool masking() const { return masking_; }
+  [[nodiscard]] const std::vector<Mid>& delivery_log() const { return log_; }
+  [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
+  [[nodiscard]] std::size_t context_size() const { return delivered_.size(); }
+  [[nodiscard]] std::size_t pending_user_messages() const {
+    return user_queue_.size();
+  }
+  [[nodiscard]] std::uint64_t flow_drops() const { return flow_drops_; }
+  [[nodiscard]] Tick blocked_ticks() const { return blocked_ticks_; }
+  [[nodiscard]] const std::vector<bool>& members() const { return members_; }
+
+ private:
+  struct GraphMsg {
+    Mid mid;
+    std::vector<Mid> deps;  // leaves of the sender's context graph
+    std::vector<std::uint8_t> payload;
+  };
+
+  void on_round(RoundId round);
+  void on_payload(ProcessId src, std::span<const std::uint8_t> bytes);
+
+  void broadcast_data(std::vector<std::uint8_t> payload);
+  void receive_graph_msg(GraphMsg msg, ProcessId via);
+  void deliver(GraphMsg msg);
+  void try_deliver_waiting();
+  void nack_missing();
+  void start_mask_out(ProcessId suspect);
+  void finish_mask_out();
+
+  [[nodiscard]] bool all_deps_delivered(const GraphMsg& msg) const;
+
+  PsyncConfig config_;
+  ProcessId self_;
+  sim::Simulation& sim_;
+  net::Endpoint& endpoint_;
+  fault::FaultInjector& faults_;
+  PsyncObserver* observer_;
+
+  Seq next_seq_ = 1;
+  std::vector<Mid> leaves_;  // current causal frontier
+  std::unordered_map<Mid, GraphMsg> delivered_;
+  std::unordered_map<Mid, GraphMsg> waiting_;
+  std::vector<Mid> log_;
+  std::deque<std::vector<std::uint8_t>> user_queue_;
+
+  std::vector<bool> members_;
+  std::vector<Tick> last_heard_;
+
+  bool masking_ = false;
+  ProcessId mask_target_ = kNoProcess;
+  std::vector<bool> mask_votes_;
+  Tick mask_started_at_ = 0;
+  Tick blocked_ticks_ = 0;
+
+  std::uint64_t flow_drops_ = 0;
+  bool halted_ = false;
+  bool started_ = false;
+};
+
+}  // namespace urcgc::baselines

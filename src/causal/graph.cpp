@@ -1,0 +1,119 @@
+#include "causal/graph.hpp"
+
+#include <algorithm>
+
+namespace urcgc::causal {
+
+bool CausalGraph::add(const Mid& mid, std::span<const Mid> deps) {
+  if (nodes_.contains(mid)) return false;
+  nodes_.emplace(mid, std::vector<Mid>(deps.begin(), deps.end()));
+  return true;
+}
+
+std::span<const Mid> CausalGraph::deps_of(const Mid& mid) const {
+  auto it = nodes_.find(mid);
+  if (it == nodes_.end()) return {};
+  return it->second;
+}
+
+bool CausalGraph::depends_on(const Mid& descendant,
+                             const Mid& ancestor) const {
+  if (descendant == ancestor) return false;
+  std::vector<Mid> stack{descendant};
+  std::unordered_set<Mid> seen;
+  while (!stack.empty()) {
+    const Mid current = stack.back();
+    stack.pop_back();
+    auto it = nodes_.find(current);
+    if (it == nodes_.end()) continue;
+    for (const Mid& dep : it->second) {
+      if (dep == ancestor) return true;
+      if (seen.insert(dep).second) stack.push_back(dep);
+    }
+  }
+  return false;
+}
+
+std::vector<Mid> CausalGraph::ancestors(const Mid& mid) const {
+  std::vector<Mid> result;
+  std::vector<Mid> stack{mid};
+  std::unordered_set<Mid> seen;
+  while (!stack.empty()) {
+    const Mid current = stack.back();
+    stack.pop_back();
+    auto it = nodes_.find(current);
+    if (it == nodes_.end()) continue;
+    for (const Mid& dep : it->second) {
+      if (seen.insert(dep).second) {
+        stack.push_back(dep);
+        if (nodes_.contains(dep)) result.push_back(dep);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool CausalGraph::acyclic() const {
+  // Iterative three-colour DFS.
+  enum class Colour { kWhite, kGrey, kBlack };
+  std::unordered_map<Mid, Colour> colour;
+  colour.reserve(nodes_.size());
+  for (const auto& [mid, deps] : nodes_) colour[mid] = Colour::kWhite;
+
+  for (const auto& [start, start_deps] : nodes_) {
+    if (colour[start] != Colour::kWhite) continue;
+    // Stack of (node, next dependency index to visit).
+    std::vector<std::pair<Mid, std::size_t>> stack{{start, 0}};
+    colour[start] = Colour::kGrey;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const auto& deps = nodes_.at(node);
+      if (idx == deps.size()) {
+        colour[node] = Colour::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const Mid dep = deps[idx++];
+      auto it = colour.find(dep);
+      if (it == colour.end()) continue;  // dep outside the graph
+      if (it->second == Colour::kGrey) return false;
+      if (it->second == Colour::kWhite) {
+        it->second = Colour::kGrey;
+        stack.push_back({dep, 0});
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<Mid> CausalGraph::first_order_violation(
+    std::span<const Mid> log) const {
+  std::unordered_map<Mid, std::size_t> position;
+  position.reserve(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) position[log[i]] = i;
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    auto it = nodes_.find(log[i]);
+    if (it == nodes_.end()) continue;
+    for (const Mid& dep : it->second) {
+      auto pos = position.find(dep);
+      if (pos != position.end() && pos->second > i) return log[i];
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Mid> CausalGraph::roots() const {
+  std::vector<Mid> result;
+  for (const auto& [mid, deps] : nodes_) {
+    const bool has_present_dep =
+        std::any_of(deps.begin(), deps.end(),
+                    [&](const Mid& d) { return nodes_.contains(d); });
+    if (!has_present_dep) result.push_back(mid);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace urcgc::causal

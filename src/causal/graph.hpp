@@ -1,0 +1,58 @@
+#pragma once
+// Causal dependency graph over mids.
+//
+// Used in three places: (1) by the validation layer, to check that every
+// processing log linearizes the declared dependency DAG (Uniform Ordering);
+// (2) by workload generators, to build well-formed dependency lists under
+// each causality interpretation of paper Section 3; (3) by the Psync
+// baseline, whose protocol state *is* a context graph.
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace urcgc::causal {
+
+class CausalGraph {
+ public:
+  /// Adds a node with its direct dependencies. Dependencies need not be in
+  /// the graph yet (messages can be observed out of order). Returns false on
+  /// duplicate mid.
+  bool add(const Mid& mid, std::span<const Mid> deps);
+
+  [[nodiscard]] bool contains(const Mid& mid) const {
+    return nodes_.contains(mid);
+  }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  [[nodiscard]] std::span<const Mid> deps_of(const Mid& mid) const;
+
+  /// True iff `ancestor` is reachable from `descendant` through dependency
+  /// edges, i.e. ancestor ->* descendant in the paper's causal order.
+  [[nodiscard]] bool depends_on(const Mid& descendant,
+                                const Mid& ancestor) const;
+
+  /// All transitive dependencies of `mid` that exist in the graph.
+  [[nodiscard]] std::vector<Mid> ancestors(const Mid& mid) const;
+
+  /// True iff the graph is acyclic (Definition 3.1's acyclic property).
+  [[nodiscard]] bool acyclic() const;
+
+  /// Checks that `log` (a processing order) is a valid linearization: every
+  /// node appears after all of its in-graph dependencies that are also in
+  /// the log. Returns the first violating mid, or nullopt if valid.
+  [[nodiscard]] std::optional<Mid> first_order_violation(
+      std::span<const Mid> log) const;
+
+  /// Nodes with no dependencies present in the graph (sequence roots).
+  [[nodiscard]] std::vector<Mid> roots() const;
+
+ private:
+  std::unordered_map<Mid, std::vector<Mid>> nodes_;
+};
+
+}  // namespace urcgc::causal

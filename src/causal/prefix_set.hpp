@@ -1,0 +1,66 @@
+#pragma once
+// Set of processed sequence numbers for one originator, stored as a
+// contiguous prefix plus a sparse out-of-order tail.
+//
+// Under the paper's intermediate causality interpretation (one sequence per
+// originator, each message depending on its predecessor) the sparse tail
+// stays empty and every operation is O(1). Under the general Definition 3.1
+// interpretation a process may root several concurrent sequences, so its
+// messages can legally be processed out of seq order; the sparse tail
+// absorbs them and collapses into the prefix as gaps fill.
+//
+// `prefix()` is exactly the `last_processed` value the urcgc REQUEST
+// reports: the largest s such that messages 1..s have all been processed —
+// the only prefix-safe notion usable for stability and history cleaning.
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace urcgc::causal {
+
+class PrefixSet {
+ public:
+  /// Marks seq as processed. Returns false if it already was.
+  bool insert(Seq seq) {
+    URCGC_ASSERT(seq >= 1);
+    if (contains(seq)) return false;
+    if (seq == prefix_ + 1) {
+      ++prefix_;
+      // Absorb any sparse entries now contiguous with the prefix.
+      auto it = sparse_.begin();
+      while (it != sparse_.end() && *it == prefix_ + 1) {
+        ++prefix_;
+        it = sparse_.erase(it);
+      }
+    } else {
+      sparse_.insert(seq);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(Seq seq) const {
+    if (seq <= 0) return true;  // kNoSeq: "nothing" is trivially processed
+    return seq <= prefix_ || sparse_.contains(seq);
+  }
+
+  /// Largest s with 1..s all processed (0 if none).
+  [[nodiscard]] Seq prefix() const { return prefix_; }
+
+  /// Largest processed seq overall (0 if none).
+  [[nodiscard]] Seq max_element() const {
+    return sparse_.empty() ? prefix_ : *sparse_.rbegin();
+  }
+
+  [[nodiscard]] std::size_t sparse_count() const { return sparse_.size(); }
+
+  /// Smallest unprocessed seq (the first gap).
+  [[nodiscard]] Seq first_gap() const { return prefix_ + 1; }
+
+ private:
+  Seq prefix_ = 0;
+  std::set<Seq> sparse_;
+};
+
+}  // namespace urcgc::causal

@@ -1,0 +1,43 @@
+#include "causal/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace urcgc::causal {
+
+void VectorClock::merge(const VectorClock& other) {
+  URCGC_ASSERT(size() == other.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+  }
+}
+
+ClockOrder VectorClock::compare(const VectorClock& other) const {
+  URCGC_ASSERT(size() == other.size());
+  bool less = false;
+  bool greater = false;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] < other.counts_[i]) less = true;
+    if (counts_[i] > other.counts_[i]) greater = true;
+  }
+  if (less && greater) return ClockOrder::kConcurrent;
+  if (less) return ClockOrder::kBefore;
+  if (greater) return ClockOrder::kAfter;
+  return ClockOrder::kEqual;
+}
+
+bool VectorClock::deliverable(const VectorClock& msg_vc,
+                              ProcessId sender) const {
+  URCGC_ASSERT(size() == msg_vc.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (static_cast<ProcessId>(i) == sender) {
+      if (msg_vc[i] != counts_[i] + 1) return false;
+    } else {
+      if (msg_vc[i] > counts_[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace urcgc::causal

@@ -1,0 +1,52 @@
+#pragma once
+// Vector clocks, used by the CBCAST baseline (Birman-Schiper-Stephenson):
+// temporal causality tracking, in contrast to urcgc's explicit
+// application-specified dependency lists.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace urcgc::causal {
+
+enum class ClockOrder {
+  kEqual,
+  kBefore,      // this < other
+  kAfter,       // this > other
+  kConcurrent,
+};
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : counts_(n, 0) {}
+  explicit VectorClock(std::vector<Seq> counts) : counts_(std::move(counts)) {}
+
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] Seq operator[](std::size_t i) const { return counts_[i]; }
+
+  void tick(ProcessId p) { ++counts_.at(p); }
+  void set(ProcessId p, Seq value) { counts_.at(p) = value; }
+
+  /// Component-wise max (classic merge on receive).
+  void merge(const VectorClock& other);
+
+  [[nodiscard]] ClockOrder compare(const VectorClock& other) const;
+
+  /// BSS delivery test: a message stamped `msg_vc` from `sender` is
+  /// deliverable at a process with local clock *this iff
+  ///   msg_vc[sender] == local[sender] + 1  (next from that sender), and
+  ///   msg_vc[k] <= local[k] for all k != sender (its causal past seen).
+  [[nodiscard]] bool deliverable(const VectorClock& msg_vc,
+                                 ProcessId sender) const;
+
+  [[nodiscard]] const std::vector<Seq>& counts() const { return counts_; }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<Seq> counts_;
+};
+
+}  // namespace urcgc::causal

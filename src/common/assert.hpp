@@ -1,0 +1,33 @@
+#pragma once
+// Always-on assertion macro for protocol invariants.
+//
+// Simulation code is only trustworthy if its invariants are enforced in
+// release builds too, so URCGC_ASSERT does not compile away with NDEBUG.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace urcgc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "urcgc assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace urcgc::detail
+
+#define URCGC_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::urcgc::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (false)
+
+#define URCGC_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::urcgc::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (false)

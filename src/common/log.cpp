@@ -1,0 +1,41 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace urcgc {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, std::string_view message) const {
+  if (!enabled(level)) return;
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+std::string to_string(const Mid& mid) {
+  return "m(" + std::to_string(mid.origin) + "," + std::to_string(mid.seq) +
+         ")";
+}
+
+}  // namespace urcgc

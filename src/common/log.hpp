@@ -1,0 +1,70 @@
+#pragma once
+// Minimal leveled logger for simulation traces.
+//
+// The logger is process-global but explicitly configured (no hidden
+// singletons in protocol code: entities receive a Logger* or use the trace
+// hooks in sim::Simulation). Formatting uses iostreams under the hood but
+// callers build messages with a lightweight streaming helper so disabled
+// levels cost one branch.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace urcgc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Sink-based logger. The default sink writes to stderr; tests install a
+/// capturing sink.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  Logger() = default;
+  explicit Logger(LogLevel level) : level_(level) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(LogLevel level, std::string_view message) const;
+
+  /// Global logger used by macros below.
+  static Logger& global();
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace urcgc
+
+#define URCGC_LOG(level, expr)                                         \
+  do {                                                                 \
+    if (::urcgc::Logger::global().enabled(level)) {                    \
+      std::ostringstream urcgc_log_os;                                 \
+      urcgc_log_os << expr;                                            \
+      ::urcgc::Logger::global().log(level, urcgc_log_os.str());        \
+    }                                                                  \
+  } while (false)
+
+#define URCGC_TRACE(expr) URCGC_LOG(::urcgc::LogLevel::kTrace, expr)
+#define URCGC_DEBUG(expr) URCGC_LOG(::urcgc::LogLevel::kDebug, expr)
+#define URCGC_INFO(expr) URCGC_LOG(::urcgc::LogLevel::kInfo, expr)
+#define URCGC_WARN(expr) URCGC_LOG(::urcgc::LogLevel::kWarn, expr)
+#define URCGC_ERROR(expr) URCGC_LOG(::urcgc::LogLevel::kError, expr)

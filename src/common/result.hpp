@@ -1,0 +1,87 @@
+#pragma once
+// Compact expected-like Result<T, E> (std::expected is C++23; this project
+// targets C++20). Used at API boundaries where failure is a normal outcome
+// (decode errors, recovery misses), never for programming errors — those
+// are URCGC_ASSERTs.
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace urcgc {
+
+template <typename E>
+class Unexpected {
+ public:
+  explicit constexpr Unexpected(E error) : error_(std::move(error)) {}
+  [[nodiscard]] constexpr const E& error() const& { return error_; }
+  [[nodiscard]] constexpr E&& error() && { return std::move(error_); }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  constexpr Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  constexpr Result(Unexpected<E> unexpected)
+      : storage_(std::in_place_index<1>, std::move(unexpected).error()) {}
+
+  [[nodiscard]] constexpr bool has_value() const {
+    return storage_.index() == 0;
+  }
+  explicit constexpr operator bool() const { return has_value(); }
+
+  [[nodiscard]] constexpr const T& value() const& {
+    URCGC_ASSERT_MSG(has_value(), "Result::value() on error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] constexpr T& value() & {
+    URCGC_ASSERT_MSG(has_value(), "Result::value() on error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] constexpr T&& value() && {
+    URCGC_ASSERT_MSG(has_value(), "Result::value() on error");
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] constexpr const E& error() const& {
+    URCGC_ASSERT_MSG(!has_value(), "Result::error() on value");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] constexpr T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Result specialization for operations with no payload.
+template <typename E>
+class [[nodiscard]] Status {
+ public:
+  constexpr Status() = default;
+  constexpr Status(Unexpected<E> unexpected)
+      : error_(std::move(unexpected).error()) {}
+
+  [[nodiscard]] constexpr bool ok() const { return !error_.has_value(); }
+  explicit constexpr operator bool() const { return ok(); }
+
+  [[nodiscard]] constexpr const E& error() const {
+    URCGC_ASSERT_MSG(!ok(), "Status::error() on ok");
+    return *error_;
+  }
+
+ private:
+  std::optional<E> error_;
+};
+
+}  // namespace urcgc

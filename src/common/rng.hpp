@@ -1,0 +1,62 @@
+#pragma once
+// Deterministic random number generation for reproducible simulations.
+//
+// Every experiment takes a single 64-bit seed; sub-streams (one per
+// process, one for the network, one for the workload) are derived with
+// splitmix64 so that adding a consumer never perturbs the draws of the
+// others. The core generator is xoshiro256**, which is fast, passes
+// BigCrush, and is trivially copyable (simulation state can be snapshotted).
+
+#include <array>
+#include <cstdint>
+
+namespace urcgc {
+
+/// splitmix64 step; used both for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state via splitmix64, per the reference
+  /// implementation's recommendation.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Geometric inter-arrival: number of trials until first success for a
+  /// per-trial probability p (>=1). Returns a large value if p ~ 0.
+  [[nodiscard]] std::int64_t geometric(double p);
+
+  /// Derives an independent sub-stream generator; `label` distinguishes
+  /// consumers (e.g. process index, 'net', 'workload').
+  [[nodiscard]] Rng fork(std::uint64_t label) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace urcgc

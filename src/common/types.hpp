@@ -1,0 +1,69 @@
+#pragma once
+// Fundamental identifier and time types shared by every urcgc module.
+//
+// The simulator measures time in integer ticks; protocol layers reason in
+// rounds and subruns (one subrun = two rounds = one network round-trip
+// delay, following Section 4 of the paper).
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace urcgc {
+
+/// Index of a process within the (initial) group. Processes are numbered
+/// densely 0..n-1; the rotating coordinator of subrun s is `s mod n`.
+using ProcessId = std::int32_t;
+
+/// Per-originator message sequence number. The first message a process
+/// generates has seq 1; seq 0 is reserved for "nothing processed yet".
+using Seq = std::int64_t;
+
+/// Simulated time in ticks.
+using Tick = std::int64_t;
+
+/// Round counter (two rounds per subrun).
+using RoundId = std::int64_t;
+
+/// Subrun counter. Subrun s spans rounds 2s (requests) and 2s+1 (decision).
+using SubrunId = std::int64_t;
+
+inline constexpr ProcessId kNoProcess = -1;
+inline constexpr Seq kNoSeq = 0;
+inline constexpr Tick kNoTick = std::numeric_limits<Tick>::min();
+
+/// Unique message identifier: (originator, per-originator sequence).
+/// This is the `mid` of the paper (Section 3): every application message
+/// carries its mid plus the list of mids it causally depends on.
+struct Mid {
+  ProcessId origin = kNoProcess;
+  Seq seq = kNoSeq;
+
+  friend constexpr auto operator<=>(const Mid&, const Mid&) = default;
+
+  [[nodiscard]] constexpr bool valid() const {
+    return origin != kNoProcess && seq != kNoSeq;
+  }
+};
+
+[[nodiscard]] std::string to_string(const Mid& mid);
+
+}  // namespace urcgc
+
+template <>
+struct std::hash<urcgc::Mid> {
+  std::size_t operator()(const urcgc::Mid& m) const noexcept {
+    const auto h1 = static_cast<std::size_t>(m.origin);
+    const auto h2 = static_cast<std::size_t>(m.seq);
+    // 64-bit mix (splitmix64 finalizer) over the packed pair.
+    std::size_t x = (h1 << 48) ^ h2;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+};

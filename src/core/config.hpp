@@ -1,0 +1,80 @@
+#pragma once
+// Tunables of the urcgc protocol (paper Sections 3-6).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace urcgc::core {
+
+/// Which causal relation the service implements (paper Section 3).
+enum class CausalityMode {
+  /// Definition 3.1 verbatim: a process may root any number of concurrent
+  /// sequences; dependencies are exactly what the user declares.
+  kGeneral,
+  /// The paper's implemented variant: each process roots at most one
+  /// sequence, so every message implicitly depends on its own predecessor;
+  /// dependencies on other processes' messages remain discretionary.
+  kIntermediate,
+  /// Temporal dependence a la BSS91/Psync: a message depends on the last
+  /// processed message of *every* originator — minimum concurrency. Used by
+  /// the causality ablation bench.
+  kTemporal,
+};
+
+/// Group structures of paper Section 3 (after Birman's taxonomy).
+enum class GroupStructure {
+  /// Peer group: every member generates, processes and coordinates.
+  kPeer,
+  /// Diffusion group: servers (ids [0, server_count)) generate; clients
+  /// only process. Everyone still runs the agreement — uniformity covers
+  /// all active processes — and multicasts reach the full set.
+  kDiffusion,
+  /// Client-server group: clients hand their payloads to their home
+  /// server (client id mod server_count), which generates the message in
+  /// its own sequence; replies (indications) reach everyone.
+  kClientServer,
+};
+
+struct Config {
+  /// Initial group cardinality n.
+  int n = 10;
+
+  /// K — retries before a silent process is declared crashed, and before a
+  /// process that hears no coordinator gives up and leaves.
+  int k_attempts = 3;
+
+  /// R — unsuccessful history-recovery attempts before a process leaves the
+  /// group. The paper requires R > 2K + f for liveness; the harness asserts
+  /// the default keeps that margin for the fault plans it runs.
+  int r_recovery = 12;
+
+  /// Flow-control threshold on local history length, in messages. 0
+  /// disables flow control; the paper's Figure 6 b) uses 8n.
+  std::size_t history_threshold = 0;
+
+  /// Bytes of user payload carried by each application message (the paper's
+  /// simulations assume messages fit one subnetwork packet).
+  std::size_t payload_bytes = 32;
+
+  CausalityMode causality = CausalityMode::kIntermediate;
+
+  /// Maximum application messages a recovery response PDU may carry.
+  int max_recover_batch = 8;
+
+  /// Maintain the stability-boundary window inside decisions, enabling the
+  /// TotalOrderAdapter (urgc-companion totally ordered delivery). Costs
+  /// ~4n bytes per boundary kept in every decision.
+  bool track_stability_boundaries = false;
+
+  GroupStructure structure = GroupStructure::kPeer;
+  /// Number of server processes (ids [0, server_count)) for the
+  /// non-peer structures. Ignored for kPeer.
+  int server_count = 0;
+
+  [[nodiscard]] bool is_server(ProcessId p) const {
+    return structure == GroupStructure::kPeer || p < server_count;
+  }
+};
+
+}  // namespace urcgc::core

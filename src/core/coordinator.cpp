@@ -1,0 +1,153 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace urcgc::core {
+
+const Decision& freshest(std::span<const Decision* const> candidates) {
+  URCGC_ASSERT(!candidates.empty());
+  const Decision* best = candidates.front();
+  for (const Decision* d : candidates.subspan(1)) {
+    if (d->decided_at > best->decided_at) best = d;
+  }
+  return *best;
+}
+
+Decision compute_decision(const CoordinatorInputs& inputs) {
+  const int n = inputs.base.n();
+  URCGC_ASSERT(n > 0);
+  URCGC_ASSERT(inputs.coordinator >= 0 && inputs.coordinator < n);
+
+  Decision d = inputs.base;
+  d.decided_at = inputs.subrun;
+  d.coordinator = inputs.coordinator;
+  d.full_group = false;
+  // clean_upto is only meaningful on a full_group decision; clear the copy
+  // inherited from the base so receivers never re-apply an old cleaning
+  // point against a fresher decision.
+  std::fill(d.clean_upto.begin(), d.clean_upto.end(), kNoSeq);
+
+  // Who was heard this subrun. Requests from processes the base marks dead
+  // are dropped: they are scheduled for suicide, not for rejoining.
+  std::vector<bool> heard_now(n, false);
+  std::vector<const Request*> live_requests;
+  live_requests.reserve(inputs.requests.size());
+  for (const Request& rq : inputs.requests) {
+    URCGC_ASSERT(rq.from >= 0 && rq.from < n);
+    URCGC_ASSERT(static_cast<int>(rq.last_processed.size()) == n);
+    URCGC_ASSERT(static_cast<int>(rq.oldest_waiting.size()) == n);
+    if (!inputs.base.alive[rq.from]) continue;
+    if (heard_now[rq.from]) continue;  // duplicate request copy
+    heard_now[rq.from] = true;
+    live_requests.push_back(&rq);
+  }
+
+  // Attempts accounting and crash declaration.
+  for (ProcessId q = 0; q < n; ++q) {
+    if (!d.alive[q]) continue;
+    if (heard_now[q]) {
+      d.attempts[q] = 0;
+    } else {
+      if (d.attempts[q] < 255) ++d.attempts[q];
+      if (d.attempts[q] >= inputs.k_attempts) {
+        d.alive[q] = false;  // removed from the group: declared crashed
+      }
+    }
+  }
+
+  // Stability accumulation over the heard mask. stable_acc is only
+  // meaningful for origins once at least one process contributed; with no
+  // contributor yet, the first one seeds the vector.
+  bool window_had_contributor =
+      std::any_of(d.heard.begin(), d.heard.end(), [](bool h) { return h; });
+  for (const Request* rq : live_requests) {
+    if (!window_had_contributor) {
+      d.stable_acc = rq->last_processed;
+      window_had_contributor = true;
+    } else {
+      for (ProcessId j = 0; j < n; ++j) {
+        d.stable_acc[j] = std::min(d.stable_acc[j], rq->last_processed[j]);
+      }
+    }
+    d.heard[rq->from] = true;
+  }
+
+  // max_processed / most_updated: computed fresh from this subrun's
+  // reports. Carrying values forward from the base would let a crashed
+  // holder keep advertising messages nobody alive still has, turning every
+  // trailing process into a permanent (and hopeless) recovery client; with
+  // per-subrun recomputation the advertised maximum collapses to what the
+  // surviving contributors actually hold, which is also what makes the
+  // orphan-cut comparison (min_waiting vs max_processed+1) sound.
+  std::fill(d.max_processed.begin(), d.max_processed.end(), kNoSeq);
+  std::fill(d.most_updated.begin(), d.most_updated.end(), kNoProcess);
+  for (const Request* rq : live_requests) {
+    for (ProcessId j = 0; j < n; ++j) {
+      const Seq reported = rq->last_processed[j];
+      if (reported > d.max_processed[j] ||
+          (reported == d.max_processed[j] && reported != kNoSeq &&
+           (d.most_updated[j] == kNoProcess || !d.alive[d.most_updated[j]]) &&
+           d.alive[rq->from])) {
+        d.max_processed[j] = reported;
+        d.most_updated[j] = rq->from;
+      }
+    }
+  }
+
+  // min_waiting: fresh per subrun.
+  std::fill(d.min_waiting.begin(), d.min_waiting.end(), kNoSeq);
+  for (const Request* rq : live_requests) {
+    for (ProcessId j = 0; j < n; ++j) {
+      const Seq w = rq->oldest_waiting[j];
+      if (w == kNoSeq) continue;
+      if (d.min_waiting[j] == kNoSeq || w < d.min_waiting[j]) {
+        d.min_waiting[j] = w;
+      }
+    }
+  }
+
+  // Coverage test: does the accumulated heard mask span every alive
+  // process? If so the accumulated minimum is a true group-wide stability
+  // point: publish it and open a new accumulation window seeded by this
+  // subrun's contributors.
+  bool covered = true;
+  for (ProcessId q = 0; q < n; ++q) {
+    if (d.alive[q] && !d.heard[q]) {
+      covered = false;
+      break;
+    }
+  }
+  if (covered && window_had_contributor) {
+    d.full_group = true;
+    d.clean_upto = d.stable_acc;
+    if (inputs.track_boundaries) {
+      ++d.stability_epoch;
+      d.boundaries.push_back({inputs.subrun, d.clean_upto});
+      if (d.boundaries.size() > Decision::kBoundaryWindow) {
+        d.boundaries.erase(d.boundaries.begin());
+      }
+    }
+    d.heard.assign(n, false);
+    bool reseeded = false;
+    for (const Request* rq : live_requests) {
+      d.heard[rq->from] = true;
+      if (!reseeded) {
+        d.stable_acc = rq->last_processed;
+        reseeded = true;
+      } else {
+        for (ProcessId j = 0; j < n; ++j) {
+          d.stable_acc[j] = std::min(d.stable_acc[j], rq->last_processed[j]);
+        }
+      }
+    }
+    if (!reseeded) {
+      std::fill(d.stable_acc.begin(), d.stable_acc.end(), kNoSeq);
+    }
+  }
+
+  return d;
+}
+
+}  // namespace urcgc::core

@@ -1,0 +1,49 @@
+#pragma once
+// Coordinator decision computation (paper Section 4, Figure 2) as a pure
+// function: freshest-known decision + this subrun's requests in, new
+// decision out. Keeping it side-effect free makes the agreement algebra
+// unit-testable in isolation from timing and networking.
+
+#include <span>
+#include <vector>
+
+#include "core/pdu.hpp"
+
+namespace urcgc::core {
+
+/// Picks the freshest decision (largest decided_at) among `candidates`.
+/// All candidates must have the same n.
+[[nodiscard]] const Decision& freshest(std::span<const Decision* const> candidates);
+
+struct CoordinatorInputs {
+  SubrunId subrun = 0;
+  ProcessId coordinator = kNoProcess;
+  /// K — attempts threshold after which a silent process is removed.
+  int k_attempts = 3;
+  /// Maintain the stability-boundary window (total-order support).
+  bool track_boundaries = false;
+  /// Requests received this subrun, including the coordinator's own.
+  /// Requests from processes the base decision marks dead are ignored
+  /// (they are expected to commit suicide, not to rejoin).
+  std::vector<Request> requests;
+  /// Freshest decision known: the max over the coordinator's own copy and
+  /// every request's embedded prev_decision.
+  Decision base;
+};
+
+/// Computes the subrun's decision:
+///  * attempts accounting — reset for processes heard this subrun,
+///    incremented otherwise; processes reaching K are removed (alive=false);
+///  * stability accumulation — element-wise minimum of last_processed over
+///    processes heard since the last cleaning (`heard` mask); when the mask
+///    covers every alive process the decision carries full_group=true and a
+///    clean_upto histories may be purged to, and a new accumulation window
+///    opens seeded with this subrun's contributors;
+///  * max_processed / most_updated — computed fresh from this subrun's
+///    requests, so the advertised maximum always reflects what a currently
+///    reachable process holds (ties prefer alive holders);
+///  * min_waiting — computed fresh from this subrun's requests (a stale
+///    waiting report would trigger spurious orphan cuts).
+[[nodiscard]] Decision compute_decision(const CoordinatorInputs& inputs);
+
+}  // namespace urcgc::core

@@ -1,0 +1,61 @@
+#include "core/history.hpp"
+
+#include "common/assert.hpp"
+
+namespace urcgc::core {
+
+bool History::store(const AppMessage& msg) {
+  URCGC_ASSERT(msg.mid.valid());
+  URCGC_ASSERT(msg.mid.origin >= 0 && msg.mid.origin < n());
+  auto [it, inserted] =
+      per_origin_[msg.mid.origin].emplace(msg.mid.seq, msg);
+  if (inserted) ++total_;
+  return inserted;
+}
+
+const AppMessage* History::find(const Mid& mid) const {
+  if (mid.origin < 0 || mid.origin >= n()) return nullptr;
+  const auto& entry = per_origin_[mid.origin];
+  auto it = entry.find(mid.seq);
+  return it == entry.end() ? nullptr : &it->second;
+}
+
+std::vector<AppMessage> History::range(ProcessId origin, Seq from_seq,
+                                       Seq to_seq,
+                                       std::size_t max_count) const {
+  std::vector<AppMessage> result;
+  if (origin < 0 || origin >= n() || from_seq > to_seq) return result;
+  const auto& entry = per_origin_[origin];
+  for (auto it = entry.lower_bound(from_seq);
+       it != entry.end() && it->first <= to_seq &&
+       result.size() < max_count;
+       ++it) {
+    result.push_back(it->second);
+  }
+  return result;
+}
+
+std::size_t History::purge_upto(ProcessId origin, Seq upto) {
+  if (origin < 0 || origin >= n()) return 0;
+  auto& entry = per_origin_[origin];
+  std::size_t purged = 0;
+  auto it = entry.begin();
+  while (it != entry.end() && it->first <= upto) {
+    it = entry.erase(it);
+    ++purged;
+  }
+  total_ -= purged;
+  return purged;
+}
+
+Seq History::max_stored(ProcessId origin) const {
+  const auto& entry = per_origin_.at(origin);
+  return entry.empty() ? kNoSeq : entry.rbegin()->first;
+}
+
+Seq History::min_stored(ProcessId origin) const {
+  const auto& entry = per_origin_.at(origin);
+  return entry.empty() ? kNoSeq : entry.begin()->first;
+}
+
+}  // namespace urcgc::core

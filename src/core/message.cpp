@@ -1,0 +1,31 @@
+#include "core/message.hpp"
+
+#include "wire/codec.hpp"
+
+namespace urcgc::core {
+
+void encode(wire::Writer& w, const AppMessage& msg) {
+  wire::put_mid(w, msg.mid);
+  wire::put_mids(w, msg.deps);
+  w.i64(msg.generated_at);
+  w.bytes(msg.payload);
+}
+
+Result<AppMessage, wire::DecodeError> decode_app_message(wire::Reader& r) {
+  AppMessage msg;
+  auto mid = wire::get_mid(r);
+  if (!mid) return Unexpected(mid.error());
+  msg.mid = mid.value();
+  auto deps = wire::get_mids(r);
+  if (!deps) return Unexpected(deps.error());
+  msg.deps = std::move(deps).value();
+  auto at = r.i64();
+  if (!at) return Unexpected(at.error());
+  msg.generated_at = at.value();
+  auto payload = r.bytes();
+  if (!payload) return Unexpected(payload.error());
+  msg.payload = std::move(payload).value();
+  return msg;
+}
+
+}  // namespace urcgc::core

@@ -1,0 +1,27 @@
+#pragma once
+// Application message: the unit the urcgc service atomically delivers and
+// causally orders. Besides the content it carries its mid and the list of
+// mids it causally depends on (paper Section 3).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/buffer.hpp"
+
+namespace urcgc::core {
+
+struct AppMessage {
+  Mid mid;
+  std::vector<Mid> deps;
+  Tick generated_at = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const AppMessage&, const AppMessage&) = default;
+};
+
+void encode(wire::Writer& w, const AppMessage& msg);
+[[nodiscard]] Result<AppMessage, wire::DecodeError> decode_app_message(
+    wire::Reader& r);
+
+}  // namespace urcgc::core

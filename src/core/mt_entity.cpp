@@ -1,0 +1,143 @@
+#include "core/mt_entity.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace urcgc::core {
+
+MtEntity::MtEntity(const Config& config, ProcessId self, Observer* observer)
+    : config_(config),
+      self_(self),
+      observer_(observer),
+      history_(config.n),
+      processed_(config.n) {}
+
+bool MtEntity::processed(const Mid& mid) const {
+  if (!mid.valid()) return true;  // "no message" is trivially processed
+  if (mid.origin < 0 || mid.origin >= config_.n) return true;
+  return processed_[mid.origin].contains(mid.seq);
+}
+
+void MtEntity::submit(const AppMessage& msg, Tick now) {
+  URCGC_ASSERT(msg.mid.valid());
+  if (processed(msg.mid) || waiting_.contains(msg.mid)) {
+    ++duplicates_;
+    return;
+  }
+
+  std::vector<Mid> missing;
+  for (const Mid& dep : msg.deps) {
+    if (!processed(dep)) missing.push_back(dep);
+  }
+  if (!missing.empty()) {
+    causal::PendingMessage pending{msg.mid, msg.deps, msg.generated_at, now,
+                                   msg.payload};
+    waiting_.add(std::move(pending), missing);
+    return;
+  }
+
+  process_now(msg, now);
+}
+
+void MtEntity::process_now(AppMessage msg, Tick now) {
+  std::deque<AppMessage> queue;
+  queue.push_back(std::move(msg));
+  while (!queue.empty()) {
+    AppMessage current = std::move(queue.front());
+    queue.pop_front();
+    URCGC_ASSERT_MSG(!processed(current.mid), "double processing");
+
+    history_.store(current);
+    processed_[current.mid.origin].insert(current.mid.seq);
+    log_.push_back(current.mid);
+    if (observer_ != nullptr) observer_->on_processed(self_, current, now);
+    if (on_processed_) on_processed_(current);
+
+    for (causal::PendingMessage& released :
+         waiting_.on_processed(current.mid)) {
+      AppMessage next;
+      next.mid = released.mid;
+      next.deps = std::move(released.deps);
+      next.generated_at = released.generated_at;
+      next.payload = std::move(released.payload);
+      queue.push_back(std::move(next));
+    }
+  }
+}
+
+std::vector<Seq> MtEntity::last_processed_vec() const {
+  std::vector<Seq> result(config_.n);
+  for (ProcessId j = 0; j < config_.n; ++j) {
+    result[j] = processed_[j].prefix();
+  }
+  return result;
+}
+
+std::vector<Seq> MtEntity::oldest_waiting_vec() const {
+  std::vector<Seq> result(config_.n, kNoSeq);
+  for (ProcessId j = 0; j < config_.n; ++j) {
+    if (auto oldest = waiting_.oldest_waiting(j)) result[j] = *oldest;
+  }
+  return result;
+}
+
+RecoverRsp MtEntity::serve_recovery(const RecoverRq& rq) const {
+  RecoverRsp rsp;
+  rsp.from = self_;
+  rsp.origin = rq.origin;
+  rsp.messages =
+      history_.range(rq.origin, rq.from_seq, rq.to_seq,
+                     static_cast<std::size_t>(config_.max_recover_batch));
+  return rsp;
+}
+
+std::size_t MtEntity::clean(const std::vector<Seq>& clean_upto) {
+  URCGC_ASSERT(static_cast<int>(clean_upto.size()) == config_.n);
+  std::size_t purged = 0;
+  for (ProcessId j = 0; j < config_.n; ++j) {
+    if (clean_upto[j] == kNoSeq) continue;
+    // Cleaning a message we have not processed would violate the stability
+    // invariant (our own report bounds the group minimum).
+    URCGC_ASSERT_MSG(clean_upto[j] <= processed_[j].prefix(),
+                     "cleaning point beyond local processed prefix");
+    purged += history_.purge_upto(j, clean_upto[j]);
+  }
+  return purged;
+}
+
+std::vector<Mid> MtEntity::discard_orphans(ProcessId origin, Seq gap_seq,
+                                           Tick now) {
+  std::vector<Mid> discarded = waiting_.discard_depending_on(origin, gap_seq);
+  for (const Mid& mid : discarded) {
+    if (observer_ != nullptr) observer_->on_discarded(self_, mid, now);
+  }
+  return discarded;
+}
+
+std::vector<MtEntity::MissingRange> MtEntity::missing_ranges() const {
+  // Group blocking mids by origin; only spans not already received matter.
+  std::map<ProcessId, std::pair<Seq, Seq>> spans;  // origin -> [min,max]
+  for (const Mid& mid : waiting_.missing_mids()) {
+    if (waiting_.contains(mid)) continue;  // received, just not processable
+    auto [it, inserted] =
+        spans.emplace(mid.origin, std::pair<Seq, Seq>{mid.seq, mid.seq});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, mid.seq);
+      it->second.second = std::max(it->second.second, mid.seq);
+    }
+  }
+  std::vector<MissingRange> result;
+  result.reserve(spans.size());
+  for (const auto& [origin, span] : spans) {
+    // Extend down to the first gap after the processed prefix: transitive
+    // predecessors we have never seen are missing too even though no
+    // waiting entry names them yet.
+    const Seq from = std::min(processed_[origin].first_gap(), span.first);
+    result.push_back({origin, from, span.second});
+  }
+  return result;
+}
+
+}  // namespace urcgc::core

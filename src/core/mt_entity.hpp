@@ -1,0 +1,100 @@
+#pragma once
+// GMT sublayer (paper Section 5): the mt entity processes messages, stores
+// them into the history, manages history cleaning, and serves/absorbs
+// point-to-point recovery.
+//
+// This layer is purely reactive and timing-free: the GC sublayer (driven by
+// rounds and subruns) feeds it messages and maintenance commands. That
+// split mirrors the paper's protocol architecture and keeps everything here
+// unit-testable without a simulator.
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "causal/prefix_set.hpp"
+#include "causal/waiting_list.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/history.hpp"
+#include "core/message.hpp"
+#include "core/observer.hpp"
+#include "core/pdu.hpp"
+
+namespace urcgc::core {
+
+class MtEntity {
+ public:
+  /// Invoked exactly once per message, at the instant it is processed (the
+  /// urcgc_data_Ind of the SAP).
+  using ProcessedFn = std::function<void(const AppMessage&)>;
+
+  MtEntity(const Config& config, ProcessId self, Observer* observer);
+
+  void set_on_processed(ProcessedFn fn) { on_processed_ = std::move(fn); }
+
+  /// Feeds a message (from the network, local generation, or a recovery
+  /// response). Processes it immediately when every dependency has been
+  /// processed — releasing any waiters that become satisfied — or parks it
+  /// in the waiting list. Duplicates are ignored.
+  void submit(const AppMessage& msg, Tick now);
+
+  [[nodiscard]] bool processed(const Mid& mid) const;
+  /// Contiguous processed prefix of origin's sequence (last_processed[j]).
+  [[nodiscard]] Seq prefix(ProcessId origin) const {
+    return processed_.at(origin).prefix();
+  }
+  [[nodiscard]] std::vector<Seq> last_processed_vec() const;
+  /// Oldest waiting seq per origin; kNoSeq where nothing waits.
+  [[nodiscard]] std::vector<Seq> oldest_waiting_vec() const;
+
+  /// Serves a peer's recovery request from the local history.
+  [[nodiscard]] RecoverRsp serve_recovery(const RecoverRq& rq) const;
+
+  /// Applies a full_group cleaning decision. Returns messages purged.
+  std::size_t clean(const std::vector<Seq>& clean_upto);
+
+  /// Cuts an orphaned sequence: discards every waiting message depending on
+  /// origin's messages with seq >= gap_seq (paper Section 4: the gap can
+  /// never be recovered because every holder crashed). Returns the
+  /// discarded mids.
+  std::vector<Mid> discard_orphans(ProcessId origin, Seq gap_seq, Tick now);
+
+  /// Contiguous gaps the waiting list is blocked on, grouped per origin —
+  /// what the GC sublayer asks the most-updated peer to recover. Only spans
+  /// of messages not already held in the waiting list are reported.
+  struct MissingRange {
+    ProcessId origin;
+    Seq from_seq;
+    Seq to_seq;
+  };
+  [[nodiscard]] std::vector<MissingRange> missing_ranges() const;
+
+  [[nodiscard]] std::size_t history_size() const {
+    return history_.total_size();
+  }
+  [[nodiscard]] std::size_t waiting_size() const { return waiting_.size(); }
+  [[nodiscard]] const History& history() const { return history_; }
+  [[nodiscard]] const std::vector<Mid>& processing_log() const {
+    return log_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_ignored() const {
+    return duplicates_;
+  }
+
+ private:
+  void process_now(AppMessage msg, Tick now);
+
+  Config config_;
+  ProcessId self_;
+  Observer* observer_;
+  ProcessedFn on_processed_;
+
+  History history_;
+  causal::WaitingList waiting_;
+  std::vector<causal::PrefixSet> processed_;
+  std::vector<Mid> log_;  // local processing order, for validation
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace urcgc::core

@@ -1,0 +1,57 @@
+#pragma once
+// Instrumentation hooks. The harness implements this interface to feed the
+// stats module; the protocol calls it at every externally-meaningful event.
+// All callbacks default to no-ops so tests can override selectively.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "core/message.hpp"
+#include "core/pdu.hpp"
+#include "stats/metrics.hpp"
+
+namespace urcgc::core {
+
+enum class HaltReason {
+  kNone,
+  kCrashFault,       // fail-stop injected by the fault plan
+  kSuicide,          // learned the group declared it crashed
+  kRecoveryExhausted,  // R unsuccessful recovery attempts
+  kNoCoordinator,    // K consecutive subruns without a decision
+};
+
+[[nodiscard]] constexpr const char* to_string(HaltReason reason) {
+  switch (reason) {
+    case HaltReason::kNone: return "none";
+    case HaltReason::kCrashFault: return "crash-fault";
+    case HaltReason::kSuicide: return "suicide";
+    case HaltReason::kRecoveryExhausted: return "recovery-exhausted";
+    case HaltReason::kNoCoordinator: return "no-coordinator";
+  }
+  return "?";
+}
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  virtual void on_generated(ProcessId /*p*/, const AppMessage& /*msg*/,
+                            Tick /*at*/) {}
+  virtual void on_processed(ProcessId /*p*/, const AppMessage& /*msg*/,
+                            Tick /*at*/) {}
+  /// Every PDU handed to the subnet, with its wire size.
+  virtual void on_sent(ProcessId /*p*/, stats::MsgClass /*cls*/,
+                       std::size_t /*bytes*/, Tick /*at*/) {}
+  virtual void on_decision_made(ProcessId /*coordinator*/,
+                                const Decision& /*d*/, Tick /*at*/) {}
+  virtual void on_history_cleaned(ProcessId /*p*/, std::size_t /*purged*/,
+                                  Tick /*at*/) {}
+  virtual void on_halt(ProcessId /*p*/, HaltReason /*reason*/, Tick /*at*/) {}
+  virtual void on_discarded(ProcessId /*p*/, const Mid& /*mid*/,
+                            Tick /*at*/) {}
+  virtual void on_recovery_attempt(ProcessId /*p*/, ProcessId /*target*/,
+                                   ProcessId /*origin*/, Tick /*at*/) {}
+  virtual void on_flow_blocked(ProcessId /*p*/, Tick /*at*/) {}
+};
+
+}  // namespace urcgc::core

@@ -1,0 +1,298 @@
+#include "core/pdu.hpp"
+
+#include "common/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace urcgc::core {
+
+Decision Decision::initial(int n) {
+  Decision d;
+  d.decided_at = -1;
+  d.coordinator = kNoProcess;
+  d.full_group = false;
+  d.clean_upto.assign(n, kNoSeq);
+  d.stable_acc.assign(n, kNoSeq);
+  d.heard.assign(n, false);
+  d.max_processed.assign(n, kNoSeq);
+  d.most_updated.assign(n, kNoProcess);
+  d.min_waiting.assign(n, kNoSeq);
+  d.attempts.assign(n, 0);
+  d.alive.assign(n, true);
+  return d;
+}
+
+int Decision::alive_count() const {
+  int count = 0;
+  for (bool a : alive) count += a ? 1 : 0;
+  return count;
+}
+
+namespace {
+
+// Process ids travel as u16 (0xFFFF = kNoProcess): groups are far smaller
+// than 65535 and the decision carries one id per member.
+constexpr std::uint16_t kNoProcessWire = 0xFFFF;
+
+void put_pids(wire::Writer& w, const std::vector<ProcessId>& pids) {
+  w.u32(static_cast<std::uint32_t>(pids.size()));
+  for (ProcessId p : pids) {
+    w.u16(p == kNoProcess ? kNoProcessWire : static_cast<std::uint16_t>(p));
+  }
+}
+
+Result<std::vector<ProcessId>, wire::DecodeError> get_pids(wire::Reader& r) {
+  auto count = r.u32();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 2ULL > r.remaining()) {
+    return Unexpected(wire::DecodeError::kTruncated);
+  }
+  std::vector<ProcessId> pids;
+  pids.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto p = r.u16();
+    if (!p) return Unexpected(p.error());
+    pids.push_back(p.value() == kNoProcessWire
+                       ? kNoProcess
+                       : static_cast<ProcessId>(p.value()));
+  }
+  return pids;
+}
+
+void encode_decision_body(wire::Writer& w, const Decision& d) {
+  w.i64(d.decided_at);
+  w.i32(d.coordinator);
+  w.boolean(d.full_group);
+  wire::put_seqs32(w, d.clean_upto);
+  wire::put_seqs32(w, d.stable_acc);
+  wire::put_bools(w, d.heard);
+  wire::put_seqs32(w, d.max_processed);
+  put_pids(w, d.most_updated);
+  wire::put_seqs32(w, d.min_waiting);
+  wire::put_u8s(w, d.attempts);
+  wire::put_bools(w, d.alive);
+  w.i64(d.stability_epoch);
+  w.u32(static_cast<std::uint32_t>(d.boundaries.size()));
+  for (const StabilityBoundary& boundary : d.boundaries) {
+    w.i64(boundary.subrun);
+    wire::put_seqs32(w, boundary.clean_upto);
+  }
+}
+
+Result<Decision, wire::DecodeError> decode_decision_body(wire::Reader& r) {
+  Decision d;
+  auto decided_at = r.i64();
+  if (!decided_at) return Unexpected(decided_at.error());
+  d.decided_at = decided_at.value();
+  auto coordinator = r.i32();
+  if (!coordinator) return Unexpected(coordinator.error());
+  d.coordinator = coordinator.value();
+  auto full_group = r.boolean();
+  if (!full_group) return Unexpected(full_group.error());
+  d.full_group = full_group.value();
+
+  auto clean_upto = wire::get_seqs32(r);
+  if (!clean_upto) return Unexpected(clean_upto.error());
+  d.clean_upto = std::move(clean_upto).value();
+  auto stable_acc = wire::get_seqs32(r);
+  if (!stable_acc) return Unexpected(stable_acc.error());
+  d.stable_acc = std::move(stable_acc).value();
+  auto heard = wire::get_bools(r);
+  if (!heard) return Unexpected(heard.error());
+  d.heard = std::move(heard).value();
+  auto max_processed = wire::get_seqs32(r);
+  if (!max_processed) return Unexpected(max_processed.error());
+  d.max_processed = std::move(max_processed).value();
+  auto most_updated = get_pids(r);
+  if (!most_updated) return Unexpected(most_updated.error());
+  d.most_updated = std::move(most_updated).value();
+  auto min_waiting = wire::get_seqs32(r);
+  if (!min_waiting) return Unexpected(min_waiting.error());
+  d.min_waiting = std::move(min_waiting).value();
+  auto attempts = wire::get_u8s(r);
+  if (!attempts) return Unexpected(attempts.error());
+  d.attempts = std::move(attempts).value();
+  auto alive = wire::get_bools(r);
+  if (!alive) return Unexpected(alive.error());
+  d.alive = std::move(alive).value();
+  auto epoch = r.i64();
+  if (!epoch) return Unexpected(epoch.error());
+  d.stability_epoch = epoch.value();
+  auto boundary_count = r.u32();
+  if (!boundary_count) return Unexpected(boundary_count.error());
+  if (boundary_count.value() > Decision::kBoundaryWindow) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  for (std::uint32_t i = 0; i < boundary_count.value(); ++i) {
+    StabilityBoundary boundary;
+    auto subrun = r.i64();
+    if (!subrun) return Unexpected(subrun.error());
+    boundary.subrun = subrun.value();
+    auto clean = wire::get_seqs32(r);
+    if (!clean) return Unexpected(clean.error());
+    boundary.clean_upto = std::move(clean).value();
+    if (boundary.clean_upto.size() != d.alive.size()) {
+      return Unexpected(wire::DecodeError::kBadValue);
+    }
+    d.boundaries.push_back(std::move(boundary));
+  }
+
+  // All per-group vectors must agree on n.
+  const std::size_t n = d.alive.size();
+  if (d.clean_upto.size() != n || d.stable_acc.size() != n ||
+      d.heard.size() != n || d.max_processed.size() != n ||
+      d.most_updated.size() != n || d.min_waiting.size() != n ||
+      d.attempts.size() != n) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_pdu(const AppMessage& msg) {
+  wire::Writer w(64 + msg.payload.size());
+  w.u8(static_cast<std::uint8_t>(PduType::kAppData));
+  encode(w, msg);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const Request& rq) {
+  wire::Writer w(128);
+  w.u8(static_cast<std::uint8_t>(PduType::kRequest));
+  w.i64(rq.subrun);
+  w.i32(rq.from);
+  wire::put_seqs32(w, rq.last_processed);
+  wire::put_seqs32(w, rq.oldest_waiting);
+  encode_decision_body(w, rq.prev_decision);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const Decision& d) {
+  wire::Writer w(128);
+  w.u8(static_cast<std::uint8_t>(PduType::kDecision));
+  encode_decision_body(w, d);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const RecoverRq& rq) {
+  wire::Writer w(32);
+  w.u8(static_cast<std::uint8_t>(PduType::kRecoverRq));
+  w.i32(rq.from);
+  w.i32(rq.origin);
+  w.i64(rq.from_seq);
+  w.i64(rq.to_seq);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const ClientRq& rq) {
+  wire::Writer w(32 + rq.payload.size());
+  w.u8(static_cast<std::uint8_t>(PduType::kClientRq));
+  w.i32(rq.from);
+  wire::put_mids(w, rq.deps);
+  w.bytes(rq.payload);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp) {
+  wire::Writer w(64);
+  w.u8(static_cast<std::uint8_t>(PduType::kRecoverRsp));
+  w.i32(rsp.from);
+  w.i32(rsp.origin);
+  w.u32(static_cast<std::uint32_t>(rsp.messages.size()));
+  for (const AppMessage& msg : rsp.messages) encode(w, msg);
+  return std::move(w).take();
+}
+
+Result<Pdu, wire::DecodeError> decode_pdu(
+    std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  auto type = r.u8();
+  if (!type) return Unexpected(type.error());
+
+  switch (static_cast<PduType>(type.value())) {
+    case PduType::kAppData: {
+      auto msg = decode_app_message(r);
+      if (!msg) return Unexpected(msg.error());
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(msg).value()};
+    }
+    case PduType::kRequest: {
+      Request rq;
+      auto subrun = r.i64();
+      if (!subrun) return Unexpected(subrun.error());
+      rq.subrun = subrun.value();
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rq.from = from.value();
+      auto last_processed = wire::get_seqs32(r);
+      if (!last_processed) return Unexpected(last_processed.error());
+      rq.last_processed = std::move(last_processed).value();
+      auto oldest_waiting = wire::get_seqs32(r);
+      if (!oldest_waiting) return Unexpected(oldest_waiting.error());
+      rq.oldest_waiting = std::move(oldest_waiting).value();
+      auto prev = decode_decision_body(r);
+      if (!prev) return Unexpected(prev.error());
+      rq.prev_decision = std::move(prev).value();
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(rq)};
+    }
+    case PduType::kDecision: {
+      auto d = decode_decision_body(r);
+      if (!d) return Unexpected(d.error());
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(d).value()};
+    }
+    case PduType::kRecoverRq: {
+      RecoverRq rq;
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rq.from = from.value();
+      auto origin = r.i32();
+      if (!origin) return Unexpected(origin.error());
+      rq.origin = origin.value();
+      auto from_seq = r.i64();
+      if (!from_seq) return Unexpected(from_seq.error());
+      rq.from_seq = from_seq.value();
+      auto to_seq = r.i64();
+      if (!to_seq) return Unexpected(to_seq.error());
+      rq.to_seq = to_seq.value();
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{rq};
+    }
+    case PduType::kRecoverRsp: {
+      RecoverRsp rsp;
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rsp.from = from.value();
+      auto origin = r.i32();
+      if (!origin) return Unexpected(origin.error());
+      rsp.origin = origin.value();
+      auto count = r.u32();
+      if (!count) return Unexpected(count.error());
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto msg = decode_app_message(r);
+        if (!msg) return Unexpected(msg.error());
+        rsp.messages.push_back(std::move(msg).value());
+      }
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(rsp)};
+    }
+    case PduType::kClientRq: {
+      ClientRq rq;
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rq.from = from.value();
+      auto deps = wire::get_mids(r);
+      if (!deps) return Unexpected(deps.error());
+      rq.deps = std::move(deps).value();
+      auto payload = r.bytes();
+      if (!payload) return Unexpected(payload.error());
+      rq.payload = std::move(payload).value();
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(rq)};
+    }
+  }
+  return Unexpected(wire::DecodeError::kBadValue);
+}
+
+}  // namespace urcgc::core

@@ -1,0 +1,158 @@
+#pragma once
+// urcgc protocol data units and their wire formats.
+//
+// The DECISION layout mirrors the schema of the paper's Figure 2: per
+// originator, the stability bookkeeping (max_processed + most_updated,
+// min_waiting, accumulated cleaning minimum) and per process the failure
+// accounting (attempts, alive). A REQUEST embeds the freshest decision the
+// sender holds — that embedded copy is what makes decisions circulate
+// reliably across rotating coordinators with resilience t = (n-1)/2.
+//
+// Sizes reported by bench_table1_overhead are byte counts of these
+// encodings.
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/message.hpp"
+#include "wire/buffer.hpp"
+
+namespace urcgc::core {
+
+enum class PduType : std::uint8_t {
+  kAppData = 1,
+  kRequest = 2,
+  kDecision = 3,
+  kRecoverRq = 4,
+  kRecoverRsp = 5,
+  kClientRq = 6,
+};
+
+/// One agreed stability point: after the subrun that decided it, messages
+/// (q, s <= clean_upto[q]) are known processed by every active member.
+/// Boundaries are the building block of the total-order (urgc-companion)
+/// delivery layer: they partition the message space into globally agreed
+/// batches.
+struct StabilityBoundary {
+  SubrunId subrun = -1;
+  std::vector<Seq> clean_upto;
+
+  friend bool operator==(const StabilityBoundary&,
+                         const StabilityBoundary&) = default;
+};
+
+/// Coordinator decision (paper Section 4, Figure 2).
+struct Decision {
+  /// Subrun at which this decision was computed. Subrun -1 = the initial
+  /// decision every process boots with.
+  SubrunId decided_at = -1;
+  ProcessId coordinator = kNoProcess;
+
+  /// True when the stability minimum below covers the full set of active
+  /// processes and may therefore be used to clean histories.
+  bool full_group = false;
+
+  /// Per originator: histories may be purged up to this seq (inclusive)
+  /// when full_group is true.
+  std::vector<Seq> clean_upto;
+
+  /// Stability accumulation across coordinators: element-wise minimum of
+  /// last_processed over the processes in `heard`, gathered since the last
+  /// cleaning. Becomes clean_upto once `heard` covers the group.
+  std::vector<Seq> stable_acc;
+  std::vector<bool> heard;
+
+  /// Per originator: seq of the last message processed by the most updated
+  /// process, and who that process is — the target for history recovery.
+  std::vector<Seq> max_processed;
+  std::vector<ProcessId> most_updated;
+
+  /// Per originator: oldest seq waiting in any reporting process's waiting
+  /// list this subrun (kNoSeq = nobody is waiting). Drives the orphan cut.
+  std::vector<Seq> min_waiting;
+
+  /// Per process: consecutive subruns it failed to reach a coordinator.
+  std::vector<std::uint8_t> attempts;
+
+  /// Per process: group membership (process_state of the paper).
+  std::vector<bool> alive;
+
+  /// Total count of full_group stability decisions in this decision's
+  /// chain, and a bounded window of the most recent boundaries (oldest
+  /// first). Populated only when Config::track_stability_boundaries is on;
+  /// rides along every decision so a member that missed the stability
+  /// decision's datagram still learns the boundary from any later one.
+  std::int64_t stability_epoch = 0;
+  std::vector<StabilityBoundary> boundaries;
+
+  /// Maximum boundaries kept in the window.
+  static constexpr std::size_t kBoundaryWindow = 8;
+
+  [[nodiscard]] static Decision initial(int n);
+  [[nodiscard]] int n() const { return static_cast<int>(alive.size()); }
+  [[nodiscard]] int alive_count() const;
+
+  friend bool operator==(const Decision&, const Decision&) = default;
+};
+
+/// Per-subrun request a process sends to the current coordinator.
+struct Request {
+  SubrunId subrun = 0;
+  ProcessId from = kNoProcess;
+  /// last_processed[j]: contiguous processed prefix of p_j's sequence.
+  std::vector<Seq> last_processed;
+  /// oldest waiting seq per originator (kNoSeq = none waiting).
+  std::vector<Seq> oldest_waiting;
+  /// Freshest decision known to the sender.
+  Decision prev_decision;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Point-to-point history recovery: ask `target` for origin's messages in
+/// [from_seq, to_seq].
+struct RecoverRq {
+  ProcessId from = kNoProcess;
+  ProcessId origin = kNoProcess;
+  Seq from_seq = kNoSeq;
+  Seq to_seq = kNoSeq;
+
+  friend bool operator==(const RecoverRq&, const RecoverRq&) = default;
+};
+
+struct RecoverRsp {
+  ProcessId from = kNoProcess;
+  ProcessId origin = kNoProcess;
+  std::vector<AppMessage> messages;
+
+  friend bool operator==(const RecoverRsp&, const RecoverRsp&) = default;
+};
+
+/// Client-server structure: a client hands its payload (and the causal
+/// dependencies it declares) to its home server, which generates the
+/// message within its own sequence.
+struct ClientRq {
+  ProcessId from = kNoProcess;
+  std::vector<Mid> deps;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const ClientRq&, const ClientRq&) = default;
+};
+
+/// Any decodable urcgc PDU (AppMessage arrives as kAppData frames).
+using Pdu = std::variant<AppMessage, Request, Decision, RecoverRq, RecoverRsp,
+                         ClientRq>;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const AppMessage& msg);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const Request& rq);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const Decision& d);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const RecoverRq& rq);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const ClientRq& rq);
+
+[[nodiscard]] Result<Pdu, wire::DecodeError> decode_pdu(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace urcgc::core

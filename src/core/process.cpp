@@ -1,0 +1,465 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace urcgc::core {
+
+UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
+                           sim::Simulation& sim, net::Endpoint& endpoint,
+                           fault::FaultInjector& faults, Observer* observer)
+    : config_(config),
+      self_(self),
+      sim_(sim),
+      endpoint_(endpoint),
+      faults_(faults),
+      observer_(observer),
+      mt_(config, self, observer),
+      latest_(Decision::initial(config.n)),
+      recovery_attempts_(config.n, 0),
+      recovery_baseline_(config.n, kNoSeq) {
+  URCGC_ASSERT(self >= 0 && self < config.n);
+  URCGC_ASSERT(config.k_attempts >= 1);
+  URCGC_ASSERT(config.r_recovery >= 1);
+  URCGC_ASSERT_MSG(config.structure == GroupStructure::kPeer ||
+                       (config.server_count >= 1 &&
+                        config.server_count <= config.n),
+                   "non-peer structures need 1 <= server_count <= n");
+}
+
+void UrcgcProcess::start() {
+  URCGC_ASSERT_MSG(!started_, "start() called twice");
+  started_ = true;
+  endpoint_.set_upcall(
+      [this](ProcessId src, std::span<const std::uint8_t> bytes) {
+        on_datagram(src, bytes);
+      });
+  sim_.on_round([this](RoundId round) { on_round(round); });
+}
+
+bool UrcgcProcess::data_rq(std::vector<std::uint8_t> payload,
+                           std::vector<Mid> deps) {
+  if (halted_) return false;
+  if (!config_.is_server(self_)) {
+    switch (config_.structure) {
+      case GroupStructure::kDiffusion:
+        // Diffusion clients are pure receivers.
+        return false;
+      case GroupStructure::kClientServer: {
+        // Hand the payload to the home server, which generates it within
+        // its own sequence (paper Section 3: "through a proper management
+        // of the reply messages").
+        const auto home =
+            static_cast<ProcessId>(self_ % config_.server_count);
+        ClientRq rq{self_, std::move(deps), std::move(payload)};
+        send_pdu(home, encode_pdu(rq), stats::MsgClass::kAppData);
+        return true;
+      }
+      case GroupStructure::kPeer:
+        break;  // unreachable: every peer is a server
+    }
+  }
+  user_queue_.emplace_back(std::move(payload), std::move(deps));
+  return true;
+}
+
+void UrcgcProcess::set_deliver_ind(MtEntity::ProcessedFn fn) {
+  mt_.set_on_processed(std::move(fn));
+}
+
+Mid UrcgcProcess::last_processed_mid_of(ProcessId origin) const {
+  const Seq prefix = mt_.prefix(origin);
+  if (prefix == kNoSeq) return Mid{};
+  return Mid{origin, prefix};
+}
+
+bool UrcgcProcess::flow_blocked() const {
+  return config_.history_threshold > 0 &&
+         mt_.history_size() >= config_.history_threshold;
+}
+
+ProcessId UrcgcProcess::coordinator_of(SubrunId s) const {
+  const int n = config_.n;
+  for (int offset = 0; offset < n; ++offset) {
+    const auto candidate =
+        static_cast<ProcessId>((s + offset) % static_cast<SubrunId>(n));
+    if (latest_.alive[candidate]) return candidate;
+  }
+  return kNoProcess;  // everyone believed dead: the group is gone
+}
+
+void UrcgcProcess::on_round(RoundId round) {
+  if (halted_) return;
+  if (faults_.is_crashed(self_, sim_.now())) {
+    halt(HaltReason::kCrashFault);
+    return;
+  }
+  const SubrunId subrun = sim::RoundClock::subrun_of_round(round);
+  if (sim::RoundClock::is_request_round(round)) {
+    request_round(subrun);
+  } else {
+    decision_round(subrun);
+  }
+}
+
+void UrcgcProcess::request_round(SubrunId subrun) {
+  // Close the books on the previous subrun: did any decision reach us?
+  // "A process that fails to receive from K consecutive coordinators
+  // autonomously leaves the group" — but a subrun without a decision is
+  // only evidence of *our* receive failure when nothing else reached us
+  // either. When app messages or requests still flow, the missing decision
+  // is the coordinator's crash, which the algorithm absorbs by resuming the
+  // decision activity at the next subrun; counting those subruns would make
+  // the whole group desert after f >= K consecutive coordinator crashes.
+  if (subrun > 0) {
+    if (decision_seen_this_subrun_) {
+      missed_decisions_ = 0;
+    } else if (last_datagram_at_ < sim_.clock().subrun_start(subrun - 1)) {
+      ++missed_decisions_;
+      if (missed_decisions_ >= config_.k_attempts) {
+        halt(HaltReason::kNoCoordinator);
+        return;
+      }
+    }
+  }
+  decision_seen_this_subrun_ = false;
+
+  // Reset the coordinator inbox for the subrun we are entering; stale
+  // requests from a previous subrun must not leak into this decision.
+  if (inbox_subrun_ != subrun) {
+    inbox_.clear();
+    inbox_subrun_ = subrun;
+  }
+
+  issue_recoveries();
+  if (halted_) return;  // recovery exhaustion may have made us leave
+
+  generate_one(sim_.now());
+  send_request(subrun);
+}
+
+void UrcgcProcess::generate_one(Tick now) {
+  if (user_queue_.empty()) return;
+  if (flow_blocked()) {
+    ++counters_.flow_blocked_rounds;
+    if (observer_ != nullptr) observer_->on_flow_blocked(self_, now);
+    return;
+  }
+  auto [payload, user_deps] = std::move(user_queue_.front());
+  user_queue_.pop_front();
+
+  AppMessage msg;
+  const Seq seq = next_seq_++;
+  msg.mid = Mid{self_, seq};
+  msg.deps = build_deps(std::move(user_deps), seq);
+  msg.generated_at = now;
+  msg.payload = std::move(payload);
+
+  ++counters_.generated;
+  if (observer_ != nullptr) observer_->on_generated(self_, msg, now);
+
+  broadcast_pdu(encode_pdu(msg), stats::MsgClass::kAppData);
+  mt_.submit(msg, now);  // the sender processes its own message at once
+}
+
+std::vector<Mid> UrcgcProcess::build_deps(std::vector<Mid> user_deps,
+                                          Seq my_seq) const {
+  std::vector<Mid> deps = std::move(user_deps);
+  // Drop dependencies the protocol cannot honour: unknown origins and
+  // self-references to the present or future.
+  std::erase_if(deps, [&](const Mid& mid) {
+    return !mid.valid() || mid.origin < 0 || mid.origin >= config_.n ||
+           (mid.origin == self_ && mid.seq >= my_seq);
+  });
+
+  switch (config_.causality) {
+    case CausalityMode::kGeneral:
+      break;  // exactly what the user declared (Definition 3.1)
+    case CausalityMode::kIntermediate:
+      // One sequence per process: implicit dependency on own predecessor.
+      if (my_seq > 1) deps.push_back(Mid{self_, my_seq - 1});
+      break;
+    case CausalityMode::kTemporal:
+      // BSS91-style temporal causality: depend on the latest processed
+      // message of every originator.
+      for (ProcessId q = 0; q < config_.n; ++q) {
+        const Seq prefix = q == self_ ? my_seq - 1 : mt_.prefix(q);
+        if (prefix != kNoSeq) deps.push_back(Mid{q, prefix});
+      }
+      break;
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
+}
+
+void UrcgcProcess::send_request(SubrunId subrun) {
+  Request rq;
+  rq.subrun = subrun;
+  rq.from = self_;
+  rq.last_processed = mt_.last_processed_vec();
+  rq.oldest_waiting = mt_.oldest_waiting_vec();
+  rq.prev_decision = latest_;
+
+  const ProcessId coordinator = coordinator_of(subrun);
+  if (coordinator == kNoProcess) return;
+  if (coordinator == self_) {
+    handle_request(std::move(rq));  // no network hop to oneself
+    return;
+  }
+  send_pdu(coordinator, encode_pdu(rq), stats::MsgClass::kRequest);
+}
+
+void UrcgcProcess::decision_round(SubrunId subrun) {
+  // "At each round ... [a process] can broadcast a new message": the
+  // service's maximum rate is one message per round, so decision rounds
+  // carry user traffic too.
+  generate_one(sim_.now());
+  if (coordinator_of(subrun) == self_) {
+    act_as_coordinator(subrun);
+  }
+}
+
+void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
+  if (inbox_subrun_ != subrun) {
+    inbox_.clear();
+    inbox_subrun_ = subrun;
+  }
+
+  CoordinatorInputs inputs;
+  inputs.subrun = subrun;
+  inputs.coordinator = self_;
+  inputs.k_attempts = config_.k_attempts;
+  inputs.track_boundaries = config_.track_stability_boundaries;
+
+  // Freshest decision circulating: our own copy or one embedded in a
+  // request (resilience t=(n-1)/2 guarantees at least one fresh copy).
+  std::vector<const Decision*> candidates{&latest_};
+  for (const Request& rq : inbox_) {
+    candidates.push_back(&rq.prev_decision);
+  }
+  inputs.base = freshest(candidates);
+  inputs.requests = std::move(inbox_);
+  inbox_.clear();
+  inbox_subrun_ = -1;
+
+  Decision d = compute_decision(inputs);
+  ++counters_.decisions_made;
+  if (observer_ != nullptr) observer_->on_decision_made(self_, d, sim_.now());
+
+  broadcast_pdu(encode_pdu(d), stats::MsgClass::kDecision);
+  apply_decision(d);
+}
+
+void UrcgcProcess::apply_decision(const Decision& d) {
+  if (d.decided_at <= latest_.decided_at) return;  // stale or duplicate
+  latest_ = d;
+  decision_seen_this_subrun_ = true;
+  missed_decisions_ = 0;
+  ++counters_.decisions_applied;
+
+  if (!d.alive[self_]) {
+    // The group declared us crashed; an alive process that notices it is
+    // supposed dead commits suicide (paper Section 4).
+    halt(HaltReason::kSuicide);
+    return;
+  }
+
+  if (d.full_group) {
+    const std::size_t purged = mt_.clean(d.clean_upto);
+    if (purged > 0) {
+      ++counters_.cleanings;
+      if (observer_ != nullptr) {
+        observer_->on_history_cleaned(self_, purged, sim_.now());
+      }
+    }
+  }
+
+  // Total-order support: surface newly learned stability boundaries. The
+  // window rides along every decision, so even a member that missed the
+  // stability decision's own datagram catches up here.
+  if (stability_ind_ && d.stability_epoch > notified_epoch_) {
+    notified_epoch_ = d.stability_epoch;
+    stability_ind_(d);
+  }
+
+  // Orphan cut: a crashed originator whose oldest waiting message sits more
+  // than one past the best processed point means the gap messages died with
+  // their holders; everything depending on them must be destroyed.
+  for (ProcessId q = 0; q < config_.n; ++q) {
+    if (d.alive[q]) continue;
+    if (d.min_waiting[q] == kNoSeq) continue;
+    if (d.min_waiting[q] > d.max_processed[q] + 1) {
+      const auto discarded =
+          mt_.discard_orphans(q, d.max_processed[q] + 1, sim_.now());
+      counters_.orphans_discarded += discarded.size();
+    }
+  }
+}
+
+void UrcgcProcess::issue_recoveries() {
+  auto ranges = mt_.missing_ranges();
+
+  // The waiting list only reveals gaps that block received messages. The
+  // circulating decision reveals the rest: if the most updated process has
+  // processed further into origin q's sequence than our prefix, we are
+  // missing messages even though nothing waits on them locally (e.g. the
+  // final messages of a sender whose later traffic never reached us).
+  for (ProcessId q = 0; q < config_.n; ++q) {
+    const Seq advertised = latest_.max_processed[q];
+    const Seq prefix = mt_.prefix(q);
+    if (advertised == kNoSeq || advertised <= prefix) continue;
+    bool merged = false;
+    for (auto& range : ranges) {
+      if (range.origin == q) {
+        range.from_seq = std::min(range.from_seq, prefix + 1);
+        range.to_seq = std::max(range.to_seq, advertised);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) ranges.push_back({q, prefix + 1, advertised});
+  }
+
+  // Reset the attempt counter for origins that are no longer missing.
+  std::vector<bool> missing_now(config_.n, false);
+  for (const auto& range : ranges) missing_now[range.origin] = true;
+  for (ProcessId q = 0; q < config_.n; ++q) {
+    if (!missing_now[q]) {
+      recovery_attempts_[q] = 0;
+      recovery_baseline_[q] = mt_.prefix(q);
+    }
+  }
+
+  for (const auto& range : ranges) {
+    const ProcessId origin = range.origin;
+    // Progress since the last attempt resets the counter: R counts
+    // *unsuccessful* attempts.
+    if (mt_.prefix(origin) > recovery_baseline_[origin]) {
+      recovery_attempts_[origin] = 0;
+    }
+    recovery_baseline_[origin] = mt_.prefix(origin);
+
+    ++recovery_attempts_[origin];
+    if (recovery_attempts_[origin] > config_.r_recovery) {
+      // R fruitless attempts: leave the group autonomously.
+      halt(HaltReason::kRecoveryExhausted);
+      return;
+    }
+
+    // Target: the most updated process per the circulating decision; when
+    // no decision names one yet, fall back to the originator.
+    ProcessId target = latest_.max_processed[origin] >= range.from_seq
+                           ? latest_.most_updated[origin]
+                           : kNoProcess;
+    if (target == self_ || target == kNoProcess ||
+        !latest_.alive[target]) {
+      target = (origin != self_ && latest_.alive[origin]) ? origin
+                                                          : kNoProcess;
+    }
+    if (target == kNoProcess) continue;  // wait for the orphan cut
+
+    RecoverRq rq{self_, origin, range.from_seq, range.to_seq};
+    ++counters_.recoveries_issued;
+    if (observer_ != nullptr) {
+      observer_->on_recovery_attempt(self_, target, origin, sim_.now());
+    }
+    send_pdu(target, encode_pdu(rq), stats::MsgClass::kRecoverRq);
+  }
+}
+
+void UrcgcProcess::handle_request(Request rq) {
+  if (rq.subrun != inbox_subrun_) return;  // late or early: drop
+  inbox_.push_back(std::move(rq));
+}
+
+void UrcgcProcess::handle_recover_rq(const RecoverRq& rq) {
+  RecoverRsp rsp = mt_.serve_recovery(rq);
+  if (rsp.messages.empty()) return;  // nothing to offer
+  ++counters_.recoveries_served;
+  send_pdu(rq.from, encode_pdu(rsp), stats::MsgClass::kRecoverRsp);
+}
+
+void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
+  for (const AppMessage& msg : rsp.messages) {
+    mt_.submit(msg, sim_.now());
+  }
+}
+
+void UrcgcProcess::on_datagram(ProcessId src,
+                               std::span<const std::uint8_t> bytes) {
+  (void)src;
+  if (halted_) return;
+  if (faults_.is_crashed(self_, sim_.now())) {
+    halt(HaltReason::kCrashFault);
+    return;
+  }
+  last_datagram_at_ = sim_.now();
+  auto pdu = decode_pdu(bytes);
+  if (!pdu) {
+    URCGC_WARN("p" << self_ << ": undecodable PDU ("
+                   << wire::to_string(pdu.error()) << "), dropped");
+    return;
+  }
+  std::visit(
+      [this](auto&& payload) {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, AppMessage>) {
+          mt_.submit(payload, sim_.now());
+        } else if constexpr (std::is_same_v<T, Request>) {
+          handle_request(std::move(payload));
+        } else if constexpr (std::is_same_v<T, Decision>) {
+          apply_decision(payload);
+        } else if constexpr (std::is_same_v<T, RecoverRq>) {
+          handle_recover_rq(payload);
+        } else if constexpr (std::is_same_v<T, RecoverRsp>) {
+          handle_recover_rsp(payload);
+        } else if constexpr (std::is_same_v<T, ClientRq>) {
+          // Servers absorb client submissions into their own queue.
+          if (config_.structure == GroupStructure::kClientServer &&
+              config_.is_server(self_)) {
+            user_queue_.emplace_back(std::move(payload.payload),
+                                     std::move(payload.deps));
+          }
+        }
+      },
+      std::move(pdu).value());
+}
+
+void UrcgcProcess::halt(HaltReason reason) {
+  if (halted_) return;
+  halted_ = true;
+  halt_reason_ = reason;
+  if (reason != HaltReason::kCrashFault) {
+    // Suicides and voluntary leaves are silent to the network from now on;
+    // registering the crash with the injector makes the subnet drop traffic
+    // to/from us exactly like a fail-stop.
+    faults_.force_crash(self_, sim_.now());
+  }
+  if (observer_ != nullptr) observer_->on_halt(self_, reason, sim_.now());
+}
+
+void UrcgcProcess::send_pdu(ProcessId dst, std::vector<std::uint8_t> bytes,
+                            stats::MsgClass cls) {
+  if (observer_ != nullptr) {
+    observer_->on_sent(self_, cls, bytes.size(), sim_.now());
+  }
+  endpoint_.send(dst, std::move(bytes));
+}
+
+void UrcgcProcess::broadcast_pdu(std::vector<std::uint8_t> bytes,
+                                 stats::MsgClass cls) {
+  if (observer_ != nullptr) {
+    // n-unicast semantics: one message per other group member.
+    for (ProcessId q = 0; q < config_.n; ++q) {
+      if (q == self_) continue;
+      observer_->on_sent(self_, cls, bytes.size(), sim_.now());
+    }
+  }
+  endpoint_.broadcast(std::move(bytes));
+}
+
+}  // namespace urcgc::core

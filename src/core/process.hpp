@@ -1,0 +1,170 @@
+#pragma once
+// UrcgcProcess: one group member running the urcgc protocol.
+//
+// Composes the two sublayers of the paper's protocol architecture
+// (Section 5): the GMT sublayer (MtEntity — message processing, history,
+// recovery) and the GC sublayer implemented here — the per-round / per-
+// subrun engine:
+//
+//   request round (2s):   poll fail-stop faults; account missed decisions
+//                         (K misses => leave); issue history recovery
+//                         (R fruitless attempts => leave); generate at most
+//                         one user message (unless flow-controlled);
+//                         send REQUEST to the subrun's rotating coordinator.
+//   decision round (2s+1): the coordinator merges the requests it heard
+//                         with the freshest circulating decision, applies
+//                         and broadcasts the result.
+//   any time:             datagrams arrive — app messages, requests,
+//                         decisions, recovery PDUs.
+//
+// The user-facing SAP is data_rq(): payload plus optional explicit causal
+// dependencies, confirmed locally when the message is generated, with the
+// Indication surfacing through Observer::on_processed / the deliver_ind
+// callback on every member.
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/coordinator.hpp"
+#include "core/mt_entity.hpp"
+#include "core/observer.hpp"
+#include "core/pdu.hpp"
+#include "fault/injector.hpp"
+#include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::core {
+
+class UrcgcProcess {
+ public:
+  UrcgcProcess(const Config& config, ProcessId self, sim::Simulation& sim,
+               net::Endpoint& endpoint, fault::FaultInjector& faults,
+               Observer* observer = nullptr);
+
+  UrcgcProcess(const UrcgcProcess&) = delete;
+  UrcgcProcess& operator=(const UrcgcProcess&) = delete;
+
+  /// Registers the round handler and the datagram upcall. Call once, before
+  /// the simulation runs.
+  void start();
+
+  // ---- Service access point (urcgc_data_Rq) ----
+
+  /// Queues a payload for multicast. At most one queued message is
+  /// generated per round (the paper's maximum service rate). `deps` are the
+  /// user-declared causal predecessors; the causality mode may add implicit
+  /// ones (own predecessor under kIntermediate, everyone's last message
+  /// under kTemporal). Returns false if the process has halted.
+  bool data_rq(std::vector<std::uint8_t> payload, std::vector<Mid> deps = {});
+
+  /// Deliver indication (urcgc_data_Ind): invoked for every processed
+  /// message, own messages included.
+  void set_deliver_ind(MtEntity::ProcessedFn fn);
+
+  /// Invoked whenever the applied decision's stability epoch advances —
+  /// i.e. one or more new group-wide stability boundaries became known.
+  /// The decision's `boundaries` window holds the recent boundaries in
+  /// order. Requires Config::track_stability_boundaries.
+  using StabilityFn = std::function<void(const Decision&)>;
+  void set_stability_ind(StabilityFn fn) { stability_ind_ = std::move(fn); }
+
+  // ---- Introspection ----
+
+  [[nodiscard]] ProcessId id() const { return self_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] HaltReason halt_reason() const { return halt_reason_; }
+  [[nodiscard]] const MtEntity& mt() const { return mt_; }
+  [[nodiscard]] const Decision& latest_decision() const { return latest_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Mid of the last message of `origin` this process has processed in
+  /// contiguous order (invalid Mid if none) — what workloads use to declare
+  /// cross-process dependencies.
+  [[nodiscard]] Mid last_processed_mid_of(ProcessId origin) const;
+
+  [[nodiscard]] Seq next_seq() const { return next_seq_; }
+  [[nodiscard]] std::size_t pending_user_messages() const {
+    return user_queue_.size();
+  }
+  [[nodiscard]] bool flow_blocked() const;
+
+  /// Rotating coordinator of subrun s under this process's current view:
+  /// the first process at or cyclically after (s mod n) it believes alive.
+  [[nodiscard]] ProcessId coordinator_of(SubrunId s) const;
+
+  struct Counters {
+    std::uint64_t generated = 0;
+    std::uint64_t flow_blocked_rounds = 0;
+    std::uint64_t recoveries_issued = 0;
+    std::uint64_t recoveries_served = 0;
+    std::uint64_t decisions_made = 0;
+    std::uint64_t decisions_applied = 0;
+    std::uint64_t orphans_discarded = 0;
+    std::uint64_t cleanings = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void on_round(RoundId round);
+  void on_datagram(ProcessId src, std::span<const std::uint8_t> bytes);
+
+  void request_round(SubrunId subrun);
+  void decision_round(SubrunId subrun);
+  void generate_one(Tick now);
+  void send_request(SubrunId subrun);
+  void act_as_coordinator(SubrunId subrun);
+  void apply_decision(const Decision& d);
+  void issue_recoveries();
+
+  void handle_request(Request rq);
+  void handle_recover_rq(const RecoverRq& rq);
+  void handle_recover_rsp(const RecoverRsp& rsp);
+
+  void halt(HaltReason reason);
+  void send_pdu(ProcessId dst, std::vector<std::uint8_t> bytes,
+                stats::MsgClass cls);
+  void broadcast_pdu(std::vector<std::uint8_t> bytes, stats::MsgClass cls);
+
+  /// Builds the dependency list for a message about to carry (self, my_seq)
+  /// under the configured causality mode.
+  [[nodiscard]] std::vector<Mid> build_deps(std::vector<Mid> user_deps,
+                                            Seq my_seq) const;
+
+  Config config_;
+  ProcessId self_;
+  sim::Simulation& sim_;
+  net::Endpoint& endpoint_;
+  fault::FaultInjector& faults_;
+  Observer* observer_;
+  MtEntity mt_;
+
+  Decision latest_;
+  Seq next_seq_ = 1;
+  std::deque<std::pair<std::vector<std::uint8_t>, std::vector<Mid>>>
+      user_queue_;
+
+  // Coordinator inbox for the subrun currently being collected.
+  std::vector<Request> inbox_;
+  SubrunId inbox_subrun_ = -1;
+
+  // Failure-detection bookkeeping.
+  int missed_decisions_ = 0;
+  bool decision_seen_this_subrun_ = false;
+  Tick last_datagram_at_ = -1;
+
+  // Recovery bookkeeping (per origin).
+  std::vector<int> recovery_attempts_;
+  std::vector<Seq> recovery_baseline_;
+
+  bool halted_ = false;
+  HaltReason halt_reason_ = HaltReason::kNone;
+  bool started_ = false;
+  Counters counters_;
+  StabilityFn stability_ind_;
+  std::int64_t notified_epoch_ = 0;
+};
+
+}  // namespace urcgc::core

@@ -1,0 +1,108 @@
+#include "core/total_order.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace urcgc::core {
+
+namespace {
+
+/// Canonical tie-break inside a batch: lower seq first, then lower origin.
+/// Any deterministic rule works as long as every member applies the same
+/// one to the same (identical) batch.
+struct CanonicalLess {
+  bool operator()(const Mid& a, const Mid& b) const {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.origin < b.origin;
+  }
+};
+
+}  // namespace
+
+TotalOrderAdapter::TotalOrderAdapter(UrcgcProcess& process)
+    : process_(process),
+      delivered_upto_(process.config().n, kNoSeq) {
+  URCGC_ASSERT_MSG(process.config().track_stability_boundaries,
+                   "TotalOrderAdapter needs track_stability_boundaries");
+  process_.set_deliver_ind(
+      [this](const AppMessage& msg) { on_processed(msg); });
+  process_.set_stability_ind(
+      [this](const Decision& d) { on_stability(d); });
+}
+
+void TotalOrderAdapter::on_processed(const AppMessage& msg) {
+  if (causal_ind_) causal_ind_(msg);
+  buffer_.emplace(msg.mid, msg);
+}
+
+void TotalOrderAdapter::on_stability(const Decision& d) {
+  if (broken_) return;
+  const auto window = static_cast<std::int64_t>(d.boundaries.size());
+  const std::int64_t first_epoch = d.stability_epoch - window + 1;
+  if (epoch_done_ + 1 < first_epoch) {
+    // Boundaries slid past us: the batches between epoch_done_ and
+    // first_epoch were merged beyond reconstruction. Refuse to guess.
+    broken_ = true;
+    URCGC_WARN("p" << process_.id() << ": total-order boundary gap ("
+                   << epoch_done_ << " -> " << first_epoch
+                   << "), stopping total delivery");
+    return;
+  }
+  for (std::int64_t i = 0; i < window; ++i) {
+    const std::int64_t epoch = first_epoch + i;
+    if (epoch <= epoch_done_) continue;  // already delivered
+    deliver_batch(d.boundaries[i].clean_upto);
+    epoch_done_ = epoch;
+  }
+}
+
+void TotalOrderAdapter::deliver_batch(const std::vector<Seq>& upto) {
+  const int n = process_.config().n;
+  URCGC_ASSERT(static_cast<int>(upto.size()) == n);
+
+  // Collect the batch: per origin, (delivered_upto, upto].
+  std::set<Mid, CanonicalLess> batch;
+  for (ProcessId q = 0; q < n; ++q) {
+    for (Seq s = delivered_upto_[q] + 1; s <= upto[q]; ++s) {
+      const Mid mid{q, s};
+      // Stability guarantees we processed it, hence buffered it.
+      URCGC_ASSERT_MSG(buffer_.contains(mid),
+                       "stable message missing from total-order buffer");
+      batch.insert(mid);
+    }
+  }
+
+  // Deterministic topological order: repeatedly deliver the canonical-
+  // least message whose in-batch dependencies are all delivered. The batch
+  // is small (one stability window) so the quadratic sweep is fine and
+  // keeps the rule obviously identical across members.
+  std::set<Mid, CanonicalLess> remaining = batch;
+  while (!remaining.empty()) {
+    bool progressed = false;
+    for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+      const AppMessage& msg = buffer_.at(*it);
+      const bool ready = std::none_of(
+          msg.deps.begin(), msg.deps.end(),
+          [&](const Mid& dep) { return remaining.contains(dep); });
+      if (!ready) continue;
+      log_.push_back(*it);
+      if (total_ind_) total_ind_(msg);
+      buffer_.erase(*it);
+      remaining.erase(it);
+      progressed = true;
+      break;
+    }
+    // The declared dependency relation is acyclic, so progress is certain.
+    URCGC_ASSERT_MSG(progressed, "cycle in stable batch");
+  }
+
+  for (ProcessId q = 0; q < n; ++q) {
+    delivered_upto_[q] = std::max(delivered_upto_[q], upto[q]);
+  }
+}
+
+}  // namespace urcgc::core

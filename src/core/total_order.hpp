@@ -1,0 +1,83 @@
+#pragma once
+// Totally ordered delivery on top of urcgc — the service of the authors'
+// companion urgc algorithm [APR93], reconstructed here as an optional
+// layer (the paper positions urcgc and urgc as the causal and total
+// variants of the same machinery).
+//
+// Principle: the rotating coordinators' full_group stability decisions
+// already define a group-wide agreed sequence of *stability boundaries*;
+// every boundary pins a batch of messages that all active members have
+// processed. Delivering each batch in a deterministic topological order
+// (dependencies first, ties by (seq, origin)) therefore yields the same
+// total order at every member — at the price of waiting for stability,
+// which the total-order ablation bench quantifies against plain causal
+// delivery.
+//
+// Boundary continuity: decisions carry a window of the most recent
+// Decision::kBoundaryWindow boundaries, so missing a stability decision's
+// datagram is harmless as long as the member sees *some* decision before
+// the window slides past. A member that falls further behind cannot
+// sequence its backlog consistently; the adapter then reports itself
+// `broken()` and stops total delivery rather than risk misordering
+// (causal delivery through the underlying process is unaffected).
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/message.hpp"
+#include "core/process.hpp"
+
+namespace urcgc::core {
+
+class TotalOrderAdapter {
+ public:
+  using TotalInd = std::function<void(const AppMessage&)>;
+
+  /// Hooks the process's deliver/stability indications. The process must
+  /// have Config::track_stability_boundaries enabled and must not have
+  /// other deliver_ind users (the adapter owns the hook; use
+  /// set_causal_ind for a pass-through).
+  explicit TotalOrderAdapter(UrcgcProcess& process);
+
+  /// Totally ordered delivery (fires once per message, same order at every
+  /// member).
+  void set_total_ind(TotalInd fn) { total_ind_ = std::move(fn); }
+
+  /// Optional pass-through of the underlying causal indication.
+  void set_causal_ind(MtEntity::ProcessedFn fn) {
+    causal_ind_ = std::move(fn);
+  }
+
+  /// True when a boundary gap exceeded the decision window and total
+  /// delivery had to stop (this member's total order can no longer be
+  /// guaranteed consistent).
+  [[nodiscard]] bool broken() const { return broken_; }
+
+  /// Messages delivered in total order so far.
+  [[nodiscard]] const std::vector<Mid>& total_log() const { return log_; }
+
+  /// Messages processed causally but not yet covered by a stability
+  /// boundary (the total-order latency backlog).
+  [[nodiscard]] std::size_t backlog() const { return buffer_.size(); }
+
+  [[nodiscard]] std::int64_t epoch() const { return epoch_done_; }
+
+ private:
+  void on_processed(const AppMessage& msg);
+  void on_stability(const Decision& d);
+  void deliver_batch(const std::vector<Seq>& upto);
+
+  UrcgcProcess& process_;
+  TotalInd total_ind_;
+  MtEntity::ProcessedFn causal_ind_;
+
+  std::unordered_map<Mid, AppMessage> buffer_;
+  std::vector<Seq> delivered_upto_;  // per origin, total-delivered prefix
+  std::vector<Mid> log_;
+  std::int64_t epoch_done_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace urcgc::core

@@ -1,0 +1,76 @@
+#include "fault/injector.hpp"
+
+namespace urcgc::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
+    : plan_(std::move(plan)),
+      rng_(rng),
+      send_counter_(plan_.per_process.size(), 0),
+      recv_counter_(plan_.per_process.size(), 0) {}
+
+bool FaultInjector::is_crashed(ProcessId p, Tick now) const {
+  const Tick at = plan_.per_process.at(p).crash_at;
+  return at != kNoTick && now >= at;
+}
+
+bool FaultInjector::drop_on_send(ProcessId from, Tick now) {
+  if (is_crashed(from, now)) {
+    ++counters_.blocked_by_crash;
+    return true;
+  }
+  if (!plan_.in_window(now)) return false;
+  const auto& f = plan_.per_process.at(from);
+  if (f.send_omission_every > 0 &&
+      ++send_counter_[from] % f.send_omission_every == 0) {
+    ++counters_.send_omissions;
+    return true;
+  }
+  if (rng_.bernoulli(f.send_omission_prob)) {
+    ++counters_.send_omissions;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop_on_hop(ProcessId to, Tick now) {
+  if (is_crashed(to, now)) {
+    ++counters_.blocked_by_crash;
+    return true;
+  }
+  if (!plan_.in_window(now)) return false;
+  if (plan_.network.packet_loss_every > 0 &&
+      ++net_counter_ % plan_.network.packet_loss_every == 0) {
+    ++counters_.packet_losses;
+    return true;
+  }
+  if (rng_.bernoulli(plan_.network.packet_loss_prob)) {
+    ++counters_.packet_losses;
+    return true;
+  }
+  const auto& f = plan_.per_process.at(to);
+  if (f.recv_omission_every > 0 &&
+      ++recv_counter_[to] % f.recv_omission_every == 0) {
+    ++counters_.recv_omissions;
+    return true;
+  }
+  if (rng_.bernoulli(f.recv_omission_prob)) {
+    ++counters_.recv_omissions;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::partitioned(ProcessId from, ProcessId to,
+                                Tick now) const {
+  for (const Partition& partition : plan_.partitions) {
+    if (partition.active(now) && partition.separates(from, to)) return true;
+  }
+  return false;
+}
+
+void FaultInjector::force_crash(ProcessId p, Tick now) {
+  auto& at = plan_.per_process.at(p).crash_at;
+  if (at == kNoTick || at > now) at = now;
+}
+
+}  // namespace urcgc::fault

@@ -1,0 +1,68 @@
+#pragma once
+// FaultInjector: runtime interpreter of a FaultPlan.
+//
+// The network asks three questions per packet — did the sender omit, did
+// the subnet drop, did the receiver omit — and whether either endpoint is
+// crashed. Protocol nodes additionally poll is_crashed() at round
+// boundaries to halt their own execution (fail-stop semantics).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/plan.hpp"
+
+namespace urcgc::fault {
+
+struct FaultCounters {
+  std::uint64_t send_omissions = 0;
+  std::uint64_t recv_omissions = 0;
+  std::uint64_t packet_losses = 0;
+  std::uint64_t blocked_by_crash = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, Rng rng);
+
+  [[nodiscard]] std::size_t group_size() const {
+    return plan_.per_process.size();
+  }
+
+  [[nodiscard]] bool is_crashed(ProcessId p, Tick now) const;
+
+  /// Earliest crash time for p, or kNoTick.
+  [[nodiscard]] Tick crash_time(ProcessId p) const {
+    return plan_.per_process.at(p).crash_at;
+  }
+
+  /// Called once per outgoing message (before fan-out): true = sender
+  /// omitted the whole send. Send is not indivisible (paper Section 3), so
+  /// per-destination omission is decided separately in drop_on_hop.
+  [[nodiscard]] bool drop_on_send(ProcessId from, Tick now);
+
+  /// Called per (packet, destination) hop: subnet loss then receive
+  /// omission. True = drop this copy only.
+  [[nodiscard]] bool drop_on_hop(ProcessId to, Tick now);
+
+  /// True when an active partition separates the two endpoints.
+  [[nodiscard]] bool partitioned(ProcessId from, ProcessId to,
+                                 Tick now) const;
+
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Dynamically crash a process (used to model "commit suicide").
+  void force_crash(ProcessId p, Tick now);
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultCounters counters_;
+  std::vector<std::int64_t> send_counter_;
+  std::vector<std::int64_t> recv_counter_;
+  std::int64_t net_counter_ = 0;
+};
+
+}  // namespace urcgc::fault

@@ -1,0 +1,122 @@
+#pragma once
+// Declarative fault plans for the general omission failure model (paper
+// Section 3): a process fails either by crashing (fail-stop) or by omitting
+// to send or receive a subset of messages; the same model covers subnetwork
+// packet loss and local buffer overflow.
+//
+// Plans are built by the harness from an ExperimentConfig and interpreted
+// by the FaultInjector, which the simulated network consults on every hop.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace urcgc::fault {
+
+struct ProcessFaults {
+  /// Fail-stop instant; kNoTick = never crashes.
+  Tick crash_at = kNoTick;
+
+  /// Probabilistic omission rates (paper's "1/500" = 0.002 etc.).
+  double send_omission_prob = 0.0;
+  double recv_omission_prob = 0.0;
+
+  /// Deterministic omission: drop every Nth message (0 = disabled). Useful
+  /// for exactly reproducing "one omission each 500 messages".
+  std::int64_t send_omission_every = 0;
+  std::int64_t recv_omission_every = 0;
+};
+
+struct NetworkFaults {
+  /// Per-packet subnetwork loss.
+  double packet_loss_prob = 0.0;
+  std::int64_t packet_loss_every = 0;
+};
+
+/// Temporary network partition: while active, packets between the two
+/// sides are dropped in both directions. Exercises the paper's resilience
+/// assumption t = (n-1)/2: a minority side cannot gather decisions and
+/// self-excludes; the majority side continues.
+struct Partition {
+  std::vector<bool> side_a;  // size n; true = side A, false = side B
+  Tick start = 0;
+  Tick end = kNoTick;  // kNoTick = permanent
+
+  [[nodiscard]] bool active(Tick now) const {
+    if (now < start) return false;
+    return end == kNoTick || now < end;
+  }
+  [[nodiscard]] bool separates(ProcessId a, ProcessId b) const {
+    return side_a.at(a) != side_a.at(b);
+  }
+};
+
+struct FaultPlan {
+  std::vector<ProcessFaults> per_process;
+  NetworkFaults network;
+  std::vector<Partition> partitions;
+
+  /// Omissions (not crashes) only fire inside [window_start, window_end).
+  /// Default window is unbounded. Figure 6 confines failures to the first
+  /// 5 rtd of the run.
+  Tick window_start = 0;
+  Tick window_end = kNoTick;  // kNoTick = open-ended
+
+  explicit FaultPlan(std::size_t n = 0) : per_process(n) {}
+
+  FaultPlan& crash(ProcessId p, Tick at) {
+    per_process.at(p).crash_at = at;
+    return *this;
+  }
+
+  FaultPlan& send_omissions(ProcessId p, double prob) {
+    per_process.at(p).send_omission_prob = prob;
+    return *this;
+  }
+
+  FaultPlan& recv_omissions(ProcessId p, double prob) {
+    per_process.at(p).recv_omission_prob = prob;
+    return *this;
+  }
+
+  /// Applies a symmetric omission probability to every process, the common
+  /// configuration behind the paper's 1/500 and 1/100 curves.
+  FaultPlan& uniform_omissions(double prob) {
+    for (auto& f : per_process) {
+      f.send_omission_prob = prob;
+      f.recv_omission_prob = prob;
+    }
+    return *this;
+  }
+
+  FaultPlan& packet_loss(double prob) {
+    network.packet_loss_prob = prob;
+    return *this;
+  }
+
+  FaultPlan& fault_window(Tick start, Tick end) {
+    window_start = start;
+    window_end = end;
+    return *this;
+  }
+
+  /// Splits the group: processes in `side_a_members` vs everyone else,
+  /// during [start, end).
+  FaultPlan& partition(const std::vector<ProcessId>& side_a_members,
+                       Tick start, Tick end) {
+    Partition p;
+    p.side_a.assign(per_process.size(), false);
+    for (ProcessId member : side_a_members) p.side_a.at(member) = true;
+    p.start = start;
+    p.end = end;
+    partitions.push_back(std::move(p));
+    return *this;
+  }
+
+  [[nodiscard]] bool in_window(Tick now) const {
+    if (now < window_start) return false;
+    return window_end == kNoTick || now < window_end;
+  }
+};
+
+}  // namespace urcgc::fault

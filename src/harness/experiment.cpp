@@ -1,0 +1,339 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "causal/graph.hpp"
+#include "common/assert.hpp"
+#include "core/process.hpp"
+#include "net/endpoint.hpp"
+#include "sim/clock.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::harness {
+
+namespace {
+
+/// Observer that feeds the report's metric structures.
+class Recorder final : public core::Observer {
+ public:
+  Recorder(Tick ticks_per_rtd, core::Observer* extra)
+      : ticks_per_rtd_(ticks_per_rtd), extra_(extra) {}
+
+  void on_generated(ProcessId p, const core::AppMessage& msg,
+                    Tick at) override {
+    delays_.on_generated(msg.mid, at);
+    graph_.add(msg.mid, msg.deps);
+    ++generated_;
+    if (extra_ != nullptr) extra_->on_generated(p, msg, at);
+  }
+
+  void on_processed(ProcessId p, const core::AppMessage& msg,
+                    Tick at) override {
+    delays_.on_processed(msg.mid, p, at);
+    if (extra_ != nullptr) extra_->on_processed(p, msg, at);
+  }
+
+  void on_sent(ProcessId p, stats::MsgClass cls, std::size_t bytes,
+               Tick at) override {
+    traffic_.record(cls, bytes);
+    if (extra_ != nullptr) extra_->on_sent(p, cls, bytes, at);
+  }
+
+  void on_decision_made(ProcessId coordinator, const core::Decision& d,
+                        Tick at) override {
+    DecisionEvent event;
+    event.subrun = d.decided_at;
+    event.at = at;
+    event.coordinator = coordinator;
+    event.full_group = d.full_group;
+    event.alive_count = d.alive_count();
+    event.alive = d.alive;
+    decisions_.push_back(std::move(event));
+    if (extra_ != nullptr) extra_->on_decision_made(coordinator, d, at);
+  }
+
+  void on_halt(ProcessId p, core::HaltReason reason, Tick at) override {
+    halts_.push_back({p, reason, at});
+    if (extra_ != nullptr) extra_->on_halt(p, reason, at);
+  }
+
+  void on_discarded(ProcessId p, const Mid& mid, Tick at) override {
+    ++discarded_;
+    if (extra_ != nullptr) extra_->on_discarded(p, mid, at);
+  }
+
+  void on_history_cleaned(ProcessId p, std::size_t purged,
+                          Tick at) override {
+    if (extra_ != nullptr) extra_->on_history_cleaned(p, purged, at);
+  }
+
+  void on_recovery_attempt(ProcessId p, ProcessId target, ProcessId origin,
+                           Tick at) override {
+    if (extra_ != nullptr) extra_->on_recovery_attempt(p, target, origin, at);
+  }
+
+  void on_flow_blocked(ProcessId p, Tick at) override {
+    if (extra_ != nullptr) extra_->on_flow_blocked(p, at);
+  }
+
+  stats::DelayTracker delays_;
+  stats::TrafficAccountant traffic_;
+  causal::CausalGraph graph_;
+  std::vector<DecisionEvent> decisions_;
+  std::vector<HaltEvent> halts_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t discarded_ = 0;
+  Tick ticks_per_rtd_;
+  core::Observer* extra_;
+};
+
+stats::Summary to_rtd_summary(std::vector<double> ticks, Tick per_rtd) {
+  for (double& v : ticks) v /= static_cast<double>(per_rtd);
+  return stats::summarize(ticks);
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  URCGC_ASSERT(config_.protocol.n >= 2);
+  URCGC_ASSERT(config_.round_ticks > config_.net.max_latency);
+}
+
+ExperimentReport Experiment::run() {
+  const int n = config_.protocol.n;
+  const sim::RoundClock clock(config_.round_ticks);
+  const Tick per_rtd = clock.ticks_per_rtd();
+
+  // --- Fault plan -----------------------------------------------------
+  Rng master(config_.seed);
+  fault::FaultPlan plan(n);
+  plan.uniform_omissions(config_.faults.omission_prob);
+  plan.packet_loss(config_.faults.packet_loss);
+  for (const auto& [p, at] : config_.faults.crashes) plan.crash(p, at);
+  if (config_.faults.window_end_rtd >= 0.0) {
+    plan.fault_window(
+        static_cast<Tick>(config_.faults.window_start_rtd *
+                          static_cast<double>(per_rtd)),
+        static_cast<Tick>(config_.faults.window_end_rtd *
+                          static_cast<double>(per_rtd)));
+  }
+  // Coordinator crash storm (Figure 5): the coordinator of each targeted
+  // subrun dies exactly at its decision round, before broadcasting. The
+  // storm assumes distinct victims, which holds while f < n.
+  for (int i = 0; i < config_.faults.coordinator_crashes; ++i) {
+    const SubrunId s = config_.faults.coordinator_crash_start + i;
+    const auto victim = static_cast<ProcessId>(s % n);
+    plan.crash(victim, clock.round_start(2 * s + 1));
+  }
+
+  fault::FaultInjector injector(plan, master.fork(0x0FA17));
+
+  // --- System assembly ------------------------------------------------
+  sim::Simulation sim(clock);
+  net::Network network(sim, injector, config_.net, master.fork(0x0E7));
+  Recorder recorder(per_rtd, config_.extra_observer);
+
+  std::vector<std::unique_ptr<net::Endpoint>> endpoints;
+  std::vector<net::TransportEndpoint*> transports;
+  std::vector<std::unique_ptr<core::UrcgcProcess>> processes;
+  endpoints.reserve(n);
+  processes.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (config_.use_transport) {
+      auto transport = std::make_unique<net::TransportEndpoint>(
+          network, p, config_.transport);
+      transports.push_back(transport.get());
+      endpoints.push_back(std::move(transport));
+    } else {
+      endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+    }
+    processes.push_back(std::make_unique<core::UrcgcProcess>(
+        config_.protocol, p, sim, *endpoints.back(), injector, &recorder));
+  }
+
+  workload::LoadGenerator::Hooks hooks;
+  hooks.submit = [&](ProcessId p, std::vector<std::uint8_t> payload,
+                     std::vector<Mid> deps) {
+    return processes[p]->data_rq(std::move(payload), std::move(deps));
+  };
+  hooks.active = [&](ProcessId p) {
+    return !processes[p]->halted() && !injector.is_crashed(p, sim.now());
+  };
+  hooks.pending = [&](ProcessId p) {
+    return static_cast<std::int64_t>(processes[p]->pending_user_messages());
+  };
+  hooks.last_processed = [&](ProcessId p, ProcessId origin) {
+    return processes[p]->last_processed_mid_of(origin);
+  };
+  workload::LoadGenerator load(n, config_.workload, std::move(hooks),
+                               master.fork(0x10AD));
+
+  // Registration order fixes intra-round execution order: workload first
+  // (so submissions are visible to this round's generation), processes
+  // next, samplers last (so series reflect post-round state).
+  sim.on_round([&](RoundId round) { load.on_round(round); });
+  for (auto& process : processes) process->start();
+
+  ExperimentReport report;
+  sim.on_round([&](RoundId round) {
+    double hist_max = 0.0;
+    double hist_sum = 0.0;
+    double wait_max = 0.0;
+    int alive = 0;
+    for (const auto& process : processes) {
+      if (process->halted()) continue;
+      ++alive;
+      const auto h = static_cast<double>(process->mt().history_size());
+      const auto w = static_cast<double>(process->mt().waiting_size());
+      hist_max = std::max(hist_max, h);
+      hist_sum += h;
+      wait_max = std::max(wait_max, w);
+    }
+    const Tick at = clock.round_start(round);
+    report.history_max.record(at, hist_max);
+    report.history_avg.record(at, alive > 0 ? hist_sum / alive : 0.0);
+    report.waiting_max.record(at, wait_max);
+  });
+
+  // --- Run -------------------------------------------------------------
+  const auto limit = static_cast<Tick>(config_.limit_rtd *
+                                       static_cast<double>(per_rtd));
+  const auto quiescent = [&] {
+    if (!load.exhausted()) return false;
+    for (const auto& process : processes) {
+      if (process->halted()) continue;
+      if (process->pending_user_messages() > 0) return false;
+      if (process->mt().waiting_size() > 0) return false;
+      if (!process->mt().missing_ranges().empty()) return false;
+      // Gaps advertised by the circulating decision count as outstanding
+      // work too (the process will issue recovery for them).
+      const auto& d = process->latest_decision();
+      for (ProcessId q = 0; q < n; ++q) {
+        if (d.max_processed[q] != kNoSeq &&
+            d.max_processed[q] > process->mt().prefix(q)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  Tick stopped_at = sim.run_until_quiescent(limit, quiescent);
+  report.quiescent = quiescent();
+  if (report.quiescent && config_.grace_subruns > 0) {
+    const Tick grace_end =
+        stopped_at + config_.grace_subruns * clock.ticks_per_subrun();
+    stopped_at = sim.run_until(std::min(grace_end, limit));
+  }
+
+  // --- Report assembly --------------------------------------------------
+  report.workload_exhausted = load.exhausted();
+  report.end_tick = stopped_at;
+  report.end_rtd = clock.to_rtd(stopped_at);
+  report.submitted = load.submitted();
+  report.generated = recorder.generated_;
+  report.processed_events = recorder.delays_.processed_events();
+  report.discarded = recorder.discarded_;
+  report.delay_rtd = to_rtd_summary(recorder.delays_.delays_ticks(), per_rtd);
+  report.completion_rtd =
+      to_rtd_summary(recorder.delays_.completion_ticks(), per_rtd);
+  report.traffic = recorder.traffic_;
+  for (net::TransportEndpoint* transport : transports) {
+    const auto& ts = transport->stats();
+    for (std::uint64_t i = 0; i < ts.acks_sent; ++i) {
+      report.traffic.record(stats::MsgClass::kTransportAck, 9);
+    }
+  }
+  report.net_stats = network.stats();
+  report.fault_counters = injector.counters();
+  report.decisions = std::move(recorder.decisions_);
+  report.halts = std::move(recorder.halts_);
+
+  report.processes.reserve(n);
+  for (const auto& process : processes) {
+    ProcessEndState state;
+    state.halted = process->halted();
+    state.reason = process->halt_reason();
+    state.processed = process->mt().processing_log().size();
+    state.history = process->mt().history_size();
+    state.waiting = process->mt().waiting_size();
+    state.flow_blocked_rounds = process->counters().flow_blocked_rounds;
+    report.processes.push_back(state);
+  }
+
+  // --- URCGC clause validation ------------------------------------------
+  report.acyclic_ok = recorder.graph_.acyclic();
+  if (!report.acyclic_ok) {
+    report.violations.push_back("dependency graph contains a cycle");
+  }
+
+  report.ordering_ok = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& log = processes[p]->mt().processing_log();
+    if (auto bad = recorder.graph_.first_order_violation(log)) {
+      report.ordering_ok = false;
+      std::ostringstream os;
+      os << "p" << p << " processed " << to_string(*bad)
+         << " before one of its causal predecessors";
+      report.violations.push_back(os.str());
+    }
+  }
+
+  // Uniform atomicity among survivors: every process alive at the end must
+  // have processed exactly the same message set. (Messages held only by
+  // processes that crashed are allowed to vanish — Theorem 4.1's surviving
+  // interpretation — but no survivor may have a message another survivor
+  // lacks.)
+  report.atomicity_ok = true;
+  std::vector<ProcessId> survivors;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!processes[p]->halted()) survivors.push_back(p);
+  }
+  if (!survivors.empty()) {
+    std::set<Mid> reference(
+        processes[survivors.front()]->mt().processing_log().begin(),
+        processes[survivors.front()]->mt().processing_log().end());
+    for (std::size_t i = 1; i < survivors.size(); ++i) {
+      const auto& log = processes[survivors[i]]->mt().processing_log();
+      std::set<Mid> mine(log.begin(), log.end());
+      if (mine != reference) {
+        report.atomicity_ok = false;
+        std::vector<Mid> diff;
+        std::set_symmetric_difference(reference.begin(), reference.end(),
+                                      mine.begin(), mine.end(),
+                                      std::back_inserter(diff));
+        std::ostringstream os;
+        os << "survivors p" << survivors.front() << " and p" << survivors[i]
+           << " disagree on " << diff.size() << " message(s), first "
+           << (diff.empty() ? std::string("?") : to_string(diff.front()));
+        report.violations.push_back(os.str());
+      }
+    }
+  }
+
+  return report;
+}
+
+double ExperimentReport::recovery_time_rtd(
+    const std::vector<ProcessId>& crashed, Tick first_crash_tick,
+    Tick ticks_per_rtd) const {
+  for (const DecisionEvent& event : decisions) {
+    if (event.at < first_crash_tick) continue;
+    if (!event.full_group) continue;
+    const bool all_marked = std::all_of(
+        crashed.begin(), crashed.end(),
+        [&](ProcessId p) { return !event.alive[p]; });
+    if (all_marked) {
+      return static_cast<double>(event.at - first_crash_tick) /
+             static_cast<double>(ticks_per_rtd);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace urcgc::harness

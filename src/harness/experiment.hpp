@@ -1,0 +1,154 @@
+#pragma once
+// Experiment harness: builds a full system (simulator, faulty network,
+// group of urcgc processes, workload), runs it to quiescence, validates the
+// URCGC correctness clauses over the run, and returns a structured report.
+// Every bench and integration test goes through this one entry point.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/observer.hpp"
+#include "fault/injector.hpp"
+#include "net/network.hpp"
+#include "net/transport.hpp"
+#include "stats/metrics.hpp"
+#include "stats/summary.hpp"
+#include "workload/workload.hpp"
+
+namespace urcgc::harness {
+
+/// Declarative fault scenario, translated into a fault::FaultPlan.
+struct FaultSpec {
+  /// Explicit crash schedule.
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+
+  /// Uniform send+receive omission probability on every process.
+  double omission_prob = 0.0;
+
+  /// Subnet packet loss probability.
+  double packet_loss = 0.0;
+
+  /// Omission fault window in rtd units ([0, open) by default). Figure 6
+  /// confines failures to the first 5 rtd.
+  double window_start_rtd = 0.0;
+  double window_end_rtd = -1.0;  // < 0: open-ended
+
+  /// Crash storm over f consecutive coordinators (Figure 5): coordinator of
+  /// subrun (start + i) crashes right at its decision round, before it can
+  /// broadcast, for i = 0..f-1.
+  int coordinator_crashes = 0;
+  SubrunId coordinator_crash_start = 2;
+};
+
+struct ExperimentConfig {
+  core::Config protocol;
+  workload::WorkloadConfig workload;
+  FaultSpec faults;
+  /// One hop takes most of a round, so a request+decision exchange fills
+  /// the subrun — the paper's "subrun as long as the round trip delay".
+  net::NetConfig net{.min_latency = 5, .max_latency = 9};
+
+  /// Mount urcgc on the retransmitting transport of paper Section 5
+  /// instead of raw datagrams (h = 1). Moves loss repair from the
+  /// history-recovery path down into the transport; the ablation bench
+  /// quantifies the trade.
+  bool use_transport = false;
+  net::TransportConfig transport{.max_retries = 3, .retry_interval = 20};
+  Tick round_ticks = 10;
+
+  /// Optional second observer (e.g. a trace::TraceRecorder) that receives
+  /// every protocol event alongside the harness's metric recorder.
+  core::Observer* extra_observer = nullptr;
+  /// Hard simulation stop, in rtd (subruns).
+  double limit_rtd = 5000.0;
+  /// Extra subruns executed after first quiescence so stability decisions
+  /// and final cleanings settle.
+  int grace_subruns = 8;
+  std::uint64_t seed = 1;
+};
+
+struct DecisionEvent {
+  SubrunId subrun = 0;
+  Tick at = 0;
+  ProcessId coordinator = kNoProcess;
+  bool full_group = false;
+  int alive_count = 0;
+  std::vector<bool> alive;
+};
+
+struct HaltEvent {
+  ProcessId p = kNoProcess;
+  core::HaltReason reason = core::HaltReason::kNone;
+  Tick at = 0;
+};
+
+struct ProcessEndState {
+  bool halted = false;
+  core::HaltReason reason = core::HaltReason::kNone;
+  std::size_t processed = 0;
+  std::size_t history = 0;
+  std::size_t waiting = 0;
+  std::uint64_t flow_blocked_rounds = 0;
+};
+
+struct ExperimentReport {
+  // Outcome.
+  bool workload_exhausted = false;
+  bool quiescent = false;
+  Tick end_tick = 0;
+  double end_rtd = 0.0;
+  std::int64_t submitted = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t processed_events = 0;
+  std::uint64_t discarded = 0;
+
+  // Delay metrics in rtd units (Figure 4).
+  stats::Summary delay_rtd;
+  stats::Summary completion_rtd;
+
+  // Traffic (Table 1) and substrate accounting.
+  stats::TrafficAccountant traffic;
+  net::NetStats net_stats;
+  fault::FaultCounters fault_counters;
+
+  // Time series in (rtd, value) — Figure 6.
+  stats::TimeSeries history_max;
+  stats::TimeSeries history_avg;
+  stats::TimeSeries waiting_max;
+
+  std::vector<DecisionEvent> decisions;
+  std::vector<HaltEvent> halts;
+  std::vector<ProcessEndState> processes;
+
+  // URCGC clause validation over the whole run.
+  bool atomicity_ok = false;
+  bool ordering_ok = false;
+  bool acyclic_ok = false;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool all_ok() const {
+    return atomicity_ok && ordering_ok && acyclic_ok;
+  }
+
+  /// Recovery/agreement time T (Figure 5): rtd from the first crash until
+  /// the first decision that (a) marks every crashed process dead and (b)
+  /// carries full_group stability. Negative if not applicable/never.
+  [[nodiscard]] double recovery_time_rtd(
+      const std::vector<ProcessId>& crashed, Tick first_crash_tick,
+      Tick ticks_per_rtd) const;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  [[nodiscard]] ExperimentReport run();
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+};
+
+}  // namespace urcgc::harness

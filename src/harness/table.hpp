@@ -1,0 +1,33 @@
+#pragma once
+// Plain-text table printer for the bench binaries: fixed-width columns,
+// right-aligned numerics, reproducing the row/column layout of the paper's
+// tables and figure series.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace urcgc::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  [[nodiscard]] static std::string num(std::uint64_t value);
+  [[nodiscard]] static std::string num(std::int64_t value);
+
+  void print(std::ostream& os = std::cout) const;
+
+  /// RFC-4180-style CSV (quotes cells containing commas/quotes/newlines).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace urcgc::harness

@@ -1,0 +1,50 @@
+#pragma once
+// Per-process communication endpoints.
+//
+// Protocol entities (urcgc, CBCAST, Psync) talk through the Endpoint
+// interface so they can be mounted either directly on the datagram subnet
+// (the paper's h = 1 configuration, used for all headline experiments) or
+// on top of the retransmitting Transport of Section 5.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace urcgc::net {
+
+class Endpoint {
+ public:
+  /// Upcall: (source process, payload bytes).
+  using UpcallFn =
+      std::function<void(ProcessId, std::span<const std::uint8_t>)>;
+
+  virtual ~Endpoint() = default;
+
+  [[nodiscard]] virtual ProcessId self() const = 0;
+  virtual void set_upcall(UpcallFn fn) = 0;
+  virtual void send(ProcessId dst, std::vector<std::uint8_t> payload) = 0;
+  virtual void broadcast(std::vector<std::uint8_t> payload) = 0;
+};
+
+/// Endpoint mounted directly on the datagram subnetwork: no retransmission,
+/// no ordering, no delivery guarantee — exactly the basic service the urcgc
+/// protocol is designed to cope with.
+class DatagramEndpoint final : public Endpoint {
+ public:
+  DatagramEndpoint(Network& network, ProcessId self);
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  void set_upcall(UpcallFn fn) override { upcall_ = std::move(fn); }
+  void send(ProcessId dst, std::vector<std::uint8_t> payload) override;
+  void broadcast(std::vector<std::uint8_t> payload) override;
+
+ private:
+  Network& network_;
+  ProcessId self_;
+  UpcallFn upcall_;
+};
+
+}  // namespace urcgc::net

@@ -1,0 +1,81 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace urcgc::net {
+
+Network::Network(sim::Simulation& sim, fault::FaultInjector& faults,
+                 NetConfig config, Rng rng)
+    : sim_(sim), faults_(faults), config_(config), rng_(rng),
+      endpoints_(faults.group_size()) {
+  URCGC_ASSERT(config_.min_latency >= 0);
+  URCGC_ASSERT(config_.max_latency >= config_.min_latency);
+}
+
+void Network::attach(ProcessId id, DeliveryFn fn) {
+  URCGC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < endpoints_.size());
+  URCGC_ASSERT_MSG(!endpoints_[id], "endpoint attached twice");
+  endpoints_[id] = std::move(fn);
+}
+
+Tick Network::draw_latency() {
+  return rng_.uniform_range(config_.min_latency, config_.max_latency);
+}
+
+void Network::send_copy(ProcessId src, ProcessId dst,
+                        std::vector<std::uint8_t> payload) {
+  URCGC_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < endpoints_.size());
+  ++stats_.packets_sent;
+  stats_.bytes_sent += payload.size();
+
+  // Sender omission is evaluated per copy: the paper's send is not an
+  // indivisible action, so a faulty sender may reach only a subset of the
+  // destinations of one multicast.
+  if (faults_.partitioned(src, dst, sim_.now()) ||
+      faults_.drop_on_send(src, sim_.now()) ||
+      faults_.drop_on_hop(dst, sim_.now())) {
+    ++stats_.packets_dropped;
+    return;
+  }
+
+  Packet packet{src, dst, sim_.now(), std::move(payload)};
+  const Tick latency = draw_latency();
+  sim_.after(latency, [this, p = std::move(packet)]() mutable {
+    // A destination that crashed while the packet was in flight never sees
+    // it (the NIC of a fail-stop process is dead).
+    if (faults_.is_crashed(p.dst, sim_.now())) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    URCGC_ASSERT_MSG(static_cast<bool>(endpoints_[p.dst]),
+                     "delivery to unattached endpoint");
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += p.payload.size();
+    endpoints_[p.dst](p);
+  });
+}
+
+void Network::unicast(ProcessId src, ProcessId dst,
+                      std::vector<std::uint8_t> payload) {
+  send_copy(src, dst, std::move(payload));
+}
+
+void Network::multicast(ProcessId src, std::span<const ProcessId> dsts,
+                        const std::vector<std::uint8_t>& payload) {
+  for (ProcessId dst : dsts) {
+    send_copy(src, dst, payload);
+  }
+}
+
+void Network::broadcast(ProcessId src,
+                        const std::vector<std::uint8_t>& payload) {
+  for (ProcessId dst = 0; static_cast<std::size_t>(dst) < endpoints_.size();
+       ++dst) {
+    if (dst == src) continue;
+    send_copy(src, dst, payload);
+  }
+}
+
+}  // namespace urcgc::net

@@ -1,0 +1,75 @@
+#pragma once
+// Simulated datagram subnetwork.
+//
+// Multicast has n-unicast semantics (paper Section 5): one copy per
+// destination, each copy independently subject to sender omission, subnet
+// loss and receiver omission, each with its own latency draw. Latency is
+// uniform in [min_latency, max_latency] ticks; experiments keep
+// max_latency below the round length so that a message sent at a round
+// boundary arrives before the next boundary, matching the paper's
+// synchronous round assumption.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::net {
+
+struct NetConfig {
+  Tick min_latency = 1;
+  Tick max_latency = 9;
+};
+
+/// Upcall invoked when a packet reaches a (non-crashed) destination.
+using DeliveryFn = std::function<void(const Packet&)>;
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, fault::FaultInjector& faults, NetConfig config,
+          Rng rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the delivery upcall for process `id`. Must be called once
+  /// per process before any traffic flows to it.
+  void attach(ProcessId id, DeliveryFn fn);
+
+  [[nodiscard]] std::size_t group_size() const { return endpoints_.size(); }
+
+  /// Sends one datagram copy from src to dst.
+  void unicast(ProcessId src, ProcessId dst,
+               std::vector<std::uint8_t> payload);
+
+  /// Sends one copy to every destination in `dsts` (n-unicast).
+  void multicast(ProcessId src, std::span<const ProcessId> dsts,
+                 const std::vector<std::uint8_t>& payload);
+
+  /// Sends to every attached process except src. The paper's processes
+  /// deliver their own messages locally, without a network hop.
+  void broadcast(ProcessId src, const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] fault::FaultInjector& faults() { return faults_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  void send_copy(ProcessId src, ProcessId dst,
+                 std::vector<std::uint8_t> payload);
+  [[nodiscard]] Tick draw_latency();
+
+  sim::Simulation& sim_;
+  fault::FaultInjector& faults_;
+  NetConfig config_;
+  Rng rng_;
+  std::vector<DeliveryFn> endpoints_;
+  NetStats stats_;
+};
+
+}  // namespace urcgc::net

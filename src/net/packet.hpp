@@ -1,0 +1,28 @@
+#pragma once
+// Raw datagram representation plus network-level accounting.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace urcgc::net {
+
+struct Packet {
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  Tick sent_at = 0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
+};
+
+struct NetStats {
+  std::uint64_t packets_sent = 0;       // copies handed to the subnet
+  std::uint64_t packets_delivered = 0;  // copies that reached a live process
+  std::uint64_t packets_dropped = 0;    // omission/loss/crash drops
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+}  // namespace urcgc::net

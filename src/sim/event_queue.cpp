@@ -1,0 +1,34 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace urcgc::sim {
+
+void EventQueue::schedule(Tick at, EventFn fn, int priority) {
+  URCGC_ASSERT_MSG(at >= last_popped_, "scheduling into the past");
+  heap_.push(Entry{at, priority, next_order_++, std::move(fn)});
+}
+
+Tick EventQueue::next_time() const {
+  URCGC_ASSERT(!heap_.empty());
+  return heap_.top().at;
+}
+
+std::pair<Tick, EventFn> EventQueue::pop() {
+  URCGC_ASSERT(!heap_.empty());
+  // priority_queue::top() is const&; the Entry must be copied out before
+  // pop(). Move the callable via const_cast, which is safe because the
+  // element is removed immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Tick at = top.at;
+  EventFn fn = std::move(top.fn);
+  heap_.pop();
+  last_popped_ = at;
+  return {at, std::move(fn)};
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace urcgc::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events at the same tick execute in insertion (FIFO) order, which makes
+// runs bit-for-bit reproducible for a given seed: determinism is the
+// foundation of every experiment in this repo.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace urcgc::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `at`. `at` must not precede the
+  /// last popped event's time (no scheduling into the past). At equal
+  /// times, lower `priority` runs first; equal priorities run FIFO. The
+  /// simulator reserves priority 0 for round-boundary events so that round
+  /// handlers always observe the state as of the boundary.
+  void schedule(Tick at, EventFn fn, int priority = 1);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  [[nodiscard]] Tick next_time() const;
+
+  /// Pops and returns the earliest event (FIFO among equal times).
+  [[nodiscard]] std::pair<Tick, EventFn> pop();
+
+  /// Discards all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Tick at;
+    int priority;         // lower runs first at equal times
+    std::uint64_t order;  // global insertion counter: FIFO tie-break
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.order > b.order;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_order_ = 0;
+  Tick last_popped_ = 0;
+};
+
+}  // namespace urcgc::sim

@@ -1,0 +1,52 @@
+#include "sim/simulation.hpp"
+
+namespace urcgc::sim {
+
+void Simulation::ensure_round_event() {
+  if (round_event_pending_ || round_handlers_.empty()) return;
+  round_event_pending_ = true;
+  const RoundId r = next_round_++;
+  queue_.schedule(
+      clock_.round_start(r),
+      [this, r] {
+        round_event_pending_ = false;
+        for (const auto& handler : round_handlers_) handler(r);
+        ensure_round_event();
+      },
+      /*priority=*/0);
+}
+
+Tick Simulation::run_until(Tick limit) {
+  ensure_round_event();
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > limit) break;
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++events_executed_;
+    fn();
+  }
+  if (now_ < limit && queue_.empty()) now_ = limit;
+  return now_;
+}
+
+Tick Simulation::run_until_quiescent(Tick limit,
+                                     const std::function<bool()>& predicate) {
+  ensure_round_event();
+  while (!queue_.empty()) {
+    if (queue_.next_time() > limit) break;
+    // Check quiescence at round boundaries only: protocol state is
+    // consistent there (no half-delivered subrun).
+    const Tick t = queue_.next_time();
+    if (t % clock_.ticks_per_round() == 0 && t != now_ && predicate()) {
+      return now_;
+    }
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    ++events_executed_;
+    fn();
+  }
+  return now_;
+}
+
+}  // namespace urcgc::sim

@@ -1,0 +1,108 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+
+namespace urcgc::stats {
+
+std::string_view to_string(MsgClass cls) {
+  switch (cls) {
+    case MsgClass::kAppData: return "app-data";
+    case MsgClass::kRequest: return "request";
+    case MsgClass::kDecision: return "decision";
+    case MsgClass::kRecoverRq: return "recover-rq";
+    case MsgClass::kRecoverRsp: return "recover-rsp";
+    case MsgClass::kCbcastData: return "cbcast-data";
+    case MsgClass::kCbcastStability: return "cbcast-stability";
+    case MsgClass::kCbcastFlush: return "cbcast-flush";
+    case MsgClass::kPsyncData: return "psync-data";
+    case MsgClass::kPsyncRetransRq: return "psync-retrans-rq";
+    case MsgClass::kPsyncMaskOut: return "psync-mask-out";
+    case MsgClass::kTransportAck: return "transport-ack";
+    case MsgClass::kCount: break;
+  }
+  return "?";
+}
+
+bool is_control(MsgClass cls) {
+  switch (cls) {
+    case MsgClass::kAppData:
+    case MsgClass::kCbcastData:
+    case MsgClass::kPsyncData:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::uint64_t TrafficAccountant::control_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (is_control(static_cast<MsgClass>(i))) total += cells_[i].count;
+  }
+  return total;
+}
+
+std::uint64_t TrafficAccountant::control_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (is_control(static_cast<MsgClass>(i))) total += cells_[i].bytes;
+  }
+  return total;
+}
+
+void DelayTracker::on_generated(const Mid& mid, Tick at) {
+  sent_.emplace(mid, at);
+}
+
+void DelayTracker::on_processed(const Mid& mid, ProcessId by, Tick at) {
+  processed_[mid].push_back({by, at});
+  ++processed_events_;
+}
+
+std::vector<double> DelayTracker::delays_ticks() const {
+  std::vector<double> delays;
+  delays.reserve(processed_events_);
+  for (const auto& [mid, events] : processed_) {
+    auto sent = sent_.find(mid);
+    if (sent == sent_.end()) continue;
+    for (const auto& [by, at] : events) {
+      delays.push_back(static_cast<double>(at - sent->second));
+    }
+  }
+  return delays;
+}
+
+std::vector<double> DelayTracker::completion_ticks() const {
+  std::vector<double> result;
+  result.reserve(processed_.size());
+  for (const auto& [mid, events] : processed_) {
+    auto sent = sent_.find(mid);
+    if (sent == sent_.end() || events.empty()) continue;
+    Tick last = 0;
+    for (const auto& [by, at] : events) last = std::max(last, at);
+    result.push_back(static_cast<double>(last - sent->second));
+  }
+  return result;
+}
+
+std::vector<double> DelayTracker::relative_delays() const {
+  std::vector<double> delays;
+  delays.reserve(processed_events_);
+  for (const auto& [mid, events] : processed_) {
+    if (events.empty()) continue;
+    Tick anchor = events.front().second;
+    for (const auto& [by, at] : events) anchor = std::min(anchor, at);
+    for (const auto& [by, at] : events) {
+      delays.push_back(static_cast<double>(at - anchor));
+    }
+  }
+  return delays;
+}
+
+double TimeSeries::max_value() const {
+  double best = 0.0;
+  for (const auto& [at, value] : points_) best = std::max(best, value);
+  return best;
+}
+
+}  // namespace urcgc::stats

@@ -1,0 +1,119 @@
+#pragma once
+// Experiment metrics: end-to-end delay tracking (Figure 4), control
+// traffic accounting by message class (Table 1), and time series such as
+// history length over simulated time (Figure 6).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/summary.hpp"
+
+namespace urcgc::stats {
+
+/// Protocol message classes, across urcgc and the baselines, used to split
+/// traffic accounting the way Table 1 does (control vs data).
+enum class MsgClass : int {
+  kAppData = 0,
+  kRequest,          // urcgc per-subrun REQUEST to the coordinator
+  kDecision,         // urcgc coordinator DECISION broadcast
+  kRecoverRq,        // urcgc point-to-point history recovery request
+  kRecoverRsp,       // urcgc history recovery response
+  kCbcastData,
+  kCbcastStability,  // CBCAST explicit stability messages
+  kCbcastFlush,      // CBCAST view-change flush
+  kPsyncData,
+  kPsyncRetransRq,
+  kPsyncMaskOut,
+  kTransportAck,
+  kCount,
+};
+
+[[nodiscard]] std::string_view to_string(MsgClass cls);
+
+/// True for the classes Table 1 counts as control traffic.
+[[nodiscard]] bool is_control(MsgClass cls);
+
+class TrafficAccountant {
+ public:
+  void record(MsgClass cls, std::size_t bytes) {
+    auto& cell = cells_[static_cast<std::size_t>(cls)];
+    ++cell.count;
+    cell.bytes += bytes;
+    if (bytes > cell.max_bytes) cell.max_bytes = bytes;
+  }
+
+  [[nodiscard]] std::uint64_t count(MsgClass cls) const {
+    return cells_[static_cast<std::size_t>(cls)].count;
+  }
+  [[nodiscard]] std::uint64_t bytes(MsgClass cls) const {
+    return cells_[static_cast<std::size_t>(cls)].bytes;
+  }
+  [[nodiscard]] std::uint64_t max_bytes(MsgClass cls) const {
+    return cells_[static_cast<std::size_t>(cls)].max_bytes;
+  }
+
+  [[nodiscard]] std::uint64_t control_count() const;
+  [[nodiscard]] std::uint64_t control_bytes() const;
+
+ private:
+  struct Cell {
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t max_bytes = 0;
+  };
+  std::array<Cell, static_cast<std::size_t>(MsgClass::kCount)> cells_{};
+};
+
+/// Tracks, for every application message, generation time and per-process
+/// processing times. Mean end-to-end delay D (Figure 4) is the average of
+/// (processing tick − generation tick) over all (message, processor) pairs.
+class DelayTracker {
+ public:
+  void on_generated(const Mid& mid, Tick at);
+  void on_processed(const Mid& mid, ProcessId by, Tick at);
+
+  [[nodiscard]] std::vector<double> delays_ticks() const;
+
+  /// Completion delay per message: max processing tick − generation tick
+  /// over the processes that processed it.
+  [[nodiscard]] std::vector<double> completion_ticks() const;
+
+  /// Delays relative to each message's earliest processing event instead
+  /// of an explicit generation anchor. Under urcgc the sender processes
+  /// its own message the instant it generates it, so the per-message
+  /// minimum *is* the generation tick — useful when only processing
+  /// events were recorded.
+  [[nodiscard]] std::vector<double> relative_delays() const;
+
+  [[nodiscard]] std::size_t generated_count() const { return sent_.size(); }
+  [[nodiscard]] std::uint64_t processed_events() const {
+    return processed_events_;
+  }
+
+ private:
+  std::unordered_map<Mid, Tick> sent_;
+  std::unordered_map<Mid, std::vector<std::pair<ProcessId, Tick>>> processed_;
+  std::uint64_t processed_events_ = 0;
+};
+
+/// Step time series sampled by the harness (e.g. history length per round).
+class TimeSeries {
+ public:
+  void record(Tick at, double value) { points_.push_back({at, value}); }
+
+  [[nodiscard]] std::span<const std::pair<Tick, double>> points() const {
+    return points_;
+  }
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+ private:
+  std::vector<std::pair<Tick, double>> points_;
+};
+
+}  // namespace urcgc::stats

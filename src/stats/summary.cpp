@@ -1,0 +1,48 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace urcgc::stats {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double index = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(index);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = index - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile(sorted, 0.50);
+  s.p90 = percentile(sorted, 0.90);
+  s.p99 = percentile(sorted, 0.99);
+  return s;
+}
+
+}  // namespace urcgc::stats

@@ -1,0 +1,22 @@
+#pragma once
+// Descriptive statistics over samples; the benches report means the way the
+// paper's figures do, plus percentiles for our own diagnostics.
+
+#include <span>
+
+namespace urcgc::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+}  // namespace urcgc::stats

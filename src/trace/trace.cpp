@@ -1,0 +1,206 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace urcgc::trace {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGenerated: return "generated";
+    case EventKind::kProcessed: return "processed";
+    case EventKind::kSent: return "sent";
+    case EventKind::kDecision: return "decision";
+    case EventKind::kCleaned: return "cleaned";
+    case EventKind::kHalt: return "halt";
+    case EventKind::kDiscarded: return "discarded";
+    case EventKind::kRecovery: return "recovery";
+    case EventKind::kFlowBlocked: return "flow-blocked";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::vector<EventKind> keep)
+    : keep_(std::move(keep)) {}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!keep_.empty() &&
+      std::find(keep_.begin(), keep_.end(), event.kind) == keep_.end()) {
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::on_generated(ProcessId p, const core::AppMessage& msg,
+                                 Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kGenerated;
+  event.process = p;
+  event.mid = msg.mid;
+  record(event);
+}
+
+void TraceRecorder::on_processed(ProcessId p, const core::AppMessage& msg,
+                                 Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kProcessed;
+  event.process = p;
+  event.mid = msg.mid;
+  record(event);
+}
+
+void TraceRecorder::on_sent(ProcessId p, stats::MsgClass cls,
+                            std::size_t bytes, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kSent;
+  event.process = p;
+  event.msg_class = cls;
+  event.bytes = bytes;
+  record(event);
+}
+
+void TraceRecorder::on_decision_made(ProcessId coordinator,
+                                     const core::Decision& d, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kDecision;
+  event.process = coordinator;
+  event.subrun = d.decided_at;
+  event.full_group = d.full_group;
+  event.alive = d.alive_count();
+  record(event);
+}
+
+void TraceRecorder::on_history_cleaned(ProcessId p, std::size_t purged,
+                                       Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kCleaned;
+  event.process = p;
+  event.bytes = purged;
+  record(event);
+}
+
+void TraceRecorder::on_halt(ProcessId p, core::HaltReason reason, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kHalt;
+  event.process = p;
+  event.reason = reason;
+  record(event);
+}
+
+void TraceRecorder::on_discarded(ProcessId p, const Mid& mid, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kDiscarded;
+  event.process = p;
+  event.mid = mid;
+  record(event);
+}
+
+void TraceRecorder::on_recovery_attempt(ProcessId p, ProcessId target,
+                                        ProcessId origin, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kRecovery;
+  event.process = p;
+  event.peer = target;
+  event.origin = origin;
+  record(event);
+}
+
+void TraceRecorder::on_flow_blocked(ProcessId p, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kFlowBlocked;
+  event.process = p;
+  record(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::filter(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  for (const TraceEvent& event : events_) {
+    os << "{\"at\":" << event.at << ",\"kind\":\"" << to_string(event.kind)
+       << "\",\"p\":" << event.process;
+    switch (event.kind) {
+      case EventKind::kGenerated:
+      case EventKind::kProcessed:
+      case EventKind::kDiscarded:
+        os << ",\"origin\":" << event.mid.origin
+           << ",\"seq\":" << event.mid.seq;
+        break;
+      case EventKind::kSent:
+        os << ",\"class\":\"" << stats::to_string(event.msg_class)
+           << "\",\"bytes\":" << event.bytes;
+        break;
+      case EventKind::kDecision:
+        os << ",\"subrun\":" << event.subrun << ",\"full_group\":"
+           << (event.full_group ? "true" : "false")
+           << ",\"alive\":" << event.alive;
+        break;
+      case EventKind::kCleaned:
+        os << ",\"purged\":" << event.bytes;
+        break;
+      case EventKind::kHalt:
+        os << ",\"reason\":\"" << core::to_string(event.reason) << "\"";
+        break;
+      case EventKind::kRecovery:
+        os << ",\"target\":" << event.peer
+           << ",\"origin\":" << event.origin;
+        break;
+      case EventKind::kFlowBlocked:
+        break;
+    }
+    os << "}\n";
+  }
+}
+
+void TraceRecorder::write_text(std::ostream& os, Tick ticks_per_rtd) const {
+  for (const TraceEvent& event : events_) {
+    const double rtd =
+        static_cast<double>(event.at) / static_cast<double>(ticks_per_rtd);
+    os << rtd << " rtd  p" << event.process << " " << to_string(event.kind);
+    switch (event.kind) {
+      case EventKind::kGenerated:
+      case EventKind::kProcessed:
+      case EventKind::kDiscarded:
+        os << " " << urcgc::to_string(event.mid);
+        break;
+      case EventKind::kSent:
+        os << " " << stats::to_string(event.msg_class) << " (" << event.bytes
+           << " B)";
+        break;
+      case EventKind::kDecision:
+        os << " subrun " << event.subrun << (event.full_group ? " [stable]"
+                                                              : "")
+           << " alive=" << event.alive;
+        break;
+      case EventKind::kCleaned:
+        os << " " << event.bytes << " messages";
+        break;
+      case EventKind::kHalt:
+        os << " (" << core::to_string(event.reason) << ")";
+        break;
+      case EventKind::kRecovery:
+        os << " from p" << event.peer << " for p" << event.origin
+           << "'s sequence";
+        break;
+      case EventKind::kFlowBlocked:
+        break;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace urcgc::trace

@@ -1,0 +1,139 @@
+#pragma once
+// Structured protocol tracing.
+//
+// TraceRecorder is an Observer that captures every protocol event into a
+// compact in-memory log, renderable as JSONL (one event per line, for
+// jq/pandas-style analysis) or as a human-readable narrative. MultiObserver
+// fans a process's single observer slot out to several consumers, so
+// tracing composes with the harness's metric recorder.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace urcgc::trace {
+
+enum class EventKind : std::uint8_t {
+  kGenerated,
+  kProcessed,
+  kSent,
+  kDecision,
+  kCleaned,
+  kHalt,
+  kDiscarded,
+  kRecovery,
+  kFlowBlocked,
+};
+
+[[nodiscard]] std::string_view to_string(EventKind kind);
+
+struct TraceEvent {
+  Tick at = 0;
+  EventKind kind = EventKind::kGenerated;
+  ProcessId process = kNoProcess;
+
+  // Kind-dependent payload (unused fields keep defaults).
+  Mid mid{};                              // generated/processed/discarded
+  stats::MsgClass msg_class = stats::MsgClass::kAppData;  // sent
+  std::uint64_t bytes = 0;                // sent / cleaned (count)
+  ProcessId peer = kNoProcess;            // recovery target / coordinator
+  ProcessId origin = kNoProcess;          // recovery origin
+  core::HaltReason reason = core::HaltReason::kNone;  // halt
+  SubrunId subrun = -1;                   // decision
+  bool full_group = false;                // decision
+  int alive = 0;                          // decision
+};
+
+class TraceRecorder final : public core::Observer {
+ public:
+  /// Event kinds to keep; empty = everything. kSent traces are voluminous
+  /// (one per datagram copy) — filter them out unless needed.
+  explicit TraceRecorder(std::vector<EventKind> keep = {});
+
+  void on_generated(ProcessId p, const core::AppMessage& msg,
+                    Tick at) override;
+  void on_processed(ProcessId p, const core::AppMessage& msg,
+                    Tick at) override;
+  void on_sent(ProcessId p, stats::MsgClass cls, std::size_t bytes,
+               Tick at) override;
+  void on_decision_made(ProcessId coordinator, const core::Decision& d,
+                        Tick at) override;
+  void on_history_cleaned(ProcessId p, std::size_t purged, Tick at) override;
+  void on_halt(ProcessId p, core::HaltReason reason, Tick at) override;
+  void on_discarded(ProcessId p, const Mid& mid, Tick at) override;
+  void on_recovery_attempt(ProcessId p, ProcessId target, ProcessId origin,
+                           Tick at) override;
+  void on_flow_blocked(ProcessId p, Tick at) override;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> filter(EventKind kind) const;
+
+  /// JSONL: one JSON object per event, schema stable for tooling.
+  void write_jsonl(std::ostream& os) const;
+
+  /// Human narrative, time in rtd (ticks_per_rtd converts).
+  void write_text(std::ostream& os, Tick ticks_per_rtd = 20) const;
+
+ private:
+  void record(TraceEvent event);
+
+  std::vector<EventKind> keep_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Fans observer callbacks out to several observers (none owned).
+class MultiObserver final : public core::Observer {
+ public:
+  explicit MultiObserver(std::vector<core::Observer*> observers)
+      : observers_(std::move(observers)) {}
+
+  void add(core::Observer* observer) { observers_.push_back(observer); }
+
+  void on_generated(ProcessId p, const core::AppMessage& msg,
+                    Tick at) override {
+    for (auto* o : observers_) o->on_generated(p, msg, at);
+  }
+  void on_processed(ProcessId p, const core::AppMessage& msg,
+                    Tick at) override {
+    for (auto* o : observers_) o->on_processed(p, msg, at);
+  }
+  void on_sent(ProcessId p, stats::MsgClass cls, std::size_t bytes,
+               Tick at) override {
+    for (auto* o : observers_) o->on_sent(p, cls, bytes, at);
+  }
+  void on_decision_made(ProcessId c, const core::Decision& d,
+                        Tick at) override {
+    for (auto* o : observers_) o->on_decision_made(c, d, at);
+  }
+  void on_history_cleaned(ProcessId p, std::size_t purged,
+                          Tick at) override {
+    for (auto* o : observers_) o->on_history_cleaned(p, purged, at);
+  }
+  void on_halt(ProcessId p, core::HaltReason reason, Tick at) override {
+    for (auto* o : observers_) o->on_halt(p, reason, at);
+  }
+  void on_discarded(ProcessId p, const Mid& mid, Tick at) override {
+    for (auto* o : observers_) o->on_discarded(p, mid, at);
+  }
+  void on_recovery_attempt(ProcessId p, ProcessId target, ProcessId origin,
+                           Tick at) override {
+    for (auto* o : observers_) o->on_recovery_attempt(p, target, origin, at);
+  }
+  void on_flow_blocked(ProcessId p, Tick at) override {
+    for (auto* o : observers_) o->on_flow_blocked(p, at);
+  }
+
+ private:
+  std::vector<core::Observer*> observers_;
+};
+
+}  // namespace urcgc::trace

@@ -1,0 +1,84 @@
+#pragma once
+// Wire-format encode/decode buffers.
+//
+// All protocol data units (application messages, REQUEST/DECISION control
+// messages, recovery PDUs) are serialized through these buffers with
+// explicit big-endian (network order) fixed-width fields. Sizes reported in
+// the Table 1 reproduction are byte counts of these encodings — nothing is
+// estimated.
+//
+// Writer never fails (grows its vector); Reader is bounds-checked and
+// reports malformed input through DecodeError rather than UB.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace urcgc::wire {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { bytes_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) raw byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+enum class DecodeError {
+  kTruncated,       // read past end of buffer
+  kTrailingBytes,   // finish() with unconsumed input
+  kBadValue,        // field decoded but semantically invalid
+};
+
+[[nodiscard]] std::string_view to_string(DecodeError err);
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t, DecodeError> u8();
+  [[nodiscard]] Result<std::uint16_t, DecodeError> u16();
+  [[nodiscard]] Result<std::uint32_t, DecodeError> u32();
+  [[nodiscard]] Result<std::uint64_t, DecodeError> u64();
+  [[nodiscard]] Result<std::int32_t, DecodeError> i32();
+  [[nodiscard]] Result<std::int64_t, DecodeError> i64();
+  [[nodiscard]] Result<bool, DecodeError> boolean();
+  [[nodiscard]] Result<std::vector<std::uint8_t>, DecodeError> bytes();
+  [[nodiscard]] Result<std::string, DecodeError> str();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Succeeds iff the whole input has been consumed.
+  [[nodiscard]] Status<DecodeError> finish() const;
+
+ private:
+  [[nodiscard]] bool take(std::size_t n, std::span<const std::uint8_t>& out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace urcgc::wire

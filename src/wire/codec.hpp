@@ -1,0 +1,152 @@
+#pragma once
+// Codec helpers layered on Writer/Reader: Mid, sequence vectors and other
+// aggregates shared by several PDUs.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "wire/buffer.hpp"
+
+namespace urcgc::wire {
+
+inline void put_mid(Writer& w, const Mid& mid) {
+  w.i32(mid.origin);
+  w.i64(mid.seq);
+}
+
+[[nodiscard]] inline Result<Mid, DecodeError> get_mid(Reader& r) {
+  auto origin = r.i32();
+  if (!origin) return Unexpected(origin.error());
+  auto seq = r.i64();
+  if (!seq) return Unexpected(seq.error());
+  return Mid{origin.value(), seq.value()};
+}
+
+inline void put_mids(Writer& w, const std::vector<Mid>& mids) {
+  w.u32(static_cast<std::uint32_t>(mids.size()));
+  for (const auto& mid : mids) put_mid(w, mid);
+}
+
+[[nodiscard]] inline Result<std::vector<Mid>, DecodeError> get_mids(Reader& r) {
+  auto count = r.u32();
+  if (!count) return Unexpected(count.error());
+  // Each Mid costs 12 bytes on the wire; reject counts the buffer cannot hold
+  // before allocating (defends against hostile length prefixes).
+  if (count.value() * 12ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<Mid> mids;
+  mids.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto mid = get_mid(r);
+    if (!mid) return Unexpected(mid.error());
+    mids.push_back(mid.value());
+  }
+  return mids;
+}
+
+inline void put_seqs(Writer& w, const std::vector<Seq>& seqs) {
+  w.u32(static_cast<std::uint32_t>(seqs.size()));
+  for (Seq s : seqs) w.i64(s);
+}
+
+[[nodiscard]] inline Result<std::vector<Seq>, DecodeError> get_seqs(Reader& r) {
+  auto count = r.u32();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 8ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<Seq> seqs;
+  seqs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto s = r.i64();
+    if (!s) return Unexpected(s.error());
+    seqs.push_back(s.value());
+  }
+  return seqs;
+}
+
+/// Compact sequence vector: u32 per entry. Protocol sequence numbers are
+/// per-originator counters that stay far below 2^32 in any realistic run;
+/// the in-memory type stays 64-bit.
+inline void put_seqs32(Writer& w, const std::vector<Seq>& seqs) {
+  w.u32(static_cast<std::uint32_t>(seqs.size()));
+  for (Seq s : seqs) w.u32(static_cast<std::uint32_t>(s));
+}
+
+[[nodiscard]] inline Result<std::vector<Seq>, DecodeError> get_seqs32(
+    Reader& r) {
+  auto count = r.u32();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 4ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<Seq> seqs;
+  seqs.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto s = r.u32();
+    if (!s) return Unexpected(s.error());
+    seqs.push_back(static_cast<Seq>(s.value()));
+  }
+  return seqs;
+}
+
+inline void put_u8s(Writer& w, const std::vector<std::uint8_t>& values) {
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (std::uint8_t v : values) w.u8(v);
+}
+
+[[nodiscard]] inline Result<std::vector<std::uint8_t>, DecodeError> get_u8s(
+    Reader& r) {
+  auto count = r.u32();
+  if (!count) return Unexpected(count.error());
+  if (count.value() > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<std::uint8_t> values;
+  values.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto v = r.u8();
+    if (!v) return Unexpected(v.error());
+    values.push_back(v.value());
+  }
+  return values;
+}
+
+inline void put_bools(Writer& w, const std::vector<bool>& values) {
+  // Bit-packed: matches the paper's per-process state bitmaps.
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  std::uint8_t acc = 0;
+  int bit = 0;
+  for (bool v : values) {
+    if (v) acc = static_cast<std::uint8_t>(acc | (1u << bit));
+    if (++bit == 8) {
+      w.u8(acc);
+      acc = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) w.u8(acc);
+}
+
+[[nodiscard]] inline Result<std::vector<bool>, DecodeError> get_bools(
+    Reader& r) {
+  auto count = r.u32();
+  if (!count) return Unexpected(count.error());
+  const std::size_t nbytes = (count.value() + 7) / 8;
+  if (nbytes > r.remaining()) return Unexpected(DecodeError::kTruncated);
+  std::vector<bool> values;
+  values.reserve(count.value());
+  std::uint8_t acc = 0;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    if (i % 8 == 0) {
+      auto b = r.u8();
+      if (!b) return Unexpected(b.error());
+      acc = b.value();
+    }
+    values.push_back((acc >> (i % 8)) & 1u);
+  }
+  return values;
+}
+
+}  // namespace urcgc::wire

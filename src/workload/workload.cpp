@@ -1,0 +1,52 @@
+#include "workload/workload.hpp"
+
+#include "common/assert.hpp"
+
+namespace urcgc::workload {
+
+LoadGenerator::LoadGenerator(int n, WorkloadConfig config, Hooks hooks,
+                             Rng rng)
+    : n_(n), config_(config), hooks_(std::move(hooks)), rng_(rng) {
+  URCGC_ASSERT(n > 0);
+  URCGC_ASSERT(hooks_.submit && hooks_.active);
+}
+
+void LoadGenerator::on_round(RoundId round) {
+  if (exhausted()) return;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (exhausted()) break;
+    if (!hooks_.active(p)) continue;
+    if (hooks_.pending && hooks_.pending(p) >= config_.max_pending_per_process)
+      continue;
+    if (!rng_.bernoulli(config_.load)) continue;
+
+    std::vector<Mid> deps;
+    if (n_ > 1 && hooks_.last_processed &&
+        rng_.bernoulli(config_.cross_dep_prob)) {
+      auto other = static_cast<ProcessId>(rng_.uniform(n_ - 1));
+      if (other >= p) ++other;
+      const Mid last = hooks_.last_processed(p, other);
+      if (last.valid()) deps.push_back(last);
+    }
+    if (hooks_.submit(p, make_payload(config_.payload_bytes, p, round),
+                      std::move(deps))) {
+      ++submitted_;
+    }
+  }
+}
+
+std::vector<std::uint8_t> make_payload(std::size_t bytes, ProcessId p,
+                                       RoundId round) {
+  std::vector<std::uint8_t> payload(bytes);
+  std::uint64_t state = (static_cast<std::uint64_t>(p) << 40) ^
+                        static_cast<std::uint64_t>(round);
+  for (std::size_t i = 0; i < bytes; i += 8) {
+    const std::uint64_t word = splitmix64(state);
+    for (std::size_t j = 0; j < 8 && i + j < bytes; ++j) {
+      payload[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return payload;
+}
+
+}  // namespace urcgc::workload

@@ -1,0 +1,84 @@
+#pragma once
+// Workload generation: drives the urcgc service (or a baseline protocol)
+// with application messages at a configurable offered load, declaring
+// causal dependencies the way the paper's target applications do
+// (multimedia spaces, cooperative work): each process extends its own
+// sequence and, at its discretion, ties a message to the last message it
+// processed from some other member.
+//
+// The generator is protocol-agnostic: the harness supplies hooks, so the
+// same traffic pattern can be offered to urcgc, CBCAST and Psync for the
+// comparative experiments.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace urcgc::workload {
+
+struct WorkloadConfig {
+  /// Probability that each process submits one message at each round —
+  /// Figure 4's offered load axis (1.0 = paper's max service rate of one
+  /// message per round per process).
+  double load = 0.5;
+
+  /// Total messages the workload offers across all processes; 0 = no cap
+  /// (run until the simulation limit).
+  std::int64_t total_messages = 480;
+
+  /// Probability that a submitted message declares an explicit dependency
+  /// on the last message processed from a uniformly random other member
+  /// (Definition 3.1 point ii — the sender's discretionary causality).
+  double cross_dep_prob = 0.3;
+
+  /// Stop offering load to a process once this many of its submissions are
+  /// pending unconfirmed (models a blocking urcgc_data_Rq user).
+  std::int64_t max_pending_per_process = 4;
+
+  std::size_t payload_bytes = 32;
+};
+
+class LoadGenerator {
+ public:
+  struct Hooks {
+    /// Submit a message at process p. Returns false if p cannot accept.
+    std::function<bool(ProcessId, std::vector<std::uint8_t>,
+                       std::vector<Mid>)>
+        submit;
+    /// Is p still an active group member able to generate?
+    std::function<bool(ProcessId)> active;
+    /// Number of p's submissions not yet turned into protocol messages.
+    std::function<std::int64_t(ProcessId)> pending;
+    /// Last message of `origin` processed by p (invalid Mid if none).
+    std::function<Mid(ProcessId p, ProcessId origin)> last_processed;
+  };
+
+  LoadGenerator(int n, WorkloadConfig config, Hooks hooks, Rng rng);
+
+  /// Called at the start of every round, before the protocol handlers run.
+  void on_round(RoundId round);
+
+  /// All offered messages have been submitted.
+  [[nodiscard]] bool exhausted() const {
+    return config_.total_messages > 0 && submitted_ >= config_.total_messages;
+  }
+  [[nodiscard]] std::int64_t submitted() const { return submitted_; }
+
+ private:
+  int n_;
+  WorkloadConfig config_;
+  Hooks hooks_;
+  Rng rng_;
+  std::int64_t submitted_ = 0;
+};
+
+/// Deterministic payload: `bytes` pseudo-random bytes derived from (p,
+/// round) so payload content never depends on call order.
+[[nodiscard]] std::vector<std::uint8_t> make_payload(std::size_t bytes,
+                                                     ProcessId p,
+                                                     RoundId round);
+
+}  // namespace urcgc::workload

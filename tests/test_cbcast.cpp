@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/cbcast.hpp"
+#include "causal/graph.hpp"
+
+namespace urcgc::baselines {
+namespace {
+
+struct Group {
+  explicit Group(CbcastConfig config,
+                 fault::FaultPlan plan = fault::FaultPlan(0),
+                 CbcastObserver* observer = nullptr)
+      : injector(plan.per_process.empty() ? fault::FaultPlan(config.n)
+                                          : std::move(plan),
+                 Rng(61)),
+        network(sim, injector, {.min_latency = 5, .max_latency = 9},
+                Rng(62)) {
+    for (ProcessId p = 0; p < config.n; ++p) {
+      endpoints.push_back(std::make_unique<net::TransportEndpoint>(
+          network, p, net::TransportConfig{.max_retries = 3,
+                                           .retry_interval = 20}));
+      processes.push_back(std::make_unique<CbcastProcess>(
+          config, p, sim, *endpoints.back(), injector, observer));
+    }
+    for (auto& process : processes) process->start();
+  }
+
+  CbcastProcess& at(ProcessId p) { return *processes[p]; }
+  void run_subruns(int count) { sim.run_until(sim.now() + count * 20); }
+
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  net::Network network;
+  std::vector<std::unique_ptr<net::TransportEndpoint>> endpoints;
+  std::vector<std::unique_ptr<CbcastProcess>> processes;
+};
+
+CbcastConfig small(int n = 4) {
+  CbcastConfig config;
+  config.n = n;
+  return config;
+}
+
+TEST(Cbcast, BroadcastDeliveredEverywhere) {
+  Group g(small(3));
+  g.at(0).data_rq({42});
+  g.run_subruns(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_EQ(g.at(p).delivery_log().size(), 1u) << "p" << p;
+    EXPECT_EQ(g.at(p).delivery_log()[0], (Mid{0, 1}));
+  }
+}
+
+TEST(Cbcast, SenderDeliversOwnImmediately) {
+  Group g(small(3));
+  g.at(1).data_rq({1});
+  g.sim.run_until(10);  // one round: enough for local delivery only
+  EXPECT_EQ(g.at(1).delivery_log().size(), 1u);
+}
+
+TEST(Cbcast, CausalOrderAcrossSenders) {
+  // p0 sends m1; p1 (having delivered m1) sends m2. Every delivery log
+  // must place m1 before m2.
+  Group g(small(4));
+  g.at(0).data_rq({1});
+  g.run_subruns(2);
+  g.at(1).data_rq({2});
+  g.run_subruns(4);
+  for (ProcessId p = 0; p < 4; ++p) {
+    const auto& log = g.at(p).delivery_log();
+    auto m1 = std::find(log.begin(), log.end(), Mid{0, 1});
+    auto m2 = std::find(log.begin(), log.end(), Mid{1, 1});
+    ASSERT_NE(m1, log.end());
+    ASSERT_NE(m2, log.end());
+    EXPECT_LT(m1 - log.begin(), m2 - log.begin());
+  }
+}
+
+TEST(Cbcast, ConcurrentMessagesBothDelivered) {
+  Group g(small(3));
+  g.at(0).data_rq({1});
+  g.at(1).data_rq({2});
+  g.run_subruns(4);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(g.at(p).delivery_log().size(), 2u);
+  }
+}
+
+TEST(Cbcast, SteadyTrafficKeepsUnstableBounded) {
+  Group g(small(4));
+  for (int i = 0; i < 12; ++i) {
+    for (ProcessId p = 0; p < 4; ++p) g.at(p).data_rq({7});
+    g.run_subruns(1);
+  }
+  g.run_subruns(6);  // drain; heartbeats carry final clocks
+  for (ProcessId p = 0; p < 4; ++p) {
+    // Piggyback stability collected almost everything.
+    EXPECT_LT(g.at(p).unstable_size(), 12u) << "p" << p;
+  }
+}
+
+TEST(Cbcast, CrashTriggersFlushAndNewView) {
+  CbcastConfig config = small(4);
+  config.k_attempts = 2;
+  fault::FaultPlan plan(4);
+  plan.crash(3, 60);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 14; ++i) {
+    for (ProcessId p = 0; p < 3; ++p) g.at(p).data_rq({1});
+    g.run_subruns(1);
+  }
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_GE(g.at(p).view_id(), 1) << "p" << p;
+    EXPECT_FALSE(g.at(p).members()[3]);
+    EXPECT_FALSE(g.at(p).flushing());
+  }
+}
+
+TEST(Cbcast, FlushBlocksApplicationTraffic) {
+  CbcastConfig config = small(4);
+  config.k_attempts = 2;
+  fault::FaultPlan plan(4);
+  plan.crash(3, 60);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 14; ++i) {
+    for (ProcessId p = 0; p < 3; ++p) g.at(p).data_rq({1});
+    g.run_subruns(1);
+  }
+  // Survivors spent real time blocked — the cost Figure 5 charges CBCAST.
+  EXPECT_GT(g.at(0).blocked_ticks(), 0);
+}
+
+TEST(Cbcast, DeliveryLogsRespectVcOrder) {
+  Group g(small(5));
+  for (int i = 0; i < 8; ++i) {
+    g.at(i % 5).data_rq({static_cast<std::uint8_t>(i)});
+    g.run_subruns(1);
+  }
+  g.run_subruns(4);
+  // Survivor logs must agree on causal order: build the graph from log
+  // positions at the sender.
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(g.at(p).delivery_log().size(), 8u);
+  }
+}
+
+TEST(Cbcast, HaltsOnCrashFault) {
+  fault::FaultPlan plan(3);
+  plan.crash(1, 30);
+  Group g(small(3), std::move(plan));
+  g.run_subruns(4);
+  EXPECT_TRUE(g.at(1).halted());
+}
+
+TEST(Cbcast, DataRqRejectedWhenHalted) {
+  fault::FaultPlan plan(2);
+  plan.crash(0, 0);
+  Group g(small(2), std::move(plan));
+  g.run_subruns(2);
+  EXPECT_FALSE(g.at(0).data_rq({1}));
+}
+
+TEST(Cbcast, ObserverSeesTraffic) {
+  struct Counter : CbcastObserver {
+    int generated = 0;
+    int delivered = 0;
+    std::uint64_t data_msgs = 0;
+    void on_generated(ProcessId, const Mid&, Tick) override { ++generated; }
+    void on_delivered(ProcessId, const Mid&, Tick) override { ++delivered; }
+    void on_sent(ProcessId, stats::MsgClass cls, std::size_t, Tick) override {
+      if (cls == stats::MsgClass::kCbcastData) ++data_msgs;
+    }
+  } counter;
+  Group g(small(3), fault::FaultPlan(0), &counter);
+  g.at(0).data_rq({1});
+  g.run_subruns(3);
+  EXPECT_EQ(counter.generated, 1);
+  EXPECT_EQ(counter.delivered, 3);
+  EXPECT_EQ(counter.data_msgs, 2u);  // n-1 copies
+}
+
+}  // namespace
+}  // namespace urcgc::baselines

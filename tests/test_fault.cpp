@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+
+namespace urcgc::fault {
+namespace {
+
+TEST(FaultPlan, DefaultsAreFaultFree) {
+  FaultPlan plan(4);
+  FaultInjector injector(plan, Rng(1));
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_FALSE(injector.is_crashed(p, 1000000));
+    EXPECT_FALSE(injector.drop_on_send(p, 50));
+    EXPECT_FALSE(injector.drop_on_hop(p, 50));
+  }
+}
+
+TEST(FaultPlan, CrashTakesEffectAtTick) {
+  FaultPlan plan(3);
+  plan.crash(1, 100);
+  FaultInjector injector(plan, Rng(1));
+  EXPECT_FALSE(injector.is_crashed(1, 99));
+  EXPECT_TRUE(injector.is_crashed(1, 100));
+  EXPECT_TRUE(injector.is_crashed(1, 5000));
+  EXPECT_FALSE(injector.is_crashed(0, 5000));
+}
+
+TEST(FaultPlan, CrashedProcessDropsEverything) {
+  FaultPlan plan(2);
+  plan.crash(0, 10);
+  FaultInjector injector(plan, Rng(1));
+  EXPECT_TRUE(injector.drop_on_send(0, 10));
+  EXPECT_TRUE(injector.drop_on_hop(0, 10));
+  EXPECT_EQ(injector.counters().blocked_by_crash, 2u);
+}
+
+TEST(FaultPlan, SendOmissionProbability) {
+  FaultPlan plan(1);
+  plan.send_omissions(0, 0.5);
+  FaultInjector injector(plan, Rng(2));
+  int drops = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (injector.drop_on_send(0, 1)) ++drops;
+  }
+  EXPECT_NEAR(drops, kTrials / 2, 300);
+  EXPECT_EQ(injector.counters().send_omissions,
+            static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultPlan, RecvOmissionProbability) {
+  FaultPlan plan(1);
+  plan.recv_omissions(0, 0.25);
+  FaultInjector injector(plan, Rng(3));
+  int drops = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (injector.drop_on_hop(0, 1)) ++drops;
+  }
+  EXPECT_NEAR(drops, kTrials / 4, 300);
+}
+
+TEST(FaultPlan, DeterministicEveryNth) {
+  FaultPlan plan(1);
+  plan.per_process[0].send_omission_every = 5;
+  FaultInjector injector(plan, Rng(4));
+  int drops = 0;
+  for (int i = 1; i <= 100; ++i) {
+    const bool dropped = injector.drop_on_send(0, 1);
+    EXPECT_EQ(dropped, i % 5 == 0) << "message " << i;
+    if (dropped) ++drops;
+  }
+  EXPECT_EQ(drops, 20);
+}
+
+TEST(FaultPlan, PacketLossEveryNth) {
+  FaultPlan plan(1);
+  plan.network.packet_loss_every = 3;
+  FaultInjector injector(plan, Rng(4));
+  int drops = 0;
+  for (int i = 1; i <= 9; ++i) {
+    if (injector.drop_on_hop(0, 1)) ++drops;
+  }
+  EXPECT_EQ(drops, 3);
+}
+
+TEST(FaultPlan, UniformOmissionsAppliesToAll) {
+  FaultPlan plan(3);
+  plan.uniform_omissions(1.0);
+  FaultInjector injector(plan, Rng(5));
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(injector.drop_on_send(p, 1));
+    EXPECT_TRUE(injector.drop_on_hop(p, 1));
+  }
+}
+
+TEST(FaultPlan, WindowGatesOmissionsNotCrashes) {
+  FaultPlan plan(1);
+  plan.uniform_omissions(1.0);
+  plan.fault_window(100, 200);
+  plan.crash(0, 500);
+  FaultInjector injector(plan, Rng(6));
+  // Outside the window: no omissions.
+  EXPECT_FALSE(injector.drop_on_send(0, 50));
+  EXPECT_FALSE(injector.drop_on_send(0, 250));
+  // Inside: always.
+  EXPECT_TRUE(injector.drop_on_send(0, 150));
+  // Crash ignores the window.
+  EXPECT_TRUE(injector.is_crashed(0, 500));
+}
+
+TEST(FaultPlan, WindowBoundsAreHalfOpen) {
+  FaultPlan plan(1);
+  plan.uniform_omissions(1.0);
+  plan.fault_window(100, 200);
+  FaultInjector injector(plan, Rng(7));
+  EXPECT_FALSE(injector.drop_on_send(0, 99));
+  EXPECT_TRUE(injector.drop_on_send(0, 100));
+  EXPECT_TRUE(injector.drop_on_send(0, 199));
+  EXPECT_FALSE(injector.drop_on_send(0, 200));
+}
+
+TEST(FaultInjector, ForceCrashIsImmediate) {
+  FaultPlan plan(2);
+  FaultInjector injector(plan, Rng(8));
+  EXPECT_FALSE(injector.is_crashed(1, 77));
+  injector.force_crash(1, 77);
+  EXPECT_TRUE(injector.is_crashed(1, 77));
+  EXPECT_FALSE(injector.is_crashed(1, 76));
+}
+
+TEST(FaultInjector, ForceCrashDoesNotDelayPlannedCrash) {
+  FaultPlan plan(1);
+  plan.crash(0, 50);
+  FaultInjector injector(plan, Rng(9));
+  injector.force_crash(0, 100);  // later than the plan: plan wins
+  EXPECT_TRUE(injector.is_crashed(0, 50));
+}
+
+TEST(FaultInjector, DeterministicAcrossRuns) {
+  FaultPlan plan(1);
+  plan.uniform_omissions(0.3);
+  FaultInjector a(plan, Rng(10));
+  FaultInjector b(plan, Rng(10));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.drop_on_send(0, 1), b.drop_on_send(0, 1));
+    EXPECT_EQ(a.drop_on_hop(0, 1), b.drop_on_hop(0, 1));
+  }
+}
+
+TEST(FaultPlan, InWindowOpenEnded) {
+  FaultPlan plan(1);
+  EXPECT_TRUE(plan.in_window(0));
+  EXPECT_TRUE(plan.in_window(1LL << 50));
+  plan.fault_window(10, kNoTick);
+  EXPECT_FALSE(plan.in_window(5));
+  EXPECT_TRUE(plan.in_window(1LL << 50));
+}
+
+}  // namespace
+}  // namespace urcgc::fault

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "causal/graph.hpp"
+
+namespace urcgc::causal {
+namespace {
+
+TEST(CausalGraph, AddAndContains) {
+  CausalGraph g;
+  EXPECT_TRUE(g.add({0, 1}, {}));
+  EXPECT_TRUE(g.contains({0, 1}));
+  EXPECT_FALSE(g.contains({0, 2}));
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(CausalGraph, DuplicateAddRejected) {
+  CausalGraph g;
+  EXPECT_TRUE(g.add({0, 1}, {}));
+  EXPECT_FALSE(g.add({0, 1}, {}));
+}
+
+TEST(CausalGraph, DepsOf) {
+  CausalGraph g;
+  std::vector<Mid> deps{{0, 1}, {1, 1}};
+  g.add({2, 1}, deps);
+  auto stored = g.deps_of({2, 1});
+  ASSERT_EQ(stored.size(), 2u);
+  EXPECT_EQ(stored[0], (Mid{0, 1}));
+  EXPECT_TRUE(g.deps_of({9, 9}).empty());
+}
+
+TEST(CausalGraph, DirectDependency) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> deps{{0, 1}};
+  g.add({0, 2}, deps);
+  EXPECT_TRUE(g.depends_on({0, 2}, {0, 1}));
+  EXPECT_FALSE(g.depends_on({0, 1}, {0, 2}));
+  EXPECT_FALSE(g.depends_on({0, 1}, {0, 1}));  // not reflexive
+}
+
+TEST(CausalGraph, TransitiveDependency) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d1{{0, 1}};
+  g.add({1, 1}, d1);
+  std::vector<Mid> d2{{1, 1}};
+  g.add({2, 1}, d2);
+  EXPECT_TRUE(g.depends_on({2, 1}, {0, 1}));
+}
+
+TEST(CausalGraph, ConcurrentNodesIndependent) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  g.add({1, 1}, {});
+  EXPECT_FALSE(g.depends_on({0, 1}, {1, 1}));
+  EXPECT_FALSE(g.depends_on({1, 1}, {0, 1}));
+}
+
+TEST(CausalGraph, AncestorsCollectsClosure) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d1{{0, 1}};
+  g.add({0, 2}, d1);
+  std::vector<Mid> d2{{0, 2}, {0, 1}};
+  g.add({1, 1}, d2);
+  auto anc = g.ancestors({1, 1});
+  EXPECT_EQ(anc, (std::vector<Mid>{{0, 1}, {0, 2}}));
+  EXPECT_TRUE(g.ancestors({0, 1}).empty());
+}
+
+TEST(CausalGraph, AcyclicForDag) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d{{0, 1}};
+  g.add({0, 2}, d);
+  std::vector<Mid> d2{{0, 2}};
+  g.add({1, 1}, d2);
+  EXPECT_TRUE(g.acyclic());
+}
+
+TEST(CausalGraph, DetectsTwoCycle) {
+  CausalGraph g;
+  std::vector<Mid> da{{1, 1}};
+  g.add({0, 1}, da);
+  std::vector<Mid> db{{0, 1}};
+  g.add({1, 1}, db);
+  EXPECT_FALSE(g.acyclic());
+}
+
+TEST(CausalGraph, DetectsSelfLoop) {
+  CausalGraph g;
+  std::vector<Mid> d{{0, 1}};
+  g.add({0, 1}, d);
+  EXPECT_FALSE(g.acyclic());
+}
+
+TEST(CausalGraph, DetectsLongCycle) {
+  CausalGraph g;
+  std::vector<Mid> d1{{2, 1}};
+  g.add({0, 1}, d1);
+  std::vector<Mid> d2{{0, 1}};
+  g.add({1, 1}, d2);
+  std::vector<Mid> d3{{1, 1}};
+  g.add({2, 1}, d3);
+  EXPECT_FALSE(g.acyclic());
+}
+
+TEST(CausalGraph, AcyclicIgnoresMissingDeps) {
+  CausalGraph g;
+  std::vector<Mid> d{{9, 9}};  // dep never added to graph
+  g.add({0, 1}, d);
+  EXPECT_TRUE(g.acyclic());
+}
+
+TEST(CausalGraph, ValidLinearizationAccepted) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d{{0, 1}};
+  g.add({0, 2}, d);
+  std::vector<Mid> log{{0, 1}, {0, 2}};
+  EXPECT_FALSE(g.first_order_violation(log).has_value());
+}
+
+TEST(CausalGraph, ViolationDetected) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d{{0, 1}};
+  g.add({0, 2}, d);
+  std::vector<Mid> log{{0, 2}, {0, 1}};
+  auto bad = g.first_order_violation(log);
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(*bad, (Mid{0, 2}));
+}
+
+TEST(CausalGraph, PartialLogAccepted) {
+  // A log containing only some messages is fine as long as relative order
+  // of present pairs is respected.
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d{{0, 1}};
+  g.add({0, 2}, d);
+  std::vector<Mid> d2{{0, 2}};
+  g.add({0, 3}, d2);
+  std::vector<Mid> log{{0, 1}, {0, 3}};  // (0,2) absent: allowed
+  EXPECT_FALSE(g.first_order_violation(log).has_value());
+}
+
+TEST(CausalGraph, EmptyLogValid) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  EXPECT_FALSE(g.first_order_violation({}).has_value());
+}
+
+TEST(CausalGraph, RootsAreNodesWithoutPresentDeps) {
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d{{0, 1}};
+  g.add({0, 2}, d);
+  std::vector<Mid> external{{7, 7}};  // dep not in graph -> still a root
+  g.add({1, 1}, external);
+  EXPECT_EQ(g.roots(), (std::vector<Mid>{{0, 1}, {1, 1}}));
+}
+
+TEST(CausalGraph, CrossProcessFanOutOrdering) {
+  // One root, three dependents, then a join node.
+  CausalGraph g;
+  g.add({0, 1}, {});
+  std::vector<Mid> d{{0, 1}};
+  g.add({1, 1}, d);
+  g.add({2, 1}, d);
+  g.add({3, 1}, d);
+  std::vector<Mid> join{{1, 1}, {2, 1}, {3, 1}};
+  g.add({0, 2}, join);
+
+  std::vector<Mid> ok{{0, 1}, {3, 1}, {1, 1}, {2, 1}, {0, 2}};
+  EXPECT_FALSE(g.first_order_violation(ok).has_value());
+  std::vector<Mid> bad{{0, 1}, {0, 2}, {1, 1}, {2, 1}, {3, 1}};
+  EXPECT_TRUE(g.first_order_violation(bad).has_value());
+}
+
+}  // namespace
+}  // namespace urcgc::causal

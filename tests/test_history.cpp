@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/history.hpp"
+
+namespace urcgc::core {
+namespace {
+
+AppMessage make(ProcessId origin, Seq seq) {
+  AppMessage msg;
+  msg.mid = {origin, seq};
+  if (seq > 1) msg.deps.push_back({origin, seq - 1});
+  msg.payload = {static_cast<std::uint8_t>(seq & 0xFF)};
+  return msg;
+}
+
+TEST(History, StartsEmpty) {
+  History h(3);
+  EXPECT_EQ(h.total_size(), 0u);
+  EXPECT_EQ(h.n(), 3);
+  EXPECT_FALSE(h.contains({0, 1}));
+  EXPECT_EQ(h.max_stored(0), kNoSeq);
+  EXPECT_EQ(h.min_stored(0), kNoSeq);
+}
+
+TEST(History, StoreAndFind) {
+  History h(2);
+  EXPECT_TRUE(h.store(make(0, 1)));
+  const AppMessage* found = h.find({0, 1});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->mid, (Mid{0, 1}));
+  EXPECT_EQ(h.total_size(), 1u);
+  EXPECT_EQ(h.size_of(0), 1u);
+  EXPECT_EQ(h.size_of(1), 0u);
+}
+
+TEST(History, DuplicateStoreIgnored) {
+  History h(2);
+  EXPECT_TRUE(h.store(make(0, 1)));
+  EXPECT_FALSE(h.store(make(0, 1)));
+  EXPECT_EQ(h.total_size(), 1u);
+}
+
+TEST(History, RangeReturnsSeqOrder) {
+  History h(2);
+  h.store(make(0, 3));
+  h.store(make(0, 1));
+  h.store(make(0, 2));
+  auto range = h.range(0, 1, 3, 10);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0].mid.seq, 1);
+  EXPECT_EQ(range[1].mid.seq, 2);
+  EXPECT_EQ(range[2].mid.seq, 3);
+}
+
+TEST(History, RangeRespectsBoundsAndGaps) {
+  History h(2);
+  h.store(make(0, 1));
+  h.store(make(0, 3));  // 2 missing
+  h.store(make(0, 5));
+  auto range = h.range(0, 2, 4, 10);
+  ASSERT_EQ(range.size(), 1u);
+  EXPECT_EQ(range[0].mid.seq, 3);
+}
+
+TEST(History, RangeHonoursMaxCount) {
+  History h(1);
+  for (Seq s = 1; s <= 20; ++s) h.store(make(0, s));
+  auto range = h.range(0, 1, 20, 5);
+  ASSERT_EQ(range.size(), 5u);
+  EXPECT_EQ(range.back().mid.seq, 5);  // first five, in order
+}
+
+TEST(History, RangeEmptyForBadArgs) {
+  History h(2);
+  h.store(make(0, 1));
+  EXPECT_TRUE(h.range(0, 3, 2, 10).empty());   // from > to
+  EXPECT_TRUE(h.range(-1, 1, 2, 10).empty());  // bad origin
+  EXPECT_TRUE(h.range(5, 1, 2, 10).empty());
+}
+
+TEST(History, PurgeRemovesPrefix) {
+  History h(2);
+  for (Seq s = 1; s <= 10; ++s) h.store(make(0, s));
+  EXPECT_EQ(h.purge_upto(0, 6), 6u);
+  EXPECT_EQ(h.total_size(), 4u);
+  EXPECT_FALSE(h.contains({0, 6}));
+  EXPECT_TRUE(h.contains({0, 7}));
+  EXPECT_EQ(h.min_stored(0), 7);
+}
+
+TEST(History, PurgeIdempotent) {
+  History h(1);
+  for (Seq s = 1; s <= 5; ++s) h.store(make(0, s));
+  EXPECT_EQ(h.purge_upto(0, 3), 3u);
+  EXPECT_EQ(h.purge_upto(0, 3), 0u);
+  EXPECT_EQ(h.purge_upto(0, 2), 0u);
+}
+
+TEST(History, PurgeZeroIsNoop) {
+  History h(1);
+  h.store(make(0, 1));
+  EXPECT_EQ(h.purge_upto(0, kNoSeq), 0u);
+  EXPECT_EQ(h.total_size(), 1u);
+}
+
+TEST(History, MaxMinStored) {
+  History h(2);
+  h.store(make(1, 4));
+  h.store(make(1, 2));
+  EXPECT_EQ(h.max_stored(1), 4);
+  EXPECT_EQ(h.min_stored(1), 2);
+}
+
+TEST(History, PerOriginIsolation) {
+  History h(3);
+  h.store(make(0, 1));
+  h.store(make(1, 1));
+  h.store(make(2, 1));
+  EXPECT_EQ(h.purge_upto(1, 1), 1u);
+  EXPECT_TRUE(h.contains({0, 1}));
+  EXPECT_FALSE(h.contains({1, 1}));
+  EXPECT_TRUE(h.contains({2, 1}));
+}
+
+}  // namespace
+}  // namespace urcgc::core

@@ -1,0 +1,270 @@
+// Whole-system integration tests through the experiment harness: every
+// scenario must satisfy the URCGC clauses (uniform atomicity + ordering)
+// and terminate.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace urcgc::harness {
+namespace {
+
+ExperimentConfig base_config(int n = 6) {
+  ExperimentConfig config;
+  config.protocol.n = n;
+  config.workload.load = 0.5;
+  config.workload.total_messages = 60;
+  config.workload.cross_dep_prob = 0.3;
+  config.limit_rtd = 2000;
+  config.seed = 7;
+  return config;
+}
+
+void expect_clean(const ExperimentReport& report) {
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_TRUE(report.workload_exhausted);
+  EXPECT_TRUE(report.atomicity_ok)
+      << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_TRUE(report.ordering_ok);
+  EXPECT_TRUE(report.acyclic_ok);
+  for (const auto& violation : report.violations) {
+    ADD_FAILURE() << violation;
+  }
+}
+
+TEST(Integration, ReliableRunCompletes) {
+  Experiment experiment(base_config());
+  auto report = experiment.run();
+  expect_clean(report);
+  EXPECT_EQ(report.generated, 60u);
+  // Every survivor processed every message: 60 * 6 events.
+  EXPECT_EQ(report.processed_events, 360u);
+  EXPECT_TRUE(report.halts.empty());
+}
+
+TEST(Integration, ReliableRunNoRecoveries) {
+  Experiment experiment(base_config());
+  auto report = experiment.run();
+  EXPECT_EQ(report.traffic.count(stats::MsgClass::kRecoverRq), 0u);
+  EXPECT_EQ(report.traffic.count(stats::MsgClass::kRecoverRsp), 0u);
+  EXPECT_EQ(report.discarded, 0u);
+}
+
+TEST(Integration, ReliableDelayNearOneWayLatency) {
+  Experiment experiment(base_config());
+  auto report = experiment.run();
+  EXPECT_GT(report.delay_rtd.mean, 0.2);
+  EXPECT_LT(report.delay_rtd.mean, 1.0);
+}
+
+TEST(Integration, SingleCrashPreservesInvariants) {
+  auto config = base_config();
+  config.faults.crashes = {{3, 200}};
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  ASSERT_EQ(report.halts.size(), 1u);
+  EXPECT_EQ(report.halts[0].p, 3);
+  EXPECT_EQ(report.halts[0].reason, core::HaltReason::kCrashFault);
+}
+
+TEST(Integration, CrashIsDetectedWithinBound) {
+  auto config = base_config();
+  config.protocol.k_attempts = 3;
+  config.faults.crashes = {{2, 100}};
+  Experiment experiment(config);
+  auto report = experiment.run();
+  const double t = report.recovery_time_rtd({2}, 100, 20);
+  ASSERT_GE(t, 0.0) << "crash never settled into a full-group decision";
+  // Paper bound: 2K + f subruns (f = 0 here), plus one subrun of slack for
+  // the decision broadcast itself.
+  EXPECT_LE(t, 2.0 * config.protocol.k_attempts + 1.0);
+}
+
+TEST(Integration, MultipleCrashes) {
+  auto config = base_config(8);
+  config.faults.crashes = {{1, 100}, {4, 180}, {6, 260}};
+  config.workload.total_messages = 80;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  EXPECT_EQ(report.halts.size(), 3u);
+}
+
+TEST(Integration, OmissionFaultsHealViaRecovery) {
+  auto config = base_config();
+  config.faults.omission_prob = 1.0 / 100.0;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  EXPECT_GT(report.fault_counters.send_omissions +
+                report.fault_counters.recv_omissions,
+            0u);
+}
+
+TEST(Integration, SubnetLossHealsViaRecovery) {
+  auto config = base_config();
+  config.faults.packet_loss = 0.02;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+}
+
+TEST(Integration, GeneralOmissionCombined) {
+  auto config = base_config(8);
+  config.workload.total_messages = 100;
+  config.faults.omission_prob = 1.0 / 200.0;
+  config.faults.crashes = {{5, 250}};
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+}
+
+TEST(Integration, CoordinatorCrashStorm) {
+  auto config = base_config(8);
+  config.faults.coordinator_crashes = 3;
+  config.faults.coordinator_crash_start = 2;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  EXPECT_EQ(report.halts.size(), 3u);
+}
+
+TEST(Integration, HighLoadRun) {
+  auto config = base_config();
+  config.workload.load = 1.0;
+  config.workload.total_messages = 120;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+}
+
+TEST(Integration, FlowControlBoundsHistory) {
+  auto config = base_config(5);
+  config.protocol.history_threshold = 8 * 5;  // the paper's 8n
+  config.workload.load = 1.0;
+  config.workload.total_messages = 200;
+  config.workload.max_pending_per_process = 100;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  // With the urcgc stability lag, the momentary max can exceed the
+  // threshold by the in-flight margin, but must stay well under the
+  // uncontrolled worst case.
+  EXPECT_LE(report.history_max.max_value(), 8 * 5 + 2 * 5 + 5);
+}
+
+TEST(Integration, TemporalCausalityMode) {
+  auto config = base_config();
+  config.protocol.causality = core::CausalityMode::kTemporal;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+}
+
+TEST(Integration, GeneralCausalityMode) {
+  auto config = base_config();
+  config.protocol.causality = core::CausalityMode::kGeneral;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+}
+
+TEST(Integration, LargeGroupPaperScale) {
+  // Figure 6's configuration: n = 40, 480 messages.
+  auto config = base_config(40);
+  config.workload.total_messages = 480;
+  config.workload.load = 0.3;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  EXPECT_EQ(report.generated, 480u);
+}
+
+TEST(Integration, ControlTrafficMatchesFormulaWhenReliable) {
+  // 2(n-1) control messages per subrun: requests + decision copies.
+  auto config = base_config(6);
+  config.workload.total_messages = 30;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  const double subruns = report.end_rtd;
+  const double expected = 2.0 * (6 - 1) * subruns;
+  const double actual =
+      static_cast<double>(report.traffic.count(stats::MsgClass::kRequest) +
+                          report.traffic.count(stats::MsgClass::kDecision));
+  EXPECT_NEAR(actual, expected, expected * 0.1);
+}
+
+TEST(Integration, CrashOfEveryoneButOne) {
+  auto config = base_config(4);
+  config.workload.total_messages = 40;
+  config.faults.crashes = {{1, 300}, {2, 340}, {3, 380}};
+  Experiment experiment(config);
+  auto report = experiment.run();
+  // The lone survivor must still terminate with consistent state.
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_TRUE(report.atomicity_ok);
+  EXPECT_TRUE(report.ordering_ok);
+}
+
+TEST(Integration, IdleGroupStaysStable) {
+  // No application traffic at all: the agreement machinery must idle
+  // cleanly — decisions every subrun, no spurious removals, no halts.
+  auto config = base_config(6);
+  config.workload.load = 0.0;
+  config.workload.total_messages = 0;
+  config.limit_rtd = 40;
+  config.grace_subruns = 0;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  EXPECT_TRUE(report.halts.empty());
+  EXPECT_GT(report.decisions.size(), 30u);
+  for (const auto& event : report.decisions) {
+    EXPECT_EQ(event.alive_count, 6);
+  }
+  EXPECT_EQ(report.processed_events, 0u);
+}
+
+TEST(Integration, SoakLargeGroupMixedFaults) {
+  // Soak: n=24, 600 messages, omissions + loss + three crashes.
+  ExperimentConfig config;
+  config.protocol.n = 24;
+  config.protocol.k_attempts = 3;
+  config.workload.load = 0.6;
+  config.workload.total_messages = 600;
+  config.workload.cross_dep_prob = 0.4;
+  config.faults.omission_prob = 1.0 / 400.0;
+  config.faults.packet_loss = 0.005;
+  config.faults.crashes = {{23, 200}, {11, 500}, {5, 900}};
+  config.seed = 1234;
+  config.limit_rtd = 6000;
+  Experiment experiment(config);
+  auto report = experiment.run();
+  expect_clean(report);
+  // Submissions queued at a member that crashes before its next request
+  // round die with it; everything else must have been generated.
+  EXPECT_GE(report.generated, 580u);
+  EXPECT_LE(report.generated, 600u);
+}
+
+TEST(Integration, DeterministicForSeed) {
+  auto config = base_config();
+  config.faults.omission_prob = 0.01;
+  auto r1 = Experiment(config).run();
+  auto r2 = Experiment(config).run();
+  EXPECT_EQ(r1.end_tick, r2.end_tick);
+  EXPECT_EQ(r1.processed_events, r2.processed_events);
+  EXPECT_EQ(r1.traffic.control_bytes(), r2.traffic.control_bytes());
+}
+
+TEST(Integration, SeedsChangeOutcome) {
+  auto config = base_config();
+  config.faults.omission_prob = 0.01;
+  auto r1 = Experiment(config).run();
+  config.seed = 8;
+  auto r2 = Experiment(config).run();
+  EXPECT_NE(r1.net_stats.packets_sent, r2.net_stats.packets_sent);
+}
+
+}  // namespace
+}  // namespace urcgc::harness

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/mt_entity.hpp"
+
+namespace urcgc::core {
+namespace {
+
+Config small_config(int n = 4) {
+  Config config;
+  config.n = n;
+  return config;
+}
+
+AppMessage make(ProcessId origin, Seq seq, std::vector<Mid> deps = {}) {
+  AppMessage msg;
+  msg.mid = {origin, seq};
+  msg.deps = std::move(deps);
+  msg.payload = {static_cast<std::uint8_t>(seq & 0xFF)};
+  return msg;
+}
+
+/// Message under the intermediate interpretation: implicit predecessor.
+AppMessage chained(ProcessId origin, Seq seq, std::vector<Mid> extra = {}) {
+  auto deps = std::move(extra);
+  if (seq > 1) deps.push_back({origin, seq - 1});
+  return make(origin, seq, std::move(deps));
+}
+
+TEST(MtEntity, ProcessesRootImmediately) {
+  MtEntity mt(small_config(), 0, nullptr);
+  std::vector<Mid> delivered;
+  mt.set_on_processed(
+      [&](const AppMessage& msg) { delivered.push_back(msg.mid); });
+  mt.submit(chained(1, 1), 10);
+  EXPECT_EQ(delivered, (std::vector<Mid>{{1, 1}}));
+  EXPECT_EQ(mt.prefix(1), 1);
+  EXPECT_EQ(mt.history_size(), 1u);
+  EXPECT_EQ(mt.waiting_size(), 0u);
+}
+
+TEST(MtEntity, HoldsMessageWithMissingDep) {
+  MtEntity mt(small_config(), 0, nullptr);
+  mt.submit(chained(1, 2), 10);  // needs (1,1)
+  EXPECT_EQ(mt.waiting_size(), 1u);
+  EXPECT_EQ(mt.prefix(1), 0);
+  EXPECT_FALSE(mt.processed({1, 2}));
+}
+
+TEST(MtEntity, ReleasesChainInOrder) {
+  MtEntity mt(small_config(), 0, nullptr);
+  std::vector<Mid> delivered;
+  mt.set_on_processed(
+      [&](const AppMessage& msg) { delivered.push_back(msg.mid); });
+  mt.submit(chained(1, 3), 10);
+  mt.submit(chained(1, 2), 11);
+  EXPECT_TRUE(delivered.empty());
+  mt.submit(chained(1, 1), 12);
+  EXPECT_EQ(delivered, (std::vector<Mid>{{1, 1}, {1, 2}, {1, 3}}));
+  EXPECT_EQ(mt.prefix(1), 3);
+  EXPECT_EQ(mt.waiting_size(), 0u);
+}
+
+TEST(MtEntity, CrossOriginDependency) {
+  MtEntity mt(small_config(), 0, nullptr);
+  std::vector<Mid> delivered;
+  mt.set_on_processed(
+      [&](const AppMessage& msg) { delivered.push_back(msg.mid); });
+  mt.submit(chained(2, 1, {{1, 1}}), 10);  // depends on p1's first
+  EXPECT_TRUE(delivered.empty());
+  mt.submit(chained(1, 1), 11);
+  EXPECT_EQ(delivered, (std::vector<Mid>{{1, 1}, {2, 1}}));
+}
+
+TEST(MtEntity, DuplicateSubmissionsIgnored) {
+  MtEntity mt(small_config(), 0, nullptr);
+  int deliveries = 0;
+  mt.set_on_processed([&](const AppMessage&) { ++deliveries; });
+  mt.submit(chained(1, 1), 10);
+  mt.submit(chained(1, 1), 11);  // already processed
+  mt.submit(chained(1, 3), 12);  // waiting
+  mt.submit(chained(1, 3), 13);  // already waiting
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(mt.duplicates_ignored(), 2u);
+}
+
+TEST(MtEntity, LastProcessedVector) {
+  MtEntity mt(small_config(3), 0, nullptr);
+  mt.submit(chained(0, 1), 1);
+  mt.submit(chained(2, 1), 2);
+  mt.submit(chained(2, 2), 3);
+  EXPECT_EQ(mt.last_processed_vec(), (std::vector<Seq>{1, 0, 2}));
+}
+
+TEST(MtEntity, OldestWaitingVector) {
+  MtEntity mt(small_config(3), 0, nullptr);
+  mt.submit(chained(1, 5), 1);
+  mt.submit(chained(1, 4), 2);
+  mt.submit(chained(2, 9), 3);
+  EXPECT_EQ(mt.oldest_waiting_vec(), (std::vector<Seq>{kNoSeq, 4, 9}));
+}
+
+TEST(MtEntity, ServeRecoveryFromHistory) {
+  MtEntity mt(small_config(), 0, nullptr);
+  for (Seq s = 1; s <= 5; ++s) mt.submit(chained(1, s), s);
+  RecoverRq rq{2, 1, 2, 4};
+  RecoverRsp rsp = mt.serve_recovery(rq);
+  EXPECT_EQ(rsp.from, 0);
+  EXPECT_EQ(rsp.origin, 1);
+  ASSERT_EQ(rsp.messages.size(), 3u);
+  EXPECT_EQ(rsp.messages[0].mid.seq, 2);
+  EXPECT_EQ(rsp.messages[2].mid.seq, 4);
+}
+
+TEST(MtEntity, ServeRecoveryRespectsBatchCap) {
+  Config config = small_config();
+  config.max_recover_batch = 2;
+  MtEntity mt(config, 0, nullptr);
+  for (Seq s = 1; s <= 10; ++s) mt.submit(chained(1, s), s);
+  RecoverRsp rsp = mt.serve_recovery(RecoverRq{2, 1, 1, 10});
+  EXPECT_EQ(rsp.messages.size(), 2u);
+  EXPECT_EQ(rsp.messages[0].mid.seq, 1);  // oldest first
+}
+
+TEST(MtEntity, ServeRecoveryEmptyWhenUnknown) {
+  MtEntity mt(small_config(), 0, nullptr);
+  EXPECT_TRUE(mt.serve_recovery(RecoverRq{2, 1, 1, 5}).messages.empty());
+}
+
+TEST(MtEntity, CleanPurgesUpToStability) {
+  MtEntity mt(small_config(2), 0, nullptr);
+  for (Seq s = 1; s <= 6; ++s) mt.submit(chained(1, s), s);
+  EXPECT_EQ(mt.clean({kNoSeq, 4}), 4u);
+  EXPECT_EQ(mt.history_size(), 2u);
+  // Processed state unaffected; only the recovery store shrank.
+  EXPECT_EQ(mt.prefix(1), 6);
+}
+
+TEST(MtEntity, CleanBeyondPrefixAborts) {
+  MtEntity mt(small_config(2), 0, nullptr);
+  mt.submit(chained(1, 1), 1);
+  EXPECT_DEATH((void)mt.clean({kNoSeq, 5}), "cleaning point");
+}
+
+TEST(MtEntity, DiscardOrphansRemovesDependents) {
+  MtEntity mt(small_config(3), 0, nullptr);
+  // (1,2) missing; (1,3) and (2,1)->(1,3) wait on the doomed chain.
+  mt.submit(chained(1, 1), 1);
+  mt.submit(chained(1, 3), 2);
+  mt.submit(chained(2, 1, {{1, 3}}), 3);
+  EXPECT_EQ(mt.waiting_size(), 2u);
+  auto discarded = mt.discard_orphans(1, 2, 10);
+  EXPECT_EQ(discarded.size(), 2u);
+  EXPECT_EQ(mt.waiting_size(), 0u);
+}
+
+TEST(MtEntity, MissingRangesFromWaitingGaps) {
+  MtEntity mt(small_config(3), 0, nullptr);
+  mt.submit(chained(1, 1), 1);
+  mt.submit(chained(1, 4), 2);  // gap: 2..3 missing
+  auto ranges = mt.missing_ranges();
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].origin, 1);
+  EXPECT_EQ(ranges[0].from_seq, 2);
+  EXPECT_EQ(ranges[0].to_seq, 3);
+}
+
+TEST(MtEntity, MissingRangesSkipHeldMessages) {
+  MtEntity mt(small_config(3), 0, nullptr);
+  // (1,2) is held (waiting), only (1,1) is truly absent.
+  mt.submit(chained(1, 2), 1);
+  auto ranges = mt.missing_ranges();
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].from_seq, 1);
+  EXPECT_EQ(ranges[0].to_seq, 1);
+}
+
+TEST(MtEntity, MissingRangesCrossOrigin) {
+  MtEntity mt(small_config(4), 0, nullptr);
+  mt.submit(chained(1, 1, {{2, 3}, {3, 1}}), 1);
+  auto ranges = mt.missing_ranges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].origin, 2);
+  EXPECT_EQ(ranges[0].from_seq, 1);  // extended down to the first gap
+  EXPECT_EQ(ranges[0].to_seq, 3);
+  EXPECT_EQ(ranges[1].origin, 3);
+  EXPECT_EQ(ranges[1].to_seq, 1);
+}
+
+TEST(MtEntity, ProcessingLogRecordsOrder) {
+  MtEntity mt(small_config(2), 0, nullptr);
+  mt.submit(chained(1, 1), 1);
+  mt.submit(chained(0, 1), 2);
+  ASSERT_EQ(mt.processing_log().size(), 2u);
+  EXPECT_EQ(mt.processing_log()[0], (Mid{1, 1}));
+  EXPECT_EQ(mt.processing_log()[1], (Mid{0, 1}));
+}
+
+TEST(MtEntity, RecoveredMessagesFlowThroughNormalPath) {
+  MtEntity source(small_config(2), 0, nullptr);
+  for (Seq s = 1; s <= 3; ++s) source.submit(chained(1, s), s);
+
+  MtEntity behind(small_config(2), 1, nullptr);
+  behind.submit(chained(1, 3), 5);  // waiting: 1..2 missing
+  auto rsp = source.serve_recovery(RecoverRq{1, 1, 1, 2});
+  for (const auto& msg : rsp.messages) behind.submit(msg, 6);
+  EXPECT_EQ(behind.prefix(1), 3);
+  EXPECT_EQ(behind.waiting_size(), 0u);
+}
+
+TEST(MtEntity, GeneralModeOutOfOrderProcessing) {
+  // Under Definition 3.1 a process may root several sequences: (0,2) does
+  // not depend on (0,1) and may be processed first.
+  MtEntity mt(small_config(2), 1, nullptr);
+  std::vector<Mid> delivered;
+  mt.set_on_processed(
+      [&](const AppMessage& msg) { delivered.push_back(msg.mid); });
+  mt.submit(make(0, 2), 1);  // no deps at all: an independent root
+  EXPECT_EQ(delivered, (std::vector<Mid>{{0, 2}}));
+  EXPECT_EQ(mt.prefix(0), 0);  // prefix still gated by the gap at 1
+  mt.submit(make(0, 1), 2);
+  EXPECT_EQ(mt.prefix(0), 2);
+}
+
+}  // namespace
+}  // namespace urcgc::core

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/endpoint.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::net {
+namespace {
+
+struct Rig {
+  explicit Rig(int n, fault::FaultPlan plan = fault::FaultPlan(0),
+               NetConfig config = {.min_latency = 1, .max_latency = 9})
+      : injector(plan.per_process.empty() ? fault::FaultPlan(n)
+                                          : std::move(plan),
+                 Rng(11)),
+        network(sim, injector, config, Rng(12)) {}
+
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  Network network;
+};
+
+TEST(Network, UnicastDeliversWithinLatencyBounds) {
+  Rig rig(2);
+  std::vector<Packet> received;
+  rig.network.attach(0, [](const Packet&) {});
+  rig.network.attach(1, [&](const Packet& p) { received.push_back(p); });
+
+  rig.network.unicast(0, 1, {1, 2, 3});
+  rig.sim.run_until(100);
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].src, 0);
+  EXPECT_EQ(received[0].dst, 1);
+  EXPECT_EQ(received[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_GE(rig.sim.now() - received[0].sent_at, 0);
+}
+
+TEST(Network, LatencyWithinConfiguredRange) {
+  Rig rig(2, fault::FaultPlan(2), {.min_latency = 3, .max_latency = 7});
+  std::vector<Tick> arrivals;
+  rig.network.attach(0, [](const Packet&) {});
+  rig.network.attach(1, [&](const Packet& p) {
+    arrivals.push_back(rig.sim.now() - p.sent_at);
+  });
+  for (int i = 0; i < 200; ++i) rig.network.unicast(0, 1, {0});
+  rig.sim.run_until(100);
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (Tick latency : arrivals) {
+    EXPECT_GE(latency, 3);
+    EXPECT_LE(latency, 7);
+  }
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+  Rig rig(4);
+  std::vector<int> hits(4, 0);
+  for (ProcessId p = 0; p < 4; ++p) {
+    rig.network.attach(p, [&hits, p](const Packet&) { ++hits[p]; });
+  }
+  rig.network.broadcast(2, {9});
+  rig.sim.run_until(100);
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 0, 1}));
+}
+
+TEST(Network, MulticastHitsExactDestinations) {
+  Rig rig(5);
+  std::vector<int> hits(5, 0);
+  for (ProcessId p = 0; p < 5; ++p) {
+    rig.network.attach(p, [&hits, p](const Packet&) { ++hits[p]; });
+  }
+  const ProcessId dsts[] = {1, 3};
+  rig.network.multicast(0, dsts, {7});
+  rig.sim.run_until(100);
+  EXPECT_EQ(hits, (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(Network, StatsCountPacketsAndBytes) {
+  Rig rig(3);
+  for (ProcessId p = 0; p < 3; ++p) rig.network.attach(p, [](const Packet&) {});
+  rig.network.broadcast(0, {1, 2, 3, 4});  // 2 copies x 4 bytes
+  rig.sim.run_until(100);
+  EXPECT_EQ(rig.network.stats().packets_sent, 2u);
+  EXPECT_EQ(rig.network.stats().packets_delivered, 2u);
+  EXPECT_EQ(rig.network.stats().bytes_sent, 8u);
+  EXPECT_EQ(rig.network.stats().bytes_delivered, 8u);
+}
+
+TEST(Network, PacketLossDropsCopiesIndependently) {
+  fault::FaultPlan plan(2);
+  plan.packet_loss(1.0);
+  Rig rig(2, std::move(plan));
+  int received = 0;
+  rig.network.attach(0, [](const Packet&) {});
+  rig.network.attach(1, [&](const Packet&) { ++received; });
+  for (int i = 0; i < 50; ++i) rig.network.unicast(0, 1, {0});
+  rig.sim.run_until(1000);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(rig.network.stats().packets_dropped, 50u);
+}
+
+TEST(Network, CrashedSenderCannotSend) {
+  fault::FaultPlan plan(2);
+  plan.crash(0, 0);
+  Rig rig(2, std::move(plan));
+  int received = 0;
+  rig.network.attach(0, [](const Packet&) {});
+  rig.network.attach(1, [&](const Packet&) { ++received; });
+  rig.network.unicast(0, 1, {0});
+  rig.sim.run_until(100);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, CrashedReceiverGetsNothing) {
+  fault::FaultPlan plan(2);
+  plan.crash(1, 0);
+  Rig rig(2, std::move(plan));
+  int received = 0;
+  rig.network.attach(0, [](const Packet&) {});
+  rig.network.attach(1, [&](const Packet&) { ++received; });
+  rig.network.unicast(0, 1, {0});
+  rig.sim.run_until(100);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, CrashWhilePacketInFlightDropsIt) {
+  fault::FaultPlan plan(2);
+  plan.crash(1, 1);  // crashes one tick after send
+  Rig rig(2, std::move(plan), {.min_latency = 5, .max_latency = 5});
+  int received = 0;
+  rig.network.attach(0, [](const Packet&) {});
+  rig.network.attach(1, [&](const Packet&) { ++received; });
+  rig.network.unicast(0, 1, {0});  // sent at t=0, would arrive at t=5
+  rig.sim.run_until(100);
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(rig.network.stats().packets_dropped, 1u);
+}
+
+TEST(Network, SendOmissionAffectsSubsetOfMulticast) {
+  // With a 50% send-omission rate, a broadcast should reach some but
+  // (almost surely) not all of many destinations — the paper's
+  // "send is not indivisible".
+  fault::FaultPlan plan(20);
+  plan.send_omissions(0, 0.5);
+  Rig rig(20, std::move(plan));
+  int received = 0;
+  for (ProcessId p = 0; p < 20; ++p) {
+    rig.network.attach(p, [&](const Packet&) { ++received; });
+  }
+  rig.network.broadcast(0, {0});
+  rig.sim.run_until(100);
+  EXPECT_GT(received, 0);
+  EXPECT_LT(received, 19);
+}
+
+TEST(Network, DeterministicGivenSeeds) {
+  auto run = [] {
+    fault::FaultPlan plan(3);
+    plan.packet_loss(0.3);
+    Rig rig(3, std::move(plan));
+    std::vector<std::pair<ProcessId, Tick>> log;
+    for (ProcessId p = 0; p < 3; ++p) {
+      rig.network.attach(p, [&log, p, &rig](const Packet&) {
+        log.push_back({p, rig.sim.now()});
+      });
+    }
+    for (int i = 0; i < 20; ++i) rig.network.broadcast(i % 3, {1});
+    rig.sim.run_until(500);
+    return log;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DatagramEndpoint, RoutesSendAndUpcall) {
+  Rig rig(2);
+  DatagramEndpoint e0(rig.network, 0);
+  DatagramEndpoint e1(rig.network, 1);
+  std::vector<std::uint8_t> got;
+  ProcessId got_src = kNoProcess;
+  e1.set_upcall([&](ProcessId src, std::span<const std::uint8_t> bytes) {
+    got_src = src;
+    got.assign(bytes.begin(), bytes.end());
+  });
+  e0.send(1, {4, 5, 6});
+  rig.sim.run_until(100);
+  EXPECT_EQ(got_src, 0);
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{4, 5, 6}));
+  EXPECT_EQ(e0.self(), 0);
+  EXPECT_EQ(e1.self(), 1);
+}
+
+TEST(DatagramEndpoint, BroadcastExcludesSelf) {
+  Rig rig(3);
+  DatagramEndpoint e0(rig.network, 0);
+  DatagramEndpoint e1(rig.network, 1);
+  DatagramEndpoint e2(rig.network, 2);
+  int self_hits = 0;
+  int other_hits = 0;
+  e0.set_upcall([&](ProcessId, std::span<const std::uint8_t>) { ++self_hits; });
+  auto count = [&](ProcessId, std::span<const std::uint8_t>) { ++other_hits; };
+  e1.set_upcall(count);
+  e2.set_upcall(count);
+  e0.broadcast({1});
+  rig.sim.run_until(100);
+  EXPECT_EQ(self_hits, 0);
+  EXPECT_EQ(other_hits, 2);
+}
+
+}  // namespace
+}  // namespace urcgc::net

@@ -1,0 +1,152 @@
+// Network partitions and the resilience assumption t = (n-1)/2.
+//
+// The paper's decision-circulation argument requires at most (n-1)/2
+// failures per subrun. A partition models the extreme violation: during a
+// long split the minority side hears no coordinators (its own rotation
+// apart) and no majority traffic; the urcgc rules make the majority expel
+// the minority (attempts -> K) and the minority members either self-
+// exclude or learn they were declared dead when the partition heals.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+#include "net/endpoint.hpp"
+
+namespace urcgc::core {
+namespace {
+
+TEST(FaultPartition, SeparatesAndHeals) {
+  fault::FaultPlan plan(4);
+  plan.partition({0, 1}, 100, 200);
+  fault::FaultInjector injector(std::move(plan), Rng(1));
+  EXPECT_FALSE(injector.partitioned(0, 2, 99));
+  EXPECT_TRUE(injector.partitioned(0, 2, 100));
+  EXPECT_TRUE(injector.partitioned(2, 0, 150));   // both directions
+  EXPECT_FALSE(injector.partitioned(0, 1, 150));  // same side
+  EXPECT_FALSE(injector.partitioned(2, 3, 150));
+  EXPECT_FALSE(injector.partitioned(0, 2, 200));  // healed
+}
+
+TEST(FaultPartition, PermanentWhenEndIsNoTick) {
+  fault::FaultPlan plan(2);
+  fault::Partition p;
+  p.side_a = {true, false};
+  p.start = 10;
+  plan.partitions.push_back(p);
+  fault::FaultInjector injector(std::move(plan), Rng(1));
+  EXPECT_TRUE(injector.partitioned(0, 1, 1LL << 40));
+}
+
+struct Group {
+  explicit Group(Config config, fault::FaultPlan plan)
+      : injector(std::move(plan), Rng(131)),
+        network(sim, injector, {.min_latency = 5, .max_latency = 9},
+                Rng(132)) {
+    for (ProcessId p = 0; p < config.n; ++p) {
+      endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+      processes.push_back(std::make_unique<UrcgcProcess>(
+          config, p, sim, *endpoints.back(), injector));
+      processes.back()->start();
+    }
+  }
+  void run_subruns(int count) {
+    sim.run_until(sim.now() + count * sim.clock().ticks_per_subrun());
+  }
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  net::Network network;
+  std::vector<std::unique_ptr<net::DatagramEndpoint>> endpoints;
+  std::vector<std::unique_ptr<UrcgcProcess>> processes;
+};
+
+TEST(PartitionProtocol, MajorityExpelsMinorityAndContinues) {
+  Config config;
+  config.n = 7;
+  config.k_attempts = 3;
+  fault::FaultPlan plan(7);
+  plan.partition({5, 6}, 2 * 20, kNoTick);  // permanent split of a minority
+  Group g(config, std::move(plan));
+
+  for (int s = 0; s < 20; ++s) {
+    for (ProcessId p = 0; p < 5; ++p) {
+      if (!g.processes[p]->halted()) {
+        g.processes[p]->data_rq({static_cast<std::uint8_t>(s)});
+      }
+    }
+    g.run_subruns(1);
+  }
+  g.run_subruns(10);
+
+  // Majority members thrive and agree the minority is gone.
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_FALSE(g.processes[p]->halted()) << "p" << p;
+    EXPECT_FALSE(g.processes[p]->latest_decision().alive[5]);
+    EXPECT_FALSE(g.processes[p]->latest_decision().alive[6]);
+  }
+  // Majority logs agree.
+  EXPECT_EQ(g.processes[0]->mt().processing_log().size(),
+            g.processes[4]->mt().processing_log().size());
+  // Stability still works on the majority side: histories got cleaned.
+  EXPECT_EQ(g.processes[0]->mt().history_size(), 0u);
+}
+
+TEST(PartitionProtocol, MinoritySelfExcludes) {
+  Config config;
+  config.n = 7;
+  config.k_attempts = 3;
+  fault::FaultPlan plan(7);
+  plan.partition({6}, 2 * 20, kNoTick);  // one isolated member
+  Group g(config, std::move(plan));
+
+  for (int s = 0; s < 20; ++s) {
+    for (ProcessId p = 0; p < 6; ++p) {
+      if (!g.processes[p]->halted()) {
+        g.processes[p]->data_rq({static_cast<std::uint8_t>(s)});
+      }
+    }
+    g.run_subruns(1);
+  }
+
+  // The singleton hears nothing at all: it leaves after K silent subruns
+  // (its own coordinator turns cannot sustain it since its requests reach
+  // only itself and the isolation rule sees total receive silence).
+  EXPECT_TRUE(g.processes[6]->halted());
+  EXPECT_EQ(g.processes[6]->halt_reason(), HaltReason::kNoCoordinator);
+}
+
+TEST(PartitionProtocol, HealedPartitionMinorityLearnsItsFate) {
+  // A short split (< K subruns) heals before anyone is expelled: the
+  // group simply continues, everyone still alive.
+  Config config;
+  config.n = 6;
+  config.k_attempts = 4;
+  fault::FaultPlan plan(6);
+  plan.partition({4, 5}, 2 * 20, 4 * 20);  // two subruns of split
+  Group g(config, std::move(plan));
+
+  for (int s = 0; s < 16; ++s) {
+    for (ProcessId p = 0; p < 6; ++p) {
+      if (!g.processes[p]->halted()) {
+        g.processes[p]->data_rq({static_cast<std::uint8_t>(s)});
+      }
+    }
+    g.run_subruns(1);
+  }
+  g.run_subruns(12);
+
+  for (ProcessId p = 0; p < 6; ++p) {
+    EXPECT_FALSE(g.processes[p]->halted()) << "p" << p;
+  }
+  // After healing + recovery, everyone converged on the same set.
+  const auto reference = g.processes[0]->mt().processing_log().size();
+  for (ProcessId p = 1; p < 6; ++p) {
+    EXPECT_EQ(g.processes[p]->mt().processing_log().size(), reference)
+        << "p" << p;
+  }
+}
+
+}  // namespace
+}  // namespace urcgc::core

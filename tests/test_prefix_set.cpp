@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "causal/prefix_set.hpp"
+
+namespace urcgc::causal {
+namespace {
+
+TEST(PrefixSet, StartsEmpty) {
+  PrefixSet s;
+  EXPECT_EQ(s.prefix(), 0);
+  EXPECT_EQ(s.max_element(), 0);
+  EXPECT_EQ(s.first_gap(), 1);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(PrefixSet, SentinelSeqIsTriviallyContained) {
+  PrefixSet s;
+  EXPECT_TRUE(s.contains(0));   // kNoSeq = "no message"
+  EXPECT_TRUE(s.contains(-5));
+}
+
+TEST(PrefixSet, ContiguousInsertGrowsPrefix) {
+  PrefixSet s;
+  for (Seq i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(s.insert(i));
+    EXPECT_EQ(s.prefix(), i);
+    EXPECT_EQ(s.sparse_count(), 0u);
+  }
+}
+
+TEST(PrefixSet, DuplicateInsertRejected) {
+  PrefixSet s;
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(1));
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+}
+
+TEST(PrefixSet, OutOfOrderGoesSparse) {
+  PrefixSet s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_EQ(s.prefix(), 0);
+  EXPECT_EQ(s.sparse_count(), 1u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.max_element(), 3);
+}
+
+TEST(PrefixSet, GapFillAbsorbsSparseTail) {
+  PrefixSet s;
+  s.insert(2);
+  s.insert(3);
+  s.insert(5);
+  EXPECT_EQ(s.prefix(), 0);
+  s.insert(1);  // fills the gap: 1,2,3 collapse into the prefix
+  EXPECT_EQ(s.prefix(), 3);
+  EXPECT_EQ(s.sparse_count(), 1u);  // 5 still sparse
+  s.insert(4);
+  EXPECT_EQ(s.prefix(), 5);
+  EXPECT_EQ(s.sparse_count(), 0u);
+}
+
+TEST(PrefixSet, FirstGapTracksPrefix) {
+  PrefixSet s;
+  s.insert(1);
+  s.insert(2);
+  s.insert(9);
+  EXPECT_EQ(s.first_gap(), 3);
+}
+
+TEST(PrefixSet, LargeInterleavedPattern) {
+  PrefixSet s;
+  // Insert odds then evens; the prefix must end complete.
+  for (Seq i = 1; i <= 99; i += 2) s.insert(i);
+  EXPECT_EQ(s.prefix(), 1);
+  EXPECT_EQ(s.sparse_count(), 49u);
+  for (Seq i = 2; i <= 100; i += 2) s.insert(i);
+  EXPECT_EQ(s.prefix(), 100);
+  EXPECT_TRUE(s.contains(100));
+  EXPECT_EQ(s.sparse_count(), 0u);
+}
+
+}  // namespace
+}  // namespace urcgc::causal

@@ -1,0 +1,319 @@
+// Unit-level tests of UrcgcProcess behaviour: coordinator rotation,
+// dependency construction per causality mode, suicide / voluntary leave,
+// flow control. Uses small hand-assembled simulations rather than the
+// harness so individual mechanisms are observable.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/process.hpp"
+#include "net/endpoint.hpp"
+
+namespace urcgc::core {
+namespace {
+
+struct Group {
+  explicit Group(Config config, fault::FaultPlan plan = fault::FaultPlan(0),
+                 Observer* observer = nullptr)
+      : injector(plan.per_process.empty() ? fault::FaultPlan(config.n)
+                                          : std::move(plan),
+                 Rng(51)),
+        network(sim, injector, {.min_latency = 5, .max_latency = 9},
+                Rng(52)) {
+    for (ProcessId p = 0; p < config.n; ++p) {
+      endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+      processes.push_back(std::make_unique<UrcgcProcess>(
+          config, p, sim, *endpoints.back(), injector, observer));
+    }
+    for (auto& process : processes) process->start();
+  }
+
+  UrcgcProcess& at(ProcessId p) { return *processes[p]; }
+  void run_subruns(int count) {
+    sim.run_until(sim.now() + count * sim.clock().ticks_per_subrun());
+  }
+
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  net::Network network;
+  std::vector<std::unique_ptr<net::DatagramEndpoint>> endpoints;
+  std::vector<std::unique_ptr<UrcgcProcess>> processes;
+};
+
+Config small(int n = 4) {
+  Config config;
+  config.n = n;
+  return config;
+}
+
+TEST(UrcgcProcess, CoordinatorRotates) {
+  Group g(small(3));
+  EXPECT_EQ(g.at(0).coordinator_of(0), 0);
+  EXPECT_EQ(g.at(0).coordinator_of(1), 1);
+  EXPECT_EQ(g.at(0).coordinator_of(2), 2);
+  EXPECT_EQ(g.at(0).coordinator_of(3), 0);
+}
+
+TEST(UrcgcProcess, CoordinatorSkipsDeadInView) {
+  Config config = small(3);
+  config.k_attempts = 1;  // remove after one silent subrun
+  fault::FaultPlan plan(3);
+  plan.crash(1, 0);
+  Group g(config, std::move(plan));
+  g.run_subruns(4);
+  // p1 was never heard: removed from every survivor's view.
+  EXPECT_FALSE(g.at(0).latest_decision().alive[1]);
+  EXPECT_EQ(g.at(0).coordinator_of(1), 2);  // skips dead p1
+  EXPECT_EQ(g.at(2).coordinator_of(4), 2);
+}
+
+TEST(UrcgcProcess, BroadcastMessageProcessedByAll) {
+  Group g(small(3));
+  g.at(0).data_rq({42});
+  g.run_subruns(2);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(g.at(p).mt().prefix(0), 1) << "process " << p;
+  }
+}
+
+TEST(UrcgcProcess, OneMessagePerRound) {
+  Group g(small(2));
+  for (int i = 0; i < 5; ++i) g.at(0).data_rq({1});
+  EXPECT_EQ(g.at(0).pending_user_messages(), 5u);
+  g.sim.run_until(g.sim.clock().ticks_per_round() - 1);  // one round only
+  EXPECT_EQ(g.at(0).pending_user_messages(), 4u);
+  g.run_subruns(4);
+  EXPECT_EQ(g.at(0).pending_user_messages(), 0u);
+  EXPECT_EQ(g.at(0).counters().generated, 5u);
+}
+
+TEST(UrcgcProcess, IntermediateModeAddsSelfPredecessor) {
+  Group g(small(2));
+  std::vector<AppMessage> delivered;
+  g.at(1).set_deliver_ind(
+      [&](const AppMessage& msg) { delivered.push_back(msg); });
+  g.at(0).data_rq({1});
+  g.at(0).data_rq({2});
+  g.run_subruns(3);
+  ASSERT_EQ(delivered.size(), 2u);
+  // First has no dependencies; the second depends on the first.
+  EXPECT_TRUE(delivered[0].deps.empty());
+  ASSERT_EQ(delivered[1].deps.size(), 1u);
+  EXPECT_EQ(delivered[1].deps[0], (Mid{0, 1}));
+}
+
+TEST(UrcgcProcess, ExplicitCrossDependencyHonoured) {
+  Group g(small(2));
+  g.at(0).data_rq({1});
+  g.run_subruns(2);
+  const Mid dep = g.at(1).last_processed_mid_of(0);
+  ASSERT_TRUE(dep.valid());
+  g.at(1).data_rq({2}, {dep});
+  g.run_subruns(2);
+  const AppMessage* msg = g.at(0).mt().history().find({1, 1});
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->deps, (std::vector<Mid>{{0, 1}}));
+}
+
+TEST(UrcgcProcess, GeneralModeOmitsImplicitDeps) {
+  Config config = small(2);
+  config.causality = CausalityMode::kGeneral;
+  Group g(config);
+  std::vector<AppMessage> delivered;
+  g.at(1).set_deliver_ind(
+      [&](const AppMessage& msg) { delivered.push_back(msg); });
+  g.at(0).data_rq({1});
+  g.at(0).data_rq({2});
+  g.run_subruns(3);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_TRUE(delivered[1].deps.empty());  // independent root
+}
+
+TEST(UrcgcProcess, TemporalModeDependsOnEveryone) {
+  Config config = small(3);
+  config.causality = CausalityMode::kTemporal;
+  Group g(config);
+  std::vector<AppMessage> delivered;
+  g.at(0).set_deliver_ind(
+      [&](const AppMessage& msg) { delivered.push_back(msg); });
+  g.at(0).data_rq({1});
+  g.at(1).data_rq({2});
+  g.run_subruns(3);
+  g.at(2).data_rq({3});
+  g.run_subruns(3);
+  const auto it =
+      std::find_if(delivered.begin(), delivered.end(),
+                   [](const AppMessage& m) { return m.mid == Mid{2, 1}; });
+  ASSERT_NE(it, delivered.end());
+  // Depends on the last processed message of both other members.
+  EXPECT_EQ(it->deps.size(), 2u);
+}
+
+TEST(UrcgcProcess, InvalidUserDepsDropped) {
+  Group g(small(2));
+  g.at(0).data_rq({1}, {Mid{99, 1}, Mid{0, 55}, Mid{}});
+  g.run_subruns(2);
+  const AppMessage* msg = g.at(1).mt().history().find({0, 1});
+  ASSERT_NE(msg, nullptr);
+  EXPECT_TRUE(msg->deps.empty());
+}
+
+TEST(UrcgcProcess, DecisionsCirculate) {
+  Group g(small(3));
+  g.run_subruns(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_GE(g.at(p).latest_decision().decided_at, 1);
+    EXPECT_EQ(g.at(p).latest_decision().alive_count(), 3);
+  }
+}
+
+TEST(UrcgcProcess, StabilityCleansHistory) {
+  Group g(small(3));
+  g.at(0).data_rq({1});
+  g.run_subruns(6);  // plenty of subruns for a full_group decision
+  // The message is stable (processed by everyone) and must be purged.
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(g.at(p).mt().history_size(), 0u) << "process " << p;
+  }
+}
+
+TEST(UrcgcProcess, CrashedProcessDetectedAndRemoved) {
+  Config config = small(3);
+  config.k_attempts = 2;
+  fault::FaultPlan plan(3);
+  plan.crash(2, 25);  // dies during subrun 1
+  Group g(config, std::move(plan));
+  g.run_subruns(6);
+  EXPECT_TRUE(g.at(2).halted());
+  EXPECT_EQ(g.at(2).halt_reason(), HaltReason::kCrashFault);
+  EXPECT_FALSE(g.at(0).latest_decision().alive[2]);
+  EXPECT_FALSE(g.at(1).latest_decision().alive[2]);
+}
+
+TEST(UrcgcProcess, SuicideWhenDeclaredDead) {
+  // p2 can receive but never send (total send omission): coordinators will
+  // declare it crashed; on hearing that, it must halt itself.
+  Config config = small(3);
+  config.k_attempts = 2;
+  fault::FaultPlan plan(3);
+  plan.send_omissions(2, 1.0);
+  Group g(config, std::move(plan));
+  g.run_subruns(8);
+  EXPECT_TRUE(g.at(2).halted());
+  EXPECT_EQ(g.at(2).halt_reason(), HaltReason::kSuicide);
+  EXPECT_FALSE(g.at(0).latest_decision().alive[2]);
+}
+
+TEST(UrcgcProcess, LeavesAfterKMissedDecisions) {
+  // p4 never receives anything (total receive omission): after K subruns of
+  // silence it leaves autonomously. n > K so its own coordinator turn (which
+  // needs no network) cannot reset the counter first.
+  Config config = small(5);
+  config.k_attempts = 3;
+  fault::FaultPlan plan(5);
+  plan.recv_omissions(4, 1.0);
+  Group g(config, std::move(plan));
+  g.run_subruns(8);
+  EXPECT_TRUE(g.at(4).halted());
+  EXPECT_EQ(g.at(4).halt_reason(), HaltReason::kNoCoordinator);
+}
+
+TEST(UrcgcProcess, SurvivesCoordinatorCrashStorm) {
+  // f = K coordinator crashes in a row starve decisions for K subruns, but
+  // app traffic still flows: survivors must NOT desert the group.
+  Config config = small(6);
+  config.k_attempts = 3;
+  fault::FaultPlan plan(6);
+  for (int i = 0; i < 3; ++i) {
+    // Coordinator of subrun 1+i dies at its decision round.
+    plan.crash(static_cast<ProcessId>((1 + i) % 6), (1 + i) * 20 + 10);
+  }
+  Group g(config, std::move(plan));
+  for (int s = 0; s < 12; ++s) {
+    // Every live member offers traffic, as in the paper's workloads: the
+    // decision gap is then the only silence anyone observes.
+    for (ProcessId p = 0; p < 6; ++p) {
+      if (!g.at(p).halted()) g.at(p).data_rq({static_cast<std::uint8_t>(s)});
+    }
+    g.run_subruns(1);
+  }
+  EXPECT_FALSE(g.at(0).halted());
+  EXPECT_FALSE(g.at(4).halted());
+  EXPECT_FALSE(g.at(5).halted());
+  // The crashed coordinators were eventually removed from the view.
+  EXPECT_FALSE(g.at(0).latest_decision().alive[1]);
+  EXPECT_FALSE(g.at(0).latest_decision().alive[2]);
+  EXPECT_FALSE(g.at(0).latest_decision().alive[3]);
+}
+
+TEST(UrcgcProcess, FlowControlBlocksGeneration) {
+  Config config = small(2);
+  config.history_threshold = 2;  // absurdly small to trigger immediately
+  Group g(config);
+  for (int i = 0; i < 6; ++i) g.at(0).data_rq({7});
+  g.run_subruns(2);
+  EXPECT_GT(g.at(0).counters().flow_blocked_rounds, 0u);
+  EXPECT_GT(g.at(0).pending_user_messages(), 0u);
+  EXPECT_TRUE(g.at(0).flow_blocked());
+}
+
+TEST(UrcgcProcess, FlowControlUnblocksAfterCleaning) {
+  Config config = small(3);
+  config.history_threshold = 3;
+  Group g(config);
+  for (int i = 0; i < 8; ++i) g.at(0).data_rq({7});
+  g.run_subruns(30);
+  // Stability cleaning drains the history; all messages eventually flow.
+  EXPECT_EQ(g.at(0).pending_user_messages(), 0u);
+  EXPECT_EQ(g.at(1).mt().prefix(0), 8);
+}
+
+TEST(UrcgcProcess, RecoveryHealsOmittedMessage) {
+  // p1 misses p0's first message copy (deterministic one-shot drop), but
+  // the next message's dependency exposes the gap and history recovery
+  // fills it.
+  Config config = small(3);
+  fault::FaultPlan plan(3);
+  plan.per_process[1].recv_omission_every = 1;  // drop p1's first receipt
+  plan.fault_window(0, 1);  // only the very first hop is affected
+  Group g(config, std::move(plan));
+  g.at(0).data_rq({1});
+  g.run_subruns(1);
+  g.at(0).data_rq({2});
+  g.run_subruns(8);
+  EXPECT_EQ(g.at(1).mt().prefix(0), 2);
+  EXPECT_GT(g.at(1).counters().recoveries_issued, 0u);
+}
+
+TEST(UrcgcProcess, DataRqRejectedAfterHalt) {
+  fault::FaultPlan plan(2);
+  plan.crash(0, 0);
+  Group g(small(2), std::move(plan));
+  g.run_subruns(2);
+  EXPECT_TRUE(g.at(0).halted());
+  EXPECT_FALSE(g.at(0).data_rq({1}));
+}
+
+TEST(UrcgcProcess, DeliverIndFires) {
+  Group g(small(2));
+  std::vector<Mid> delivered;
+  g.at(1).set_deliver_ind(
+      [&](const AppMessage& msg) { delivered.push_back(msg.mid); });
+  g.at(0).data_rq({1});
+  g.run_subruns(2);
+  EXPECT_EQ(delivered, (std::vector<Mid>{{0, 1}}));
+}
+
+TEST(UrcgcProcess, CountersTrackDecisions) {
+  Group g(small(2));
+  g.run_subruns(4);
+  // Coordinators alternate: each made ~2 decisions in 4 subruns.
+  EXPECT_GE(g.at(0).counters().decisions_made, 1u);
+  EXPECT_GE(g.at(1).counters().decisions_made, 1u);
+  EXPECT_GE(g.at(0).counters().decisions_applied, 3u);
+}
+
+}  // namespace
+}  // namespace urcgc::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "baselines/psync.hpp"
+#include "net/endpoint.hpp"
+
+namespace urcgc::baselines {
+namespace {
+
+struct Group {
+  explicit Group(PsyncConfig config,
+                 fault::FaultPlan plan = fault::FaultPlan(0),
+                 PsyncObserver* observer = nullptr)
+      : injector(plan.per_process.empty() ? fault::FaultPlan(config.n)
+                                          : std::move(plan),
+                 Rng(71)),
+        network(sim, injector, {.min_latency = 5, .max_latency = 9},
+                Rng(72)) {
+    for (ProcessId p = 0; p < config.n; ++p) {
+      endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+      processes.push_back(std::make_unique<PsyncProcess>(
+          config, p, sim, *endpoints.back(), injector, observer));
+    }
+    for (auto& process : processes) process->start();
+  }
+
+  PsyncProcess& at(ProcessId p) { return *processes[p]; }
+  void run_subruns(int count) { sim.run_until(sim.now() + count * 20); }
+
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  net::Network network;
+  std::vector<std::unique_ptr<net::DatagramEndpoint>> endpoints;
+  std::vector<std::unique_ptr<PsyncProcess>> processes;
+};
+
+PsyncConfig small(int n = 4) {
+  PsyncConfig config;
+  config.n = n;
+  return config;
+}
+
+TEST(Psync, BroadcastDeliveredEverywhere) {
+  Group g(small(3));
+  g.at(0).data_rq({42});
+  g.run_subruns(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    ASSERT_EQ(g.at(p).delivery_log().size(), 1u);
+    EXPECT_EQ(g.at(p).delivery_log()[0], (Mid{0, 1}));
+  }
+}
+
+TEST(Psync, ContextGraphOrdering) {
+  // m2's deps are the leaves at p1's send time, which include m1.
+  Group g(small(3));
+  g.at(0).data_rq({1});
+  g.run_subruns(2);
+  g.at(1).data_rq({2});
+  g.run_subruns(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    const auto& log = g.at(p).delivery_log();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], (Mid{0, 1}));
+    EXPECT_EQ(log[1], (Mid{1, 1}));
+  }
+}
+
+TEST(Psync, MissingAncestorRecoveredViaNack) {
+  // p2 misses p0's message (one-shot receive omission); p1's follow-up
+  // references it, so p2 NACKs and recovers it from the originator.
+  fault::FaultPlan plan(3);
+  plan.per_process[2].recv_omission_every = 1;
+  plan.fault_window(0, 1);
+  Group g(small(3), std::move(plan));
+  g.at(0).data_rq({1});
+  g.run_subruns(2);
+  g.at(1).data_rq({2});
+  g.run_subruns(6);
+  const auto& log = g.at(2).delivery_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (Mid{0, 1}));
+  EXPECT_EQ(log[1], (Mid{1, 1}));
+  EXPECT_EQ(g.at(2).waiting_size(), 0u);
+}
+
+TEST(Psync, MaskOutRemovesCrashedMember) {
+  PsyncConfig config = small(4);
+  config.k_attempts = 2;
+  fault::FaultPlan plan(4);
+  plan.crash(3, 50);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 12; ++i) {
+    for (ProcessId p = 0; p < 3; ++p) g.at(p).data_rq({1});
+    g.run_subruns(1);
+  }
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_FALSE(g.at(p).members()[3]) << "p" << p;
+    EXPECT_FALSE(g.at(p).masking());
+  }
+}
+
+TEST(Psync, MaskOutBlocksTraffic) {
+  PsyncConfig config = small(4);
+  config.k_attempts = 2;
+  fault::FaultPlan plan(4);
+  plan.crash(3, 50);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 12; ++i) {
+    for (ProcessId p = 0; p < 3; ++p) g.at(p).data_rq({1});
+    g.run_subruns(1);
+  }
+  EXPECT_GT(g.at(0).blocked_ticks(), 0);
+}
+
+TEST(Psync, FlowControlDropsBeyondBound) {
+  // Tiny waiting room; a burst of dependent messages whose roots are lost
+  // at p2 forces drops.
+  PsyncConfig config = small(3);
+  config.waiting_bound = 1;
+  fault::FaultPlan plan(3);
+  plan.recv_omissions(2, 0.45);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 20; ++i) {
+    g.at(0).data_rq({1});
+    g.at(1).data_rq({2});
+    g.run_subruns(1);
+  }
+  EXPECT_LE(g.at(2).waiting_size(), 1u);
+  EXPECT_GT(g.at(2).flow_drops(), 0u);
+}
+
+TEST(Psync, HaltsOnCrash) {
+  fault::FaultPlan plan(2);
+  plan.crash(1, 30);
+  Group g(small(2), std::move(plan));
+  g.run_subruns(3);
+  EXPECT_TRUE(g.at(1).halted());
+  EXPECT_FALSE(g.at(1).data_rq({1}));
+}
+
+TEST(Psync, ObserverCountsEvents) {
+  struct Counter : PsyncObserver {
+    int generated = 0;
+    int delivered = 0;
+    int masked = 0;
+    void on_generated(ProcessId, const Mid&, Tick) override { ++generated; }
+    void on_delivered(ProcessId, const Mid&, Tick) override { ++delivered; }
+    void on_mask_out(ProcessId, ProcessId, Tick) override { ++masked; }
+  } counter;
+  Group g(small(3), fault::FaultPlan(0), &counter);
+  g.at(0).data_rq({1});
+  g.run_subruns(3);
+  EXPECT_EQ(counter.generated, 1);
+  EXPECT_EQ(counter.delivered, 3);
+  EXPECT_EQ(counter.masked, 0);
+}
+
+TEST(Psync, ContextSizeGrowsWithDeliveries) {
+  Group g(small(3));
+  for (int i = 0; i < 5; ++i) {
+    g.at(0).data_rq({1});
+    g.run_subruns(1);
+  }
+  g.run_subruns(2);
+  EXPECT_EQ(g.at(1).context_size(), 5u);
+}
+
+}  // namespace
+}  // namespace urcgc::baselines

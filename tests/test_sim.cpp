@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [at, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    auto [at, fn] = q.pop();
+    fn();
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  q.schedule(7, [] {});
+  EXPECT_EQ(q.next_time(), 7);
+}
+
+TEST(EventQueue, SizeAndClear) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingIntoPastAborts) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  (void)q.pop();
+  EXPECT_DEATH(q.schedule(5, [] {}), "scheduling into the past");
+}
+
+TEST(RoundClock, Arithmetic) {
+  RoundClock clock(10);
+  EXPECT_EQ(clock.ticks_per_round(), 10);
+  EXPECT_EQ(clock.ticks_per_subrun(), 20);
+  EXPECT_EQ(clock.ticks_per_rtd(), 20);
+  EXPECT_EQ(clock.round_of(0), 0);
+  EXPECT_EQ(clock.round_of(9), 0);
+  EXPECT_EQ(clock.round_of(10), 1);
+  EXPECT_EQ(clock.subrun_of(19), 0);
+  EXPECT_EQ(clock.subrun_of(20), 1);
+  EXPECT_EQ(clock.round_start(3), 30);
+  EXPECT_EQ(clock.subrun_start(2), 40);
+}
+
+TEST(RoundClock, RequestAndDecisionRounds) {
+  EXPECT_TRUE(RoundClock::is_request_round(0));
+  EXPECT_FALSE(RoundClock::is_request_round(1));
+  EXPECT_TRUE(RoundClock::is_request_round(4));
+  EXPECT_EQ(RoundClock::subrun_of_round(0), 0);
+  EXPECT_EQ(RoundClock::subrun_of_round(1), 0);
+  EXPECT_EQ(RoundClock::subrun_of_round(5), 2);
+}
+
+TEST(RoundClock, RtdConversion) {
+  RoundClock clock(10);
+  EXPECT_DOUBLE_EQ(clock.to_rtd(20), 1.0);
+  EXPECT_DOUBLE_EQ(clock.to_rtd(30), 1.5);
+  EXPECT_DOUBLE_EQ(clock.to_rtd(0), 0.0);
+}
+
+TEST(Simulation, RunsScheduledEventsInOrder) {
+  Simulation sim;
+  std::vector<Tick> fired;
+  sim.at(15, [&] { fired.push_back(15); });
+  sim.at(5, [&] { fired.push_back(5); });
+  sim.after(25, [&] { fired.push_back(25); });
+  sim.run_until(100);
+  EXPECT_EQ(fired, (std::vector<Tick>{5, 15, 25}));
+  EXPECT_EQ(sim.now(), 100);  // drained queue advances to the limit
+}
+
+TEST(Simulation, RespectsLimit) {
+  Simulation sim;
+  bool late_fired = false;
+  sim.at(500, [&] { late_fired = true; });
+  sim.run_until(100);
+  EXPECT_FALSE(late_fired);
+  sim.run_until(1000);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulation, NestedSchedulingFromEvents) {
+  Simulation sim;
+  std::vector<Tick> fired;
+  sim.at(10, [&] {
+    fired.push_back(sim.now());
+    sim.after(5, [&] { fired.push_back(sim.now()); });
+  });
+  sim.run_until(100);
+  EXPECT_EQ(fired, (std::vector<Tick>{10, 15}));
+}
+
+TEST(Simulation, RoundHandlersFireEveryRound) {
+  Simulation sim(RoundClock(10));
+  std::vector<RoundId> rounds;
+  sim.on_round([&](RoundId r) { rounds.push_back(r); });
+  sim.run_until(45);
+  // Rounds begin at ticks 0,10,20,30,40.
+  EXPECT_EQ(rounds, (std::vector<RoundId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, RoundHandlersRunInRegistrationOrder) {
+  Simulation sim(RoundClock(10));
+  std::vector<int> order;
+  sim.on_round([&](RoundId) { order.push_back(1); });
+  sim.on_round([&](RoundId) { order.push_back(2); });
+  sim.run_until(5);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, EventsInterleaveWithRounds) {
+  Simulation sim(RoundClock(10));
+  std::vector<std::string> trace;
+  sim.on_round([&](RoundId r) { trace.push_back("round" + std::to_string(r)); });
+  sim.at(5, [&] { trace.push_back("event5"); });
+  sim.at(10, [&] { trace.push_back("event10"); });
+  sim.run_until(15);
+  // The round event at tick 10 was scheduled before event10 was, so it
+  // fires first at the shared tick.
+  EXPECT_EQ(trace, (std::vector<std::string>{"round0", "event5", "round1",
+                                             "event10"}));
+}
+
+TEST(Simulation, QuiescencePredicateStopsRun) {
+  Simulation sim(RoundClock(10));
+  int rounds_seen = 0;
+  sim.on_round([&](RoundId) { ++rounds_seen; });
+  const Tick stopped = sim.run_until_quiescent(
+      1000, [&] { return rounds_seen >= 3; });
+  EXPECT_LT(stopped, 1000);
+  EXPECT_EQ(rounds_seen, 3);
+}
+
+TEST(Simulation, EventCounterAdvances) {
+  Simulation sim;
+  sim.at(1, [] {});
+  sim.at(2, [] {});
+  sim.run_until(10);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+}  // namespace
+}  // namespace urcgc::sim

@@ -1,0 +1,143 @@
+// Trace module: event capture, filtering, JSONL/text rendering, and the
+// observer fan-out.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/process.hpp"
+#include "net/endpoint.hpp"
+#include "trace/trace.hpp"
+
+namespace urcgc::trace {
+namespace {
+
+/// Runs a tiny group with the given observer wired into every process.
+void run_small_group(core::Observer* observer, fault::FaultPlan plan,
+                     int subruns) {
+  core::Config config;
+  config.n = 3;
+  config.k_attempts = 2;
+  sim::Simulation sim;
+  fault::FaultInjector faults(std::move(plan), Rng(121));
+  net::Network network(sim, faults, {.min_latency = 5, .max_latency = 9},
+                       Rng(122));
+  std::vector<std::unique_ptr<net::DatagramEndpoint>> endpoints;
+  std::vector<std::unique_ptr<core::UrcgcProcess>> processes;
+  for (ProcessId p = 0; p < 3; ++p) {
+    endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+    processes.push_back(std::make_unique<core::UrcgcProcess>(
+        config, p, sim, *endpoints.back(), faults, observer));
+    processes.back()->start();
+  }
+  processes[0]->data_rq({1});
+  processes[1]->data_rq({2});
+  sim.run_until(subruns * 20);
+}
+
+TEST(Trace, CapturesGeneratedAndProcessed) {
+  TraceRecorder recorder;
+  run_small_group(&recorder, fault::FaultPlan(3), 6);
+  EXPECT_EQ(recorder.filter(EventKind::kGenerated).size(), 2u);
+  EXPECT_EQ(recorder.filter(EventKind::kProcessed).size(), 6u);  // 2 x 3
+  EXPECT_GT(recorder.filter(EventKind::kDecision).size(), 3u);
+  EXPECT_GT(recorder.filter(EventKind::kSent).size(), 0u);
+}
+
+TEST(Trace, KeepFilterDropsOtherKinds) {
+  TraceRecorder recorder({EventKind::kDecision});
+  run_small_group(&recorder, fault::FaultPlan(3), 6);
+  EXPECT_GT(recorder.size(), 0u);
+  for (const TraceEvent& event : recorder.events()) {
+    EXPECT_EQ(event.kind, EventKind::kDecision);
+  }
+}
+
+TEST(Trace, EventsAreTimeOrdered) {
+  TraceRecorder recorder;
+  run_small_group(&recorder, fault::FaultPlan(3), 6);
+  Tick last = 0;
+  for (const TraceEvent& event : recorder.events()) {
+    EXPECT_GE(event.at, last);
+    last = event.at;
+  }
+}
+
+TEST(Trace, HaltEventsCarryReason) {
+  TraceRecorder recorder({EventKind::kHalt});
+  fault::FaultPlan plan(3);
+  plan.crash(2, 50);
+  run_small_group(&recorder, std::move(plan), 8);
+  ASSERT_EQ(recorder.size(), 1u);
+  EXPECT_EQ(recorder.events()[0].process, 2);
+  EXPECT_EQ(recorder.events()[0].reason, core::HaltReason::kCrashFault);
+}
+
+TEST(Trace, JsonlIsOneObjectPerLine) {
+  TraceRecorder recorder({EventKind::kGenerated, EventKind::kHalt});
+  fault::FaultPlan plan(3);
+  plan.crash(2, 50);
+  run_small_group(&recorder, std::move(plan), 8);
+
+  std::ostringstream os;
+  recorder.write_jsonl(os);
+  const std::string out = os.str();
+  const auto lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), recorder.size());
+  // Every line is a braced object mentioning a kind.
+  EXPECT_NE(out.find("\"kind\":\"generated\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"halt\""), std::string::npos);
+  EXPECT_NE(out.find("\"reason\":\"crash-fault\""), std::string::npos);
+  // Valid bracketing on each line.
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(Trace, TextNarrativeMentionsEvents) {
+  TraceRecorder recorder({EventKind::kDecision, EventKind::kProcessed});
+  run_small_group(&recorder, fault::FaultPlan(3), 6);
+  std::ostringstream os;
+  recorder.write_text(os);
+  EXPECT_NE(os.str().find("decision"), std::string::npos);
+  EXPECT_NE(os.str().find("processed"), std::string::npos);
+  EXPECT_NE(os.str().find("rtd"), std::string::npos);
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  TraceRecorder recorder;
+  run_small_group(&recorder, fault::FaultPlan(3), 4);
+  EXPECT_GT(recorder.size(), 0u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(MultiObserver, FansOutToAllTargets) {
+  TraceRecorder a({EventKind::kGenerated});
+  TraceRecorder b({EventKind::kGenerated});
+  MultiObserver multi({&a, &b});
+  run_small_group(&multi, fault::FaultPlan(3), 4);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(MultiObserver, AddAfterConstruction) {
+  TraceRecorder a({EventKind::kGenerated});
+  MultiObserver multi({});
+  multi.add(&a);
+  run_small_group(&multi, fault::FaultPlan(3), 4);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Trace, EventKindNames) {
+  EXPECT_EQ(to_string(EventKind::kRecovery), "recovery");
+  EXPECT_EQ(to_string(EventKind::kFlowBlocked), "flow-blocked");
+}
+
+}  // namespace
+}  // namespace urcgc::trace

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "causal/vector_clock.hpp"
+
+namespace urcgc::causal {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock vc(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(vc[i], 0);
+}
+
+TEST(VectorClock, TickIncrementsOneComponent) {
+  VectorClock vc(3);
+  vc.tick(1);
+  vc.tick(1);
+  vc.tick(2);
+  EXPECT_EQ(vc[0], 0);
+  EXPECT_EQ(vc[1], 2);
+  EXPECT_EQ(vc[2], 1);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(std::vector<Seq>{1, 5, 2});
+  VectorClock b(std::vector<Seq>{3, 1, 2});
+  a.merge(b);
+  EXPECT_EQ(a.counts(), (std::vector<Seq>{3, 5, 2}));
+}
+
+TEST(VectorClock, CompareEqual) {
+  VectorClock a(std::vector<Seq>{1, 2});
+  VectorClock b(std::vector<Seq>{1, 2});
+  EXPECT_EQ(a.compare(b), ClockOrder::kEqual);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(VectorClock, CompareBeforeAfter) {
+  VectorClock a(std::vector<Seq>{1, 2});
+  VectorClock b(std::vector<Seq>{1, 3});
+  EXPECT_EQ(a.compare(b), ClockOrder::kBefore);
+  EXPECT_EQ(b.compare(a), ClockOrder::kAfter);
+}
+
+TEST(VectorClock, CompareConcurrent) {
+  VectorClock a(std::vector<Seq>{2, 0});
+  VectorClock b(std::vector<Seq>{0, 2});
+  EXPECT_EQ(a.compare(b), ClockOrder::kConcurrent);
+  EXPECT_EQ(b.compare(a), ClockOrder::kConcurrent);
+}
+
+TEST(VectorClock, DeliverableNextFromSender) {
+  VectorClock local(std::vector<Seq>{1, 0, 0});
+  // Sender 0's next message (vc[0]=2), nothing else in its past.
+  VectorClock msg(std::vector<Seq>{2, 0, 0});
+  EXPECT_TRUE(local.deliverable(msg, 0));
+}
+
+TEST(VectorClock, NotDeliverableWhenSenderGap) {
+  VectorClock local(std::vector<Seq>{0, 0, 0});
+  VectorClock msg(std::vector<Seq>{2, 0, 0});  // skips seq 1
+  EXPECT_FALSE(local.deliverable(msg, 0));
+}
+
+TEST(VectorClock, NotDeliverableWhenCausalPastMissing) {
+  VectorClock local(std::vector<Seq>{0, 0, 0});
+  // Sender 1's first message, but it presupposes sender 2's first.
+  VectorClock msg(std::vector<Seq>{0, 1, 1});
+  EXPECT_FALSE(local.deliverable(msg, 1));
+  local.set(2, 1);
+  EXPECT_TRUE(local.deliverable(msg, 1));
+}
+
+TEST(VectorClock, NotDeliverableWhenDuplicate) {
+  VectorClock local(std::vector<Seq>{3, 0, 0});
+  VectorClock msg(std::vector<Seq>{3, 0, 0});  // already seen seq 3
+  EXPECT_FALSE(local.deliverable(msg, 0));
+}
+
+TEST(VectorClock, BssDeliveryScenario) {
+  // Classic BSS triangle: p0 sends m1; p1 receives m1 and sends m2; p2
+  // gets m2 first and must hold it until m1 arrives.
+  VectorClock p2(3);
+  VectorClock m1(std::vector<Seq>{1, 0, 0});
+  VectorClock m2(std::vector<Seq>{1, 1, 0});
+  EXPECT_FALSE(p2.deliverable(m2, 1));  // m1 not yet delivered
+  EXPECT_TRUE(p2.deliverable(m1, 0));
+  p2.merge(m1);
+  EXPECT_TRUE(p2.deliverable(m2, 1));
+}
+
+}  // namespace
+}  // namespace urcgc::causal

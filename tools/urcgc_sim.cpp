@@ -1,0 +1,300 @@
+// urcgc_sim — command-line experiment runner.
+//
+// Runs a single urcgc (or baseline) experiment from flags and prints the
+// report; the scripting-friendly face of the harness.
+//
+//   urcgc_sim --n=10 --k=3 --load=0.5 --messages=300 \
+//             --omission=0.002 --crash=7@400 --crash=2@600 --seed=1
+//   urcgc_sim --protocol=cbcast --n=8 --messages=200 --storm=2
+//   urcgc_sim --n=40 --messages=480 --threshold=320 --csv
+//
+// Exit status: 0 iff the run reached quiescence with all URCGC clauses
+// intact.
+
+#include <cstdio>
+#include <fstream>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/runner.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+struct Options {
+  std::string protocol = "urcgc";  // urcgc | cbcast | psync
+  int n = 10;
+  int k = 3;
+  double load = 0.5;
+  std::int64_t messages = 200;
+  double cross_dep = 0.3;
+  double omission = 0.0;
+  double packet_loss = 0.0;
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+  int coordinator_crashes = 0;
+  int storm = -1;  // cbcast flush-coordinator storm
+  std::size_t threshold = 0;
+  std::string causality = "intermediate";
+  bool use_transport = false;
+  bool csv = false;
+  bool verbose = false;
+  std::string trace_path;
+  std::uint64_t seed = 1;
+  double limit_rtd = 6000;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --protocol=urcgc|cbcast|psync   protocol to run (default urcgc)\n"
+      "  --n=N                           group size (default 10)\n"
+      "  --k=K                           failure-detection attempts (3)\n"
+      "  --load=L                        msgs/process/round in [0,1] (0.5)\n"
+      "  --messages=M                    total offered messages (200)\n"
+      "  --cross-dep=P                   cross-process dep probability (0.3)\n"
+      "  --omission=P                    send+recv omission probability\n"
+      "  --packet-loss=P                 subnet loss probability\n"
+      "  --crash=PID@TICK                fail-stop schedule (repeatable)\n"
+      "  --coordinator-crashes=F         urcgc Fig.5 storm\n"
+      "  --storm=F                       cbcast flush-coordinator storm\n"
+      "  --threshold=H                   history flow-control threshold\n"
+      "  --causality=general|intermediate|temporal\n"
+      "  --transport                     mount on h-reply transport\n"
+      "  --trace=FILE                    write a JSONL protocol trace\n"
+      "  --seed=S --limit-rtd=T --csv --verbose\n",
+      argv0);
+  std::exit(2);
+}
+
+bool consume(std::string_view arg, std::string_view key,
+             std::string_view& value) {
+  if (arg.substr(0, key.size()) != key) return false;
+  if (arg.size() == key.size()) {
+    value = "";
+    return true;
+  }
+  if (arg[key.size()] != '=') return false;
+  value = arg.substr(key.size() + 1);
+  return true;
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (consume(arg, "--protocol", value)) {
+      opt.protocol = value;
+    } else if (consume(arg, "--n", value)) {
+      opt.n = std::atoi(value.data());
+    } else if (consume(arg, "--k", value)) {
+      opt.k = std::atoi(value.data());
+    } else if (consume(arg, "--load", value)) {
+      opt.load = std::atof(value.data());
+    } else if (consume(arg, "--messages", value)) {
+      opt.messages = std::atoll(value.data());
+    } else if (consume(arg, "--cross-dep", value)) {
+      opt.cross_dep = std::atof(value.data());
+    } else if (consume(arg, "--omission", value)) {
+      opt.omission = std::atof(value.data());
+    } else if (consume(arg, "--packet-loss", value)) {
+      opt.packet_loss = std::atof(value.data());
+    } else if (consume(arg, "--crash", value)) {
+      const std::string s(value);
+      const auto at = s.find('@');
+      if (at == std::string::npos) usage(argv[0]);
+      opt.crashes.push_back({std::atoi(s.substr(0, at).c_str()),
+                             std::atoll(s.substr(at + 1).c_str())});
+    } else if (consume(arg, "--coordinator-crashes", value)) {
+      opt.coordinator_crashes = std::atoi(value.data());
+    } else if (consume(arg, "--storm", value)) {
+      opt.storm = std::atoi(value.data());
+    } else if (consume(arg, "--threshold", value)) {
+      opt.threshold = static_cast<std::size_t>(std::atoll(value.data()));
+    } else if (consume(arg, "--causality", value)) {
+      opt.causality = value;
+    } else if (consume(arg, "--transport", value)) {
+      opt.use_transport = true;
+    } else if (consume(arg, "--seed", value)) {
+      opt.seed = std::strtoull(value.data(), nullptr, 10);
+    } else if (consume(arg, "--limit-rtd", value)) {
+      opt.limit_rtd = std::atof(value.data());
+    } else if (consume(arg, "--trace", value)) {
+      opt.trace_path = value;
+    } else if (consume(arg, "--csv", value)) {
+      opt.csv = true;
+    } else if (consume(arg, "--verbose", value)) {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+int run_urcgc(const Options& opt) {
+  harness::ExperimentConfig config;
+  config.protocol.n = opt.n;
+  config.protocol.k_attempts = opt.k;
+  config.protocol.history_threshold = opt.threshold;
+  if (opt.causality == "general") {
+    config.protocol.causality = core::CausalityMode::kGeneral;
+  } else if (opt.causality == "temporal") {
+    config.protocol.causality = core::CausalityMode::kTemporal;
+  } else if (opt.causality == "intermediate") {
+    config.protocol.causality = core::CausalityMode::kIntermediate;
+  } else {
+    std::fprintf(stderr, "unknown causality mode: %s\n",
+                 opt.causality.c_str());
+    return 2;
+  }
+  config.workload.load = opt.load;
+  config.workload.total_messages = opt.messages;
+  config.workload.cross_dep_prob = opt.cross_dep;
+  config.faults.omission_prob = opt.omission;
+  config.faults.packet_loss = opt.packet_loss;
+  config.faults.crashes = opt.crashes;
+  config.faults.coordinator_crashes = opt.coordinator_crashes;
+  config.use_transport = opt.use_transport;
+  config.transport.h_all_on_broadcast = true;
+  config.seed = opt.seed;
+  config.limit_rtd = opt.limit_rtd;
+
+  // Optional JSONL trace (everything except per-datagram send events,
+  // which would dominate the file).
+  trace::TraceRecorder tracer(
+      {trace::EventKind::kGenerated, trace::EventKind::kProcessed,
+       trace::EventKind::kDecision, trace::EventKind::kCleaned,
+       trace::EventKind::kHalt, trace::EventKind::kDiscarded,
+       trace::EventKind::kRecovery, trace::EventKind::kFlowBlocked});
+  if (!opt.trace_path.empty()) config.extra_observer = &tracer;
+
+  const auto report = harness::Experiment(config).run();
+
+  if (!opt.trace_path.empty()) {
+    std::ofstream trace_file(opt.trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open trace file %s\n",
+                   opt.trace_path.c_str());
+      return 2;
+    }
+    tracer.write_jsonl(trace_file);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n", tracer.size(),
+                 opt.trace_path.c_str());
+  }
+
+  if (opt.csv) {
+    std::printf(
+        "protocol,n,k,load,messages,omission,packet_loss,seed,end_rtd,"
+        "mean_delay_rtd,p99_delay_rtd,processed_events,control_msgs,"
+        "control_bytes,discarded,quiescent,atomicity,ordering\n");
+    std::printf(
+        "urcgc,%d,%d,%g,%lld,%g,%g,%llu,%.2f,%.4f,%.4f,%llu,%llu,%llu,%llu,"
+        "%d,%d,%d\n",
+        opt.n, opt.k, opt.load, static_cast<long long>(opt.messages),
+        opt.omission, opt.packet_loss,
+        static_cast<unsigned long long>(opt.seed), report.end_rtd,
+        report.delay_rtd.mean, report.delay_rtd.p99,
+        static_cast<unsigned long long>(report.processed_events),
+        static_cast<unsigned long long>(report.traffic.control_count()),
+        static_cast<unsigned long long>(report.traffic.control_bytes()),
+        static_cast<unsigned long long>(report.discarded),
+        report.quiescent ? 1 : 0, report.atomicity_ok ? 1 : 0,
+        report.ordering_ok ? 1 : 0);
+  } else {
+    std::printf("urcgc run: n=%d K=%d load=%g messages=%lld seed=%llu\n",
+                opt.n, opt.k, opt.load,
+                static_cast<long long>(opt.messages),
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("  finished             : %.1f rtd (quiescent: %s)\n",
+                report.end_rtd, report.quiescent ? "yes" : "NO");
+    std::printf("  mean / p99 delay     : %.3f / %.3f rtd\n",
+                report.delay_rtd.mean, report.delay_rtd.p99);
+    std::printf("  generated / processed: %llu / %llu events\n",
+                static_cast<unsigned long long>(report.generated),
+                static_cast<unsigned long long>(report.processed_events));
+    std::printf("  control traffic      : %llu msgs, %llu bytes\n",
+                static_cast<unsigned long long>(report.traffic.control_count()),
+                static_cast<unsigned long long>(report.traffic.control_bytes()));
+    std::printf("  peak history / wait  : %.0f / %.0f\n",
+                report.history_max.max_value(),
+                report.waiting_max.max_value());
+    std::printf("  discarded (orphans)  : %llu\n",
+                static_cast<unsigned long long>(report.discarded));
+    for (const auto& halt : report.halts) {
+      std::printf("  halt: p%d (%s) at tick %lld\n", halt.p,
+                  to_string(halt.reason), static_cast<long long>(halt.at));
+    }
+    std::printf("  atomicity / ordering : %s / %s\n",
+                report.atomicity_ok ? "OK" : "VIOLATED",
+                report.ordering_ok ? "OK" : "VIOLATED");
+    if (opt.verbose) {
+      std::printf("  decisions: %zu (last subrun %lld)\n",
+                  report.decisions.size(),
+                  report.decisions.empty()
+                      ? -1LL
+                      : static_cast<long long>(
+                            report.decisions.back().subrun));
+      for (const auto& violation : report.violations) {
+        std::printf("  !! %s\n", violation.c_str());
+      }
+    }
+  }
+  return report.quiescent && report.all_ok() ? 0 : 1;
+}
+
+int run_baseline(const Options& opt) {
+  baselines::BaselineConfig config;
+  config.n = opt.n;
+  config.k_attempts = opt.k;
+  config.workload.load = opt.load;
+  config.workload.total_messages = opt.messages;
+  config.faults.crashes = opt.crashes;
+  config.faults.packet_loss = opt.packet_loss;
+  config.faults.flush_coordinator_crashes = opt.storm;
+  config.seed = opt.seed;
+  config.limit_rtd = opt.limit_rtd;
+
+  const auto report = opt.protocol == "cbcast"
+                          ? baselines::run_cbcast(config)
+                          : baselines::run_psync(config);
+  std::printf("%s run: n=%d K=%d messages=%lld seed=%llu\n",
+              opt.protocol.c_str(), opt.n, opt.k,
+              static_cast<long long>(opt.messages),
+              static_cast<unsigned long long>(opt.seed));
+  std::printf("  finished            : %.1f rtd\n", report.end_rtd);
+  std::printf("  mean delay          : %.3f rtd\n", report.delay_rtd.mean);
+  std::printf("  delivered events    : %llu\n",
+              static_cast<unsigned long long>(report.delivered_events));
+  std::printf("  survivors           : %d\n", report.survivors);
+  std::printf("  blocked time        : %.1f rtd\n", report.blocked_rtd);
+  if (report.view_change_rtd >= 0) {
+    std::printf("  view change         : %.1f rtd\n", report.view_change_rtd);
+  }
+  std::printf("  causal order        : %s\n",
+              report.causal_order_ok ? "OK" : "VIOLATED");
+  return report.causal_order_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.protocol == "urcgc") return run_urcgc(opt);
+  if (opt.protocol == "cbcast" || opt.protocol == "psync") {
+    return run_baseline(opt);
+  }
+  std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
+  return 2;
+}
