@@ -18,6 +18,7 @@
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
 #include "workload/workload.hpp"
+#include "sim/simulation.hpp"
 
 namespace {
 

@@ -16,6 +16,7 @@
 
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 using namespace urcgc;
 

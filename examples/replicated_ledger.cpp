@@ -16,6 +16,7 @@
 
 #include "core/total_order.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 using namespace urcgc;
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
-#include "sim/clock.hpp"
+#include "runtime/clock.hpp"
 #include "wire/buffer.hpp"
 #include "wire/codec.hpp"
 
@@ -30,13 +30,13 @@ Result<causal::VectorClock, wire::DecodeError> get_vc(wire::Reader& r) {
 }  // namespace
 
 CbcastProcess::CbcastProcess(const CbcastConfig& config, ProcessId self,
-                             sim::Simulation& sim,
+                             rt::Runtime& runtime,
                              net::TransportEndpoint& endpoint,
                              fault::FaultInjector& faults,
                              CbcastObserver* observer)
     : config_(config),
       self_(self),
-      sim_(sim),
+      rt_(runtime),
       endpoint_(endpoint),
       faults_(faults),
       observer_(observer),
@@ -56,7 +56,7 @@ void CbcastProcess::start() {
       [this](ProcessId src, std::span<const std::uint8_t> bytes) {
         on_payload(src, bytes);
       });
-  sim_.on_round([this](RoundId round) { on_round(round); });
+  rt_.on_round(self_, [this](RoundId round) { on_round(round); });
 }
 
 bool CbcastProcess::data_rq(std::vector<std::uint8_t> payload) {
@@ -79,12 +79,12 @@ ProcessId CbcastProcess::flush_coordinator() const {
 }
 
 void CbcastProcess::note_heard(ProcessId q) {
-  last_heard_[q] = sim_.now();
+  last_heard_[q] = rt_.now();
 }
 
 void CbcastProcess::on_round(RoundId round) {
   if (halted_) return;
-  if (faults_.is_crashed(self_, sim_.now())) {
+  if (faults_.is_crashed(self_, rt_.now())) {
     halted_ = true;
     return;
   }
@@ -97,18 +97,18 @@ void CbcastProcess::on_round(RoundId round) {
   // paper charges CBCAST with.
   const Tick silence_budget =
       static_cast<Tick>(config_.k_attempts) *
-      sim_.clock().ticks_per_subrun();
+      rt_.clock().ticks_per_subrun();
   if (!flushing_) {
     bool new_suspicion = false;
     for (ProcessId q = 0; q < config_.n; ++q) {
       if (q == self_ || !members_[q] || suspected_[q]) continue;
-      if (sim_.now() - last_heard_[q] > silence_budget) {
+      if (rt_.now() - last_heard_[q] > silence_budget) {
         suspected_[q] = true;
         new_suspicion = true;
       }
     }
     if (new_suspicion) start_flush(view_id_ + 1);
-  } else if (sim_.now() > flush_deadline_) {
+  } else if (rt_.now() > flush_deadline_) {
     // The flush coordinator died too: suspect it, restart the flush.
     // Each such restart serialises another detection timeout — the source
     // of CBCAST's K(5f+6) blocking growth.
@@ -139,7 +139,7 @@ void CbcastProcess::broadcast_data(std::vector<std::uint8_t> payload) {
 
   DataMsg msg{self_, view_id_, vc_, std::move(payload)};
   const Mid mid{self_, vc_[self_]};
-  if (observer_ != nullptr) observer_->on_generated(self_, mid, sim_.now());
+  if (observer_ != nullptr) observer_->on_generated(self_, mid, rt_.now());
 
   wire::Writer w(64 + msg.payload.size());
   w.u8(kData);
@@ -156,7 +156,7 @@ void CbcastProcess::broadcast_data(std::vector<std::uint8_t> payload) {
   if (observer_ != nullptr) {
     for (std::size_t i = 0; i < dsts.size(); ++i) {
       observer_->on_sent(self_, stats::MsgClass::kCbcastData, frame.size(),
-                         sim_.now());
+                         rt_.now());
     }
   }
   if (!dsts.empty()) {
@@ -181,7 +181,7 @@ void CbcastProcess::send_heartbeat() {
   if (observer_ != nullptr) {
     for (std::size_t i = 0; i < dsts.size(); ++i) {
       observer_->on_sent(self_, stats::MsgClass::kCbcastStability,
-                         frame.size(), sim_.now());
+                         frame.size(), rt_.now());
     }
   }
   if (!dsts.empty()) {
@@ -197,7 +197,7 @@ void CbcastProcess::deliver(const DataMsg& msg) {
   const Mid mid{msg.sender, msg.vc[msg.sender]};
   log_.push_back(mid);
   unstable_.push_back(msg);
-  if (observer_ != nullptr) observer_->on_delivered(self_, mid, sim_.now());
+  if (observer_ != nullptr) observer_->on_delivered(self_, mid, rt_.now());
 }
 
 void CbcastProcess::try_deliver() {
@@ -231,14 +231,14 @@ void CbcastProcess::collect_stable() {
 }
 
 void CbcastProcess::start_flush(int proposed_view) {
-  if (!flushing_) flush_started_at_ = sim_.now();
+  if (!flushing_) flush_started_at_ = rt_.now();
   flushing_ = true;
   proposed_view_ = std::max(proposed_view, proposed_view_);
-  flush_deadline_ = sim_.now() + static_cast<Tick>(config_.k_attempts) *
-                                     sim_.clock().ticks_per_subrun();
+  flush_deadline_ = rt_.now() + static_cast<Tick>(config_.k_attempts) *
+                                     rt_.clock().ticks_per_subrun();
   std::fill(flush_reported_.begin(), flush_reported_.end(), false);
   flush_pool_.clear();
-  if (observer_ != nullptr) observer_->on_flush_started(self_, sim_.now());
+  if (observer_ != nullptr) observer_->on_flush_started(self_, rt_.now());
 
   // Announce the flush so members that have not detected the failure join.
   wire::Writer w(32);
@@ -254,7 +254,7 @@ void CbcastProcess::start_flush(int proposed_view) {
   if (observer_ != nullptr) {
     for (std::size_t i = 0; i < dsts.size(); ++i) {
       observer_->on_sent(self_, stats::MsgClass::kCbcastFlush, frame.size(),
-                         sim_.now());
+                         rt_.now());
     }
   }
   if (!dsts.empty()) endpoint_.data_rq(dsts, 1, std::move(frame));
@@ -281,7 +281,7 @@ void CbcastProcess::send_flush_report() {
   auto frame = std::move(w).take();
   if (observer_ != nullptr) {
     observer_->on_sent(self_, stats::MsgClass::kCbcastFlush, frame.size(),
-                       sim_.now());
+                       rt_.now());
   }
   if (coord == self_) {
     flush_reported_[self_] = true;
@@ -333,7 +333,7 @@ void CbcastProcess::maybe_finish_flush() {
   if (observer_ != nullptr) {
     for (std::size_t i = 0; i < dsts.size(); ++i) {
       observer_->on_sent(self_, stats::MsgClass::kCbcastFlush, frame.size(),
-                         sim_.now());
+                         rt_.now());
     }
   }
   if (!dsts.empty()) {
@@ -350,7 +350,7 @@ void CbcastProcess::install_view(int view_id,
   members_ = members;
   for (ProcessId q = 0; q < config_.n; ++q) {
     if (!members_[q]) suspected_[q] = false;  // no longer tracked
-    last_heard_[q] = sim_.now();
+    last_heard_[q] = rt_.now();
   }
 
   // Absorb flushed messages we missed, then drop holdback entries that
@@ -378,19 +378,19 @@ void CbcastProcess::install_view(int view_id,
 
   if (flushing_) {
     flushing_ = false;
-    blocked_ticks_ += sim_.now() - flush_started_at_;
+    blocked_ticks_ += rt_.now() - flush_started_at_;
   }
   if (observer_ != nullptr) {
     int count = 0;
     for (bool m : members_) count += m ? 1 : 0;
-    observer_->on_view_installed(self_, view_id_, count, sim_.now());
+    observer_->on_view_installed(self_, view_id_, count, rt_.now());
   }
 }
 
 void CbcastProcess::on_payload(ProcessId src,
                                std::span<const std::uint8_t> bytes) {
   if (halted_) return;
-  if (faults_.is_crashed(self_, sim_.now())) {
+  if (faults_.is_crashed(self_, rt_.now())) {
     halted_ = true;
     return;
   }
@@ -447,12 +447,12 @@ void CbcastProcess::on_payload(ProcessId src,
         if (suspects.value()[q] && q != self_) suspected_[q] = true;
       }
       if (!flushing_ || view.value() > proposed_view_) {
-        if (!flushing_) flush_started_at_ = sim_.now();
+        if (!flushing_) flush_started_at_ = rt_.now();
         flushing_ = true;
         proposed_view_ = view.value();
         flush_deadline_ =
-            sim_.now() + static_cast<Tick>(config_.k_attempts) *
-                             sim_.clock().ticks_per_subrun();
+            rt_.now() + static_cast<Tick>(config_.k_attempts) *
+                             rt_.clock().ticks_per_subrun();
         std::fill(flush_reported_.begin(), flush_reported_.end(), false);
         flush_pool_.clear();
         send_flush_report();

@@ -29,7 +29,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "net/transport.hpp"
-#include "sim/simulation.hpp"
+#include "runtime/runtime.hpp"
 #include "stats/metrics.hpp"
 
 namespace urcgc::baselines {
@@ -61,7 +61,7 @@ class CbcastObserver {
 class CbcastProcess {
  public:
   CbcastProcess(const CbcastConfig& config, ProcessId self,
-                sim::Simulation& sim, net::TransportEndpoint& endpoint,
+                rt::Runtime& runtime, net::TransportEndpoint& endpoint,
                 fault::FaultInjector& faults,
                 CbcastObserver* observer = nullptr);
 
@@ -119,7 +119,7 @@ class CbcastProcess {
 
   CbcastConfig config_;
   ProcessId self_;
-  sim::Simulation& sim_;
+  rt::Runtime& rt_;
   net::TransportEndpoint& endpoint_;
   fault::FaultInjector& faults_;
   CbcastObserver* observer_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
-#include "sim/clock.hpp"
+#include "runtime/clock.hpp"
 #include "wire/buffer.hpp"
 #include "wire/codec.hpp"
 
@@ -19,12 +19,12 @@ constexpr std::uint8_t kHeartbeat = 4;
 }  // namespace
 
 PsyncProcess::PsyncProcess(const PsyncConfig& config, ProcessId self,
-                           sim::Simulation& sim, net::Endpoint& endpoint,
+                           rt::Runtime& runtime, net::Endpoint& endpoint,
                            fault::FaultInjector& faults,
                            PsyncObserver* observer)
     : config_(config),
       self_(self),
-      sim_(sim),
+      rt_(runtime),
       endpoint_(endpoint),
       faults_(faults),
       observer_(observer),
@@ -41,7 +41,7 @@ void PsyncProcess::start() {
       [this](ProcessId src, std::span<const std::uint8_t> bytes) {
         on_payload(src, bytes);
       });
-  sim_.on_round([this](RoundId round) { on_round(round); });
+  rt_.on_round(self_, [this](RoundId round) { on_round(round); });
 }
 
 bool PsyncProcess::data_rq(std::vector<std::uint8_t> payload) {
@@ -53,29 +53,29 @@ bool PsyncProcess::data_rq(std::vector<std::uint8_t> payload) {
 void PsyncProcess::on_round(RoundId round) {
   (void)round;
   if (halted_) return;
-  if (faults_.is_crashed(self_, sim_.now())) {
+  if (faults_.is_crashed(self_, rt_.now())) {
     halted_ = true;
     return;
   }
 
   // Failure detection on conversation silence.
   const Tick budget = static_cast<Tick>(config_.k_attempts) *
-                      sim_.clock().ticks_per_subrun();
+                      rt_.clock().ticks_per_subrun();
   if (!masking_) {
     for (ProcessId q = 0; q < config_.n; ++q) {
       if (q == self_ || !members_[q]) continue;
-      if (sim_.now() - last_heard_[q] > budget) {
+      if (rt_.now() - last_heard_[q] > budget) {
         start_mask_out(q);
         break;
       }
     }
-  } else if (sim_.now() - mask_started_at_ > budget) {
+  } else if (rt_.now() - mask_started_at_ > budget) {
     // Votes are not arriving (another failure): restart the vote.
     start_mask_out(mask_target_);
   }
 
   if (masking_) {
-    blocked_ticks_ += sim_.clock().ticks_per_round();
+    blocked_ticks_ += rt_.clock().ticks_per_round();
     return;  // mask_out blocks the conversation
   }
 
@@ -93,7 +93,7 @@ void PsyncProcess::on_round(RoundId round) {
       for (ProcessId q = 0; q < config_.n; ++q) {
         if (q != self_ && members_[q]) {
           observer_->on_sent(self_, stats::MsgClass::kPsyncData, frame.size(),
-                             sim_.now());
+                             rt_.now());
         }
       }
     }
@@ -110,7 +110,7 @@ void PsyncProcess::broadcast_data(std::vector<std::uint8_t> payload) {
   msg.payload = std::move(payload);
 
   if (observer_ != nullptr) {
-    observer_->on_generated(self_, msg.mid, sim_.now());
+    observer_->on_generated(self_, msg.mid, rt_.now());
   }
 
   wire::Writer w(64 + msg.payload.size());
@@ -123,7 +123,7 @@ void PsyncProcess::broadcast_data(std::vector<std::uint8_t> payload) {
     for (ProcessId q = 0; q < config_.n; ++q) {
       if (q != self_ && members_[q]) {
         observer_->on_sent(self_, stats::MsgClass::kPsyncData, frame.size(),
-                           sim_.now());
+                           rt_.now());
       }
     }
   }
@@ -148,7 +148,7 @@ void PsyncProcess::deliver(GraphMsg msg) {
   leaves_.push_back(mid);
   log_.push_back(mid);
   delivered_.emplace(mid, std::move(msg));
-  if (observer_ != nullptr) observer_->on_delivered(self_, mid, sim_.now());
+  if (observer_ != nullptr) observer_->on_delivered(self_, mid, rt_.now());
 }
 
 void PsyncProcess::try_deliver_waiting() {
@@ -180,7 +180,7 @@ void PsyncProcess::receive_graph_msg(GraphMsg msg, ProcessId via) {
     // Psync flow control: delete the excess message — an induced omission.
     ++flow_drops_;
     if (observer_ != nullptr) {
-      observer_->on_dropped_by_flow_control(self_, msg.mid, sim_.now());
+      observer_->on_dropped_by_flow_control(self_, msg.mid, rt_.now());
     }
     return;
   }
@@ -208,7 +208,7 @@ void PsyncProcess::nack_missing() {
     auto frame = std::move(w).take();
     if (observer_ != nullptr) {
       observer_->on_sent(self_, stats::MsgClass::kPsyncRetransRq,
-                         frame.size(), sim_.now());
+                         frame.size(), rt_.now());
     }
     endpoint_.send(target, std::move(frame));
   }
@@ -217,7 +217,7 @@ void PsyncProcess::nack_missing() {
 void PsyncProcess::start_mask_out(ProcessId suspect) {
   masking_ = true;
   mask_target_ = suspect;
-  mask_started_at_ = sim_.now();
+  mask_started_at_ = rt_.now();
   std::fill(mask_votes_.begin(), mask_votes_.end(), false);
   mask_votes_[self_] = true;
 
@@ -230,7 +230,7 @@ void PsyncProcess::start_mask_out(ProcessId suspect) {
     for (ProcessId q = 0; q < config_.n; ++q) {
       if (q != self_ && members_[q] && q != suspect) {
         observer_->on_sent(self_, stats::MsgClass::kPsyncMaskOut,
-                           frame.size(), sim_.now());
+                           frame.size(), rt_.now());
       }
     }
   }
@@ -255,7 +255,7 @@ void PsyncProcess::finish_mask_out() {
     });
   });
   if (observer_ != nullptr) {
-    observer_->on_mask_out(self_, mask_target_, sim_.now());
+    observer_->on_mask_out(self_, mask_target_, rt_.now());
   }
   masking_ = false;
   mask_target_ = kNoProcess;
@@ -265,11 +265,11 @@ void PsyncProcess::finish_mask_out() {
 void PsyncProcess::on_payload(ProcessId src,
                               std::span<const std::uint8_t> bytes) {
   if (halted_) return;
-  if (faults_.is_crashed(self_, sim_.now())) {
+  if (faults_.is_crashed(self_, rt_.now())) {
     halted_ = true;
     return;
   }
-  last_heard_[src] = sim_.now();
+  last_heard_[src] = rt_.now();
 
   wire::Reader r(bytes);
   auto type = r.u8();
@@ -305,7 +305,7 @@ void PsyncProcess::on_payload(ProcessId src,
         auto frame = std::move(w).take();
         if (observer_ != nullptr) {
           observer_->on_sent(self_, stats::MsgClass::kPsyncData, frame.size(),
-                             sim_.now());
+                             rt_.now());
         }
         endpoint_.send(from.value(), std::move(frame));
       }

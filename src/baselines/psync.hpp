@@ -22,7 +22,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
-#include "sim/simulation.hpp"
+#include "runtime/runtime.hpp"
 #include "stats/metrics.hpp"
 
 namespace urcgc::baselines {
@@ -54,7 +54,7 @@ class PsyncObserver {
 class PsyncProcess {
  public:
   PsyncProcess(const PsyncConfig& config, ProcessId self,
-               sim::Simulation& sim, net::Endpoint& endpoint,
+               rt::Runtime& runtime, net::Endpoint& endpoint,
                fault::FaultInjector& faults,
                PsyncObserver* observer = nullptr);
 
@@ -96,7 +96,7 @@ class PsyncProcess {
 
   PsyncConfig config_;
   ProcessId self_;
-  sim::Simulation& sim_;
+  rt::Runtime& rt_;
   net::Endpoint& endpoint_;
   fault::FaultInjector& faults_;
   PsyncObserver* observer_;

@@ -4,16 +4,16 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
-#include "sim/clock.hpp"
+#include "runtime/clock.hpp"
 
 namespace urcgc::core {
 
 UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
-                           sim::Simulation& sim, net::Endpoint& endpoint,
+                           rt::Runtime& runtime, net::Endpoint& endpoint,
                            fault::FaultInjector& faults, Observer* observer)
     : config_(config),
       self_(self),
-      sim_(sim),
+      rt_(runtime),
       endpoint_(endpoint),
       faults_(faults),
       observer_(observer),
@@ -37,7 +37,7 @@ void UrcgcProcess::start() {
       [this](ProcessId src, std::span<const std::uint8_t> bytes) {
         on_datagram(src, bytes);
       });
-  sim_.on_round([this](RoundId round) { on_round(round); });
+  rt_.on_round(self_, [this](RoundId round) { on_round(round); });
 }
 
 bool UrcgcProcess::data_rq(std::vector<std::uint8_t> payload,
@@ -93,12 +93,12 @@ ProcessId UrcgcProcess::coordinator_of(SubrunId s) const {
 
 void UrcgcProcess::on_round(RoundId round) {
   if (halted_) return;
-  if (faults_.is_crashed(self_, sim_.now())) {
+  if (faults_.is_crashed(self_, rt_.now())) {
     halt(HaltReason::kCrashFault);
     return;
   }
-  const SubrunId subrun = sim::RoundClock::subrun_of_round(round);
-  if (sim::RoundClock::is_request_round(round)) {
+  const SubrunId subrun = rt::RoundClock::subrun_of_round(round);
+  if (rt::RoundClock::is_request_round(round)) {
     request_round(subrun);
   } else {
     decision_round(subrun);
@@ -117,7 +117,7 @@ void UrcgcProcess::request_round(SubrunId subrun) {
   if (subrun > 0) {
     if (decision_seen_this_subrun_) {
       missed_decisions_ = 0;
-    } else if (last_datagram_at_ < sim_.clock().subrun_start(subrun - 1)) {
+    } else if (last_datagram_at_ < rt_.clock().subrun_start(subrun - 1)) {
       ++missed_decisions_;
       if (missed_decisions_ >= config_.k_attempts) {
         halt(HaltReason::kNoCoordinator);
@@ -137,7 +137,7 @@ void UrcgcProcess::request_round(SubrunId subrun) {
   issue_recoveries();
   if (halted_) return;  // recovery exhaustion may have made us leave
 
-  generate_one(sim_.now());
+  generate_one(rt_.now());
   send_request(subrun);
 }
 
@@ -217,7 +217,7 @@ void UrcgcProcess::decision_round(SubrunId subrun) {
   // "At each round ... [a process] can broadcast a new message": the
   // service's maximum rate is one message per round, so decision rounds
   // carry user traffic too.
-  generate_one(sim_.now());
+  generate_one(rt_.now());
   if (coordinator_of(subrun) == self_) {
     act_as_coordinator(subrun);
   }
@@ -248,7 +248,7 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
 
   Decision d = compute_decision(inputs);
   ++counters_.decisions_made;
-  if (observer_ != nullptr) observer_->on_decision_made(self_, d, sim_.now());
+  if (observer_ != nullptr) observer_->on_decision_made(self_, d, rt_.now());
 
   broadcast_pdu(encode_pdu(d), stats::MsgClass::kDecision);
   apply_decision(d);
@@ -273,7 +273,7 @@ void UrcgcProcess::apply_decision(const Decision& d) {
     if (purged > 0) {
       ++counters_.cleanings;
       if (observer_ != nullptr) {
-        observer_->on_history_cleaned(self_, purged, sim_.now());
+        observer_->on_history_cleaned(self_, purged, rt_.now());
       }
     }
   }
@@ -294,7 +294,7 @@ void UrcgcProcess::apply_decision(const Decision& d) {
     if (d.min_waiting[q] == kNoSeq) continue;
     if (d.min_waiting[q] > d.max_processed[q] + 1) {
       const auto discarded =
-          mt_.discard_orphans(q, d.max_processed[q] + 1, sim_.now());
+          mt_.discard_orphans(q, d.max_processed[q] + 1, rt_.now());
       counters_.orphans_discarded += discarded.size();
     }
   }
@@ -365,7 +365,7 @@ void UrcgcProcess::issue_recoveries() {
     RecoverRq rq{self_, origin, range.from_seq, range.to_seq};
     ++counters_.recoveries_issued;
     if (observer_ != nullptr) {
-      observer_->on_recovery_attempt(self_, target, origin, sim_.now());
+      observer_->on_recovery_attempt(self_, target, origin, rt_.now());
     }
     send_pdu(target, encode_pdu(rq), stats::MsgClass::kRecoverRq);
   }
@@ -385,7 +385,7 @@ void UrcgcProcess::handle_recover_rq(const RecoverRq& rq) {
 
 void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
   for (const AppMessage& msg : rsp.messages) {
-    mt_.submit(msg, sim_.now());
+    mt_.submit(msg, rt_.now());
   }
 }
 
@@ -393,11 +393,11 @@ void UrcgcProcess::on_datagram(ProcessId src,
                                std::span<const std::uint8_t> bytes) {
   (void)src;
   if (halted_) return;
-  if (faults_.is_crashed(self_, sim_.now())) {
+  if (faults_.is_crashed(self_, rt_.now())) {
     halt(HaltReason::kCrashFault);
     return;
   }
-  last_datagram_at_ = sim_.now();
+  last_datagram_at_ = rt_.now();
   auto pdu = decode_pdu(bytes);
   if (!pdu) {
     URCGC_WARN("p" << self_ << ": undecodable PDU ("
@@ -408,7 +408,7 @@ void UrcgcProcess::on_datagram(ProcessId src,
       [this](auto&& payload) {
         using T = std::decay_t<decltype(payload)>;
         if constexpr (std::is_same_v<T, AppMessage>) {
-          mt_.submit(payload, sim_.now());
+          mt_.submit(payload, rt_.now());
         } else if constexpr (std::is_same_v<T, Request>) {
           handle_request(std::move(payload));
         } else if constexpr (std::is_same_v<T, Decision>) {
@@ -437,15 +437,15 @@ void UrcgcProcess::halt(HaltReason reason) {
     // Suicides and voluntary leaves are silent to the network from now on;
     // registering the crash with the injector makes the subnet drop traffic
     // to/from us exactly like a fail-stop.
-    faults_.force_crash(self_, sim_.now());
+    faults_.force_crash(self_, rt_.now());
   }
-  if (observer_ != nullptr) observer_->on_halt(self_, reason, sim_.now());
+  if (observer_ != nullptr) observer_->on_halt(self_, reason, rt_.now());
 }
 
 void UrcgcProcess::send_pdu(ProcessId dst, std::vector<std::uint8_t> bytes,
                             stats::MsgClass cls) {
   if (observer_ != nullptr) {
-    observer_->on_sent(self_, cls, bytes.size(), sim_.now());
+    observer_->on_sent(self_, cls, bytes.size(), rt_.now());
   }
   endpoint_.send(dst, std::move(bytes));
 }
@@ -456,7 +456,7 @@ void UrcgcProcess::broadcast_pdu(std::vector<std::uint8_t> bytes,
     // n-unicast semantics: one message per other group member.
     for (ProcessId q = 0; q < config_.n; ++q) {
       if (q == self_) continue;
-      observer_->on_sent(self_, cls, bytes.size(), sim_.now());
+      observer_->on_sent(self_, cls, bytes.size(), rt_.now());
     }
   }
   endpoint_.broadcast(std::move(bytes));

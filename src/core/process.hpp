@@ -34,21 +34,21 @@
 #include "core/pdu.hpp"
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
-#include "sim/simulation.hpp"
+#include "runtime/runtime.hpp"
 
 namespace urcgc::core {
 
 class UrcgcProcess {
  public:
-  UrcgcProcess(const Config& config, ProcessId self, sim::Simulation& sim,
+  UrcgcProcess(const Config& config, ProcessId self, rt::Runtime& runtime,
                net::Endpoint& endpoint, fault::FaultInjector& faults,
                Observer* observer = nullptr);
 
   UrcgcProcess(const UrcgcProcess&) = delete;
   UrcgcProcess& operator=(const UrcgcProcess&) = delete;
 
-  /// Registers the round handler and the datagram upcall. Call once, before
-  /// the simulation runs.
+  /// Registers the round handler and the datagram upcall (both owned by
+  /// this process's execution context). Call once, before the runtime runs.
   void start();
 
   // ---- Service access point (urcgc_data_Rq) ----
@@ -135,7 +135,7 @@ class UrcgcProcess {
 
   Config config_;
   ProcessId self_;
-  sim::Simulation& sim_;
+  rt::Runtime& rt_;
   net::Endpoint& endpoint_;
   fault::FaultInjector& faults_;
   Observer* observer_;

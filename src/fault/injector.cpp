@@ -8,13 +8,19 @@ FaultInjector::FaultInjector(FaultPlan plan, Rng rng)
       send_counter_(plan_.per_process.size(), 0),
       recv_counter_(plan_.per_process.size(), 0) {}
 
-bool FaultInjector::is_crashed(ProcessId p, Tick now) const {
+bool FaultInjector::crashed_locked(ProcessId p, Tick now) const {
   const Tick at = plan_.per_process.at(p).crash_at;
   return at != kNoTick && now >= at;
 }
 
+bool FaultInjector::is_crashed(ProcessId p, Tick now) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return crashed_locked(p, now);
+}
+
 bool FaultInjector::drop_on_send(ProcessId from, Tick now) {
-  if (is_crashed(from, now)) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (crashed_locked(from, now)) {
     ++counters_.blocked_by_crash;
     return true;
   }
@@ -33,7 +39,8 @@ bool FaultInjector::drop_on_send(ProcessId from, Tick now) {
 }
 
 bool FaultInjector::drop_on_hop(ProcessId to, Tick now) {
-  if (is_crashed(to, now)) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (crashed_locked(to, now)) {
     ++counters_.blocked_by_crash;
     return true;
   }
@@ -69,6 +76,7 @@ bool FaultInjector::partitioned(ProcessId from, ProcessId to,
 }
 
 void FaultInjector::force_crash(ProcessId p, Tick now) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& at = plan_.per_process.at(p).crash_at;
   if (at == kNoTick || at > now) at = now;
 }

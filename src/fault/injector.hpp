@@ -7,6 +7,7 @@
 // boundaries to halt their own execution (fail-stop semantics).
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -34,6 +35,7 @@ class FaultInjector {
 
   /// Earliest crash time for p, or kNoTick.
   [[nodiscard]] Tick crash_time(ProcessId p) const {
+    std::lock_guard<std::mutex> lk(mu_);
     return plan_.per_process.at(p).crash_at;
   }
 
@@ -50,13 +52,26 @@ class FaultInjector {
   [[nodiscard]] bool partitioned(ProcessId from, ProcessId to,
                                  Tick now) const;
 
-  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+  /// Snapshot of the injection counters (thread-safe).
+  [[nodiscard]] FaultCounters counters() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return counters_;
+  }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
   /// Dynamically crash a process (used to model "commit suicide").
   void force_crash(ProcessId p, Tick now);
 
  private:
+  /// Precondition: mu_ held. force_crash mutates crash_at concurrently
+  /// with the network's per-packet queries, so every read goes through
+  /// the mutex too.
+  [[nodiscard]] bool crashed_locked(ProcessId p, Tick now) const;
+
+  /// Guards plan_.per_process crash times, rng_ and every counter. The
+  /// static parts of the plan (rates, windows, partitions) are immutable
+  /// after construction and may be read without it.
+  mutable std::mutex mu_;
   FaultPlan plan_;
   Rng rng_;
   FaultCounters counters_;

@@ -1,7 +1,9 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <unordered_map>
@@ -11,14 +13,18 @@
 #include "common/assert.hpp"
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
-#include "sim/clock.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/threaded.hpp"
 #include "sim/simulation.hpp"
 
 namespace urcgc::harness {
 
 namespace {
 
-/// Observer that feeds the report's metric structures.
+/// Observer that feeds the report's metric structures. On the threaded
+/// backend callbacks arrive concurrently from every process thread, so a
+/// mutex serialises them (the extra observer is called inside the lock and
+/// needs no synchronisation of its own).
 class Recorder final : public core::Observer {
  public:
   Recorder(Tick ticks_per_rtd, core::Observer* extra)
@@ -26,6 +32,7 @@ class Recorder final : public core::Observer {
 
   void on_generated(ProcessId p, const core::AppMessage& msg,
                     Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     delays_.on_generated(msg.mid, at);
     graph_.add(msg.mid, msg.deps);
     ++generated_;
@@ -34,18 +41,21 @@ class Recorder final : public core::Observer {
 
   void on_processed(ProcessId p, const core::AppMessage& msg,
                     Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     delays_.on_processed(msg.mid, p, at);
     if (extra_ != nullptr) extra_->on_processed(p, msg, at);
   }
 
   void on_sent(ProcessId p, stats::MsgClass cls, std::size_t bytes,
                Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     traffic_.record(cls, bytes);
     if (extra_ != nullptr) extra_->on_sent(p, cls, bytes, at);
   }
 
   void on_decision_made(ProcessId coordinator, const core::Decision& d,
                         Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     DecisionEvent event;
     event.subrun = d.decided_at;
     event.at = at;
@@ -58,29 +68,35 @@ class Recorder final : public core::Observer {
   }
 
   void on_halt(ProcessId p, core::HaltReason reason, Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     halts_.push_back({p, reason, at});
     if (extra_ != nullptr) extra_->on_halt(p, reason, at);
   }
 
   void on_discarded(ProcessId p, const Mid& mid, Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     ++discarded_;
     if (extra_ != nullptr) extra_->on_discarded(p, mid, at);
   }
 
   void on_history_cleaned(ProcessId p, std::size_t purged,
                           Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     if (extra_ != nullptr) extra_->on_history_cleaned(p, purged, at);
   }
 
   void on_recovery_attempt(ProcessId p, ProcessId target, ProcessId origin,
                            Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     if (extra_ != nullptr) extra_->on_recovery_attempt(p, target, origin, at);
   }
 
   void on_flow_blocked(ProcessId p, Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
     if (extra_ != nullptr) extra_->on_flow_blocked(p, at);
   }
 
+  std::mutex mu_;
   stats::DelayTracker delays_;
   stats::TrafficAccountant traffic_;
   causal::CausalGraph graph_;
@@ -106,7 +122,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
 
 ExperimentReport Experiment::run() {
   const int n = config_.protocol.n;
-  const sim::RoundClock clock(config_.round_ticks);
+  const rt::RoundClock clock(config_.round_ticks);
   const Tick per_rtd = clock.ticks_per_rtd();
 
   // --- Fault plan -----------------------------------------------------
@@ -134,8 +150,20 @@ ExperimentReport Experiment::run() {
   fault::FaultInjector injector(plan, master.fork(0x0FA17));
 
   // --- System assembly ------------------------------------------------
-  sim::Simulation sim(clock);
-  net::Network network(sim, injector, config_.net, master.fork(0x0E7));
+  // The runtime is declared first so it outlives (is destroyed after)
+  // everything whose callbacks it may still hold.
+  std::unique_ptr<rt::Runtime> runtime;
+  if (config_.backend == Backend::kThreads) {
+    rt::ThreadedConfig tc;
+    tc.n = n;
+    tc.clock = clock;
+    tc.tick_duration = std::chrono::nanoseconds(config_.thread_tick_ns);
+    runtime = std::make_unique<rt::ThreadedRuntime>(tc);
+  } else {
+    runtime = std::make_unique<sim::Simulation>(clock);
+  }
+  rt::Runtime& rt = *runtime;
+  net::Network network(rt, injector, config_.net, master.fork(0x0E7));
   Recorder recorder(per_rtd, config_.extra_observer);
 
   std::vector<std::unique_ptr<net::Endpoint>> endpoints;
@@ -153,7 +181,7 @@ ExperimentReport Experiment::run() {
       endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
     }
     processes.push_back(std::make_unique<core::UrcgcProcess>(
-        config_.protocol, p, sim, *endpoints.back(), injector, &recorder));
+        config_.protocol, p, rt, *endpoints.back(), injector, &recorder));
   }
 
   workload::LoadGenerator::Hooks hooks;
@@ -162,7 +190,7 @@ ExperimentReport Experiment::run() {
     return processes[p]->data_rq(std::move(payload), std::move(deps));
   };
   hooks.active = [&](ProcessId p) {
-    return !processes[p]->halted() && !injector.is_crashed(p, sim.now());
+    return !processes[p]->halted() && !injector.is_crashed(p, rt.now());
   };
   hooks.pending = [&](ProcessId p) {
     return static_cast<std::int64_t>(processes[p]->pending_user_messages());
@@ -176,11 +204,11 @@ ExperimentReport Experiment::run() {
   // Registration order fixes intra-round execution order: workload first
   // (so submissions are visible to this round's generation), processes
   // next, samplers last (so series reflect post-round state).
-  sim.on_round([&](RoundId round) { load.on_round(round); });
+  rt.on_round([&](RoundId round) { load.on_round(round); });
   for (auto& process : processes) process->start();
 
   ExperimentReport report;
-  sim.on_round([&](RoundId round) {
+  rt.on_round([&](RoundId round) {
     double hist_max = 0.0;
     double hist_sum = 0.0;
     double wait_max = 0.0;
@@ -223,12 +251,12 @@ ExperimentReport Experiment::run() {
     return true;
   };
 
-  Tick stopped_at = sim.run_until_quiescent(limit, quiescent);
+  Tick stopped_at = rt.run_until_quiescent(limit, quiescent);
   report.quiescent = quiescent();
   if (report.quiescent && config_.grace_subruns > 0) {
     const Tick grace_end =
         stopped_at + config_.grace_subruns * clock.ticks_per_subrun();
-    stopped_at = sim.run_until(std::min(grace_end, limit));
+    stopped_at = rt.run_until(std::min(grace_end, limit));
   }
 
   // --- Report assembly --------------------------------------------------

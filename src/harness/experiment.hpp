@@ -1,9 +1,14 @@
 #pragma once
-// Experiment harness: builds a full system (simulator, faulty network,
-// group of urcgc processes, workload), runs it to quiescence, validates the
+// Experiment harness: builds a full system (runtime, faulty network, group
+// of urcgc processes, workload), runs it to quiescence, validates the
 // URCGC correctness clauses over the run, and returns a structured report.
 // Every bench and integration test goes through this one entry point.
+//
+// The runtime backend is selectable: the deterministic simulator (default)
+// or the real-time threaded backend, where every process runs on its own
+// OS thread and rounds are paced by the wall clock.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,6 +47,12 @@ struct FaultSpec {
   SubrunId coordinator_crash_start = 2;
 };
 
+/// Which rt::Runtime implementation drives the run.
+enum class Backend {
+  kSim,      ///< deterministic single-threaded simulator
+  kThreads,  ///< one OS thread per process, wall-clock round pacing
+};
+
 struct ExperimentConfig {
   core::Config protocol;
   workload::WorkloadConfig workload;
@@ -63,6 +74,11 @@ struct ExperimentConfig {
   core::Observer* extra_observer = nullptr;
   /// Hard simulation stop, in rtd (subruns).
   double limit_rtd = 5000.0;
+  /// Runtime backend for the run. Results on kThreads are not
+  /// deterministic; validators tolerate reordering by construction.
+  Backend backend = Backend::kSim;
+  /// Real duration of one tick on the threaded backend (0 = free-running).
+  std::int64_t thread_tick_ns = 50'000;
   /// Extra subruns executed after first quiescence so stability decisions
   /// and final cleanings settle.
   int grace_subruns = 8;

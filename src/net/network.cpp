@@ -6,53 +6,66 @@
 
 namespace urcgc::net {
 
-Network::Network(sim::Simulation& sim, fault::FaultInjector& faults,
+Network::Network(rt::Runtime& runtime, fault::FaultInjector& faults,
                  NetConfig config, Rng rng)
-    : sim_(sim), faults_(faults), config_(config), rng_(rng),
+    : rt_(runtime), faults_(faults), config_(config), rng_(rng),
       endpoints_(faults.group_size()) {
   URCGC_ASSERT(config_.min_latency >= 0);
   URCGC_ASSERT(config_.max_latency >= config_.min_latency);
 }
 
 void Network::attach(ProcessId id, DeliveryFn fn) {
-  URCGC_ASSERT(id >= 0 && static_cast<std::size_t>(id) < endpoints_.size());
-  URCGC_ASSERT_MSG(!endpoints_[id], "endpoint attached twice");
+  URCGC_ASSERT_MSG(id >= 0 && static_cast<std::size_t>(id) < endpoints_.size(),
+                   "attach: ProcessId outside the configured group");
+  URCGC_ASSERT_MSG(!endpoints_[id], "attach: endpoint registered twice");
+  URCGC_ASSERT_MSG(static_cast<bool>(fn), "attach: empty delivery upcall");
   endpoints_[id] = std::move(fn);
 }
 
-Tick Network::draw_latency() {
-  return rng_.uniform_range(config_.min_latency, config_.max_latency);
+NetStats Network::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
 }
 
 void Network::send_copy(ProcessId src, ProcessId dst,
                         std::vector<std::uint8_t> payload) {
   URCGC_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < endpoints_.size());
-  ++stats_.packets_sent;
-  stats_.bytes_sent += payload.size();
+  const Tick sent_at = rt_.now();
+  Tick latency;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.packets_sent;
+    stats_.bytes_sent += payload.size();
 
-  // Sender omission is evaluated per copy: the paper's send is not an
-  // indivisible action, so a faulty sender may reach only a subset of the
-  // destinations of one multicast.
-  if (faults_.partitioned(src, dst, sim_.now()) ||
-      faults_.drop_on_send(src, sim_.now()) ||
-      faults_.drop_on_hop(dst, sim_.now())) {
-    ++stats_.packets_dropped;
-    return;
+    // Sender omission is evaluated per copy: the paper's send is not an
+    // indivisible action, so a faulty sender may reach only a subset of the
+    // destinations of one multicast.
+    if (faults_.partitioned(src, dst, sent_at) ||
+        faults_.drop_on_send(src, sent_at) ||
+        faults_.drop_on_hop(dst, sent_at)) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    latency = rng_.uniform_range(config_.min_latency, config_.max_latency);
   }
 
-  Packet packet{src, dst, sim_.now(), std::move(payload)};
-  const Tick latency = draw_latency();
-  sim_.after(latency, [this, p = std::move(packet)]() mutable {
+  Packet packet{src, dst, sent_at, std::move(payload)};
+  rt_.post(dst, latency, [this, p = std::move(packet)]() mutable {
     // A destination that crashed while the packet was in flight never sees
     // it (the NIC of a fail-stop process is dead).
-    if (faults_.is_crashed(p.dst, sim_.now())) {
+    if (faults_.is_crashed(p.dst, rt_.now())) {
+      std::lock_guard<std::mutex> lk(mu_);
       ++stats_.packets_dropped;
       return;
     }
     URCGC_ASSERT_MSG(static_cast<bool>(endpoints_[p.dst]),
                      "delivery to unattached endpoint");
-    ++stats_.packets_delivered;
-    stats_.bytes_delivered += p.payload.size();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.packets_delivered;
+      stats_.bytes_delivered += p.payload.size();
+    }
+    // Upcall outside the lock: the receiver may immediately send.
     endpoints_[p.dst](p);
   });
 }

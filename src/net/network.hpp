@@ -8,8 +8,15 @@
 // max_latency below the round length so that a message sent at a round
 // boundary arrives before the next boundary, matching the paper's
 // synchronous round assumption.
+//
+// The network depends on the abstract rt::Runtime only: on the simulator a
+// copy is an event `latency` ticks ahead; on the threaded backend it lands
+// in the destination's mailbox and is consumed by the destination's own
+// thread. send_copy may be called from any execution context — the
+// internal mutex guards the rng and the counters, never the upcall.
 
 #include <functional>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -17,7 +24,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "net/packet.hpp"
-#include "sim/simulation.hpp"
+#include "runtime/runtime.hpp"
 
 namespace urcgc::net {
 
@@ -31,14 +38,15 @@ using DeliveryFn = std::function<void(const Packet&)>;
 
 class Network {
  public:
-  Network(sim::Simulation& sim, fault::FaultInjector& faults, NetConfig config,
+  Network(rt::Runtime& runtime, fault::FaultInjector& faults, NetConfig config,
           Rng rng);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Registers the delivery upcall for process `id`. Must be called once
-  /// per process before any traffic flows to it.
+  /// Registers the delivery upcall for process `id`. Must be called
+  /// exactly once per process, before any traffic flows to it; duplicate
+  /// or out-of-range registration is a hard protocol-assembly error.
   void attach(ProcessId id, DeliveryFn fn);
 
   [[nodiscard]] std::size_t group_size() const { return endpoints_.size(); }
@@ -55,18 +63,21 @@ class Network {
   /// deliver their own messages locally, without a network hop.
   void broadcast(ProcessId src, const std::vector<std::uint8_t>& payload);
 
-  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  /// Snapshot of the traffic counters. Thread-safe; on the threaded
+  /// backend call it from the driver context (e.g. after the run or at a
+  /// round boundary) for a consistent picture.
+  [[nodiscard]] NetStats stats() const;
   [[nodiscard]] fault::FaultInjector& faults() { return faults_; }
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] rt::Runtime& runtime() { return rt_; }
 
  private:
   void send_copy(ProcessId src, ProcessId dst,
                  std::vector<std::uint8_t> payload);
-  [[nodiscard]] Tick draw_latency();
 
-  sim::Simulation& sim_;
+  rt::Runtime& rt_;
   fault::FaultInjector& faults_;
   NetConfig config_;
+  mutable std::mutex mu_;  // guards rng_ and stats_
   Rng rng_;
   std::vector<DeliveryFn> endpoints_;
   NetStats stats_;

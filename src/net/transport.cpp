@@ -105,7 +105,9 @@ void TransportEndpoint::transmit(std::uint64_t xfer_id, bool first) {
 }
 
 void TransportEndpoint::schedule_retry(std::uint64_t xfer_id) {
-  network_.simulation().after(config_.retry_interval, [this, xfer_id] {
+  // The retry timer belongs to this endpoint's process: on the threaded
+  // backend it must fire on our own thread, alongside incoming datagrams.
+  network_.runtime().post(self_, config_.retry_interval, [this, xfer_id] {
     auto it = xfers_.find(xfer_id);
     if (it == xfers_.end()) return;
     Xfer& xfer = it->second;

@@ -1,0 +1,151 @@
+#include "runtime/threaded.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace urcgc::rt {
+
+ThreadedRuntime::ThreadedRuntime(ThreadedConfig config)
+    : config_(config), clock_(config.clock) {
+  URCGC_ASSERT(config_.n >= 1);
+  URCGC_ASSERT(config_.tick_duration.count() >= 0);
+  mailboxes_.reserve(static_cast<std::size_t>(config_.n) + 1);
+  for (int i = 0; i <= config_.n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  threads_.reserve(config_.n);
+  for (int i = 0; i < config_.n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() { shutdown(); }
+
+void ThreadedRuntime::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(barrier_mu_);
+    stop_ = true;
+  }
+  cv_open_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadedRuntime::post(ProcessId owner, Tick delay, EventFn fn) {
+  URCGC_ASSERT(delay >= 0);
+  URCGC_ASSERT(owner == kNoProcess || (owner >= 0 && owner < config_.n));
+  const int idx = owner == kNoProcess ? config_.n : owner;
+  Task task{now() + delay, post_order_.fetch_add(1, std::memory_order_relaxed),
+            std::move(fn)};
+  std::lock_guard<std::mutex> lk(mailboxes_[idx]->mu);
+  mailboxes_[idx]->tasks.push_back(std::move(task));
+}
+
+void ThreadedRuntime::on_round(ProcessId owner, RoundHandler handler) {
+  URCGC_ASSERT(owner == kNoProcess || (owner >= 0 && owner < config_.n));
+  URCGC_ASSERT_MSG(next_round_ == 0,
+                   "threaded backend: register round handlers before running");
+  const int idx = owner == kNoProcess ? config_.n : owner;
+  mailboxes_[idx]->handlers.push_back(std::move(handler));
+}
+
+void ThreadedRuntime::drain(int idx, Tick cutoff) {
+  std::vector<Task> due;
+  {
+    std::lock_guard<std::mutex> lk(mailboxes_[idx]->mu);
+    auto& tasks = mailboxes_[idx]->tasks;
+    auto split = std::stable_partition(
+        tasks.begin(), tasks.end(),
+        [cutoff](const Task& t) { return t.due > cutoff; });
+    due.assign(std::make_move_iterator(split),
+               std::make_move_iterator(tasks.end()));
+    tasks.erase(split, tasks.end());
+  }
+  std::stable_sort(due.begin(), due.end(), [](const Task& a, const Task& b) {
+    return a.due != b.due ? a.due < b.due : a.order < b.order;
+  });
+  for (Task& task : due) task.fn();
+}
+
+void ThreadedRuntime::worker_loop(int idx) {
+  RoundId done_round = -1;
+  for (;;) {
+    RoundId r;
+    {
+      std::unique_lock<std::mutex> lk(barrier_mu_);
+      cv_open_.wait(lk, [&] { return stop_ || open_round_ > done_round; });
+      if (stop_) return;
+      r = open_round_;
+    }
+    const Tick start = clock_.round_start(r);
+    // Datagrams due by this boundary first, then the round logic: the
+    // coordinator must see the requests of the previous round before it
+    // computes the decision, exactly as in the simulator.
+    drain(idx, start);
+    for (const RoundHandler& handler : mailboxes_[idx]->handlers) handler(r);
+    // Catch zero-delay posts made by our own handlers.
+    drain(idx, start);
+    done_round = r;
+    {
+      std::lock_guard<std::mutex> lk(barrier_mu_);
+      ++done_count_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+Tick ThreadedRuntime::run_rounds(Tick limit,
+                                 const std::function<bool()>* predicate) {
+  URCGC_ASSERT_MSG(!threads_.empty() || config_.n == 0,
+                   "threaded backend: run after shutdown");
+  if (!epoch_set_) {
+    epoch_ = std::chrono::steady_clock::now() -
+             clock_.round_start(next_round_) * config_.tick_duration;
+    epoch_set_ = true;
+  }
+  while (clock_.round_start(next_round_) <= limit) {
+    const RoundId r = next_round_;
+    const Tick start = clock_.round_start(r);
+    if (config_.tick_duration.count() > 0) {
+      std::this_thread::sleep_until(epoch_ + start * config_.tick_duration);
+    }
+    now_.store(start, std::memory_order_release);
+    // All workers are parked here, so the predicate may read protocol
+    // state without synchronisation beyond the barrier itself. Skip the
+    // very first boundary: nothing has executed yet.
+    if (predicate != nullptr && r > 0 && (*predicate)()) {
+      return now();
+    }
+    drain(config_.n, start);
+    for (const RoundHandler& handler : mailboxes_[config_.n]->handlers) {
+      handler(r);
+    }
+    {
+      std::lock_guard<std::mutex> lk(barrier_mu_);
+      open_round_ = r;
+      done_count_ = 0;
+    }
+    cv_open_.notify_all();
+    {
+      std::unique_lock<std::mutex> lk(barrier_mu_);
+      cv_done_.wait(lk, [&] { return done_count_ == config_.n; });
+    }
+    ++next_round_;
+  }
+  return now();
+}
+
+Tick ThreadedRuntime::run_until(Tick limit) {
+  return run_rounds(limit, nullptr);
+}
+
+Tick ThreadedRuntime::run_until_quiescent(
+    Tick limit, const std::function<bool()>& predicate) {
+  return run_rounds(limit, &predicate);
+}
+
+}  // namespace urcgc::rt

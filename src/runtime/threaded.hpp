@@ -1,0 +1,131 @@
+#pragma once
+// ThreadedRuntime: real-time, really-concurrent Runtime backend.
+//
+// One OS thread per process; per-process mutex-guarded mailboxes play the
+// role of the datagram subnet (the Network still decides loss, omission
+// and latency — a dropped copy is simply never posted). Rounds are paced
+// off std::chrono::steady_clock: round r opens no earlier than
+// epoch + round_start(r) * tick_duration.
+//
+// Execution model per round r (driver thread = the caller of run_until*):
+//   1. driver waits for the steady-clock round boundary, advances now()
+//      to round_start(r), optionally evaluates the quiescence predicate —
+//      every worker is parked at the barrier, so the predicate may read
+//      protocol state freely;
+//   2. driver executes its own due mailbox tasks and host round handlers
+//      (workload generation, samplers);
+//   3. driver releases the barrier; every worker concurrently drains the
+//      datagrams due by this boundary, then runs its round handlers
+//      (request/decision logic, which posts into other mailboxes), then
+//      parks again.
+// A datagram posted during round r with latency shorter than a round is
+// due before round r+1 opens, so the receiver processes it before its
+// r+1 handler — the same "a message sent in a round arrives before the
+// next boundary" guarantee the simulator provides, now with real
+// concurrency between the barriers.
+//
+// Shutdown: shutdown() (also run by the destructor) stops and joins every
+// worker; pending mailbox tasks are discarded unexecuted.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/runtime.hpp"
+
+namespace urcgc::rt {
+
+struct ThreadedConfig {
+  /// Number of process execution contexts (one thread each).
+  int n = 1;
+  RoundClock clock{};
+  /// Wall-clock duration of one tick; rounds are released against
+  /// steady_clock at this rate. Zero = free-running (rounds proceed as
+  /// fast as the barrier allows; ordering guarantees are unchanged).
+  std::chrono::nanoseconds tick_duration = std::chrono::microseconds(50);
+};
+
+class ThreadedRuntime final : public Runtime {
+ public:
+  explicit ThreadedRuntime(ThreadedConfig config);
+  ~ThreadedRuntime() override;
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  [[nodiscard]] Tick now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const RoundClock& clock() const override { return clock_; }
+
+  using Runtime::after;
+  void post(ProcessId owner, Tick delay, EventFn fn) override;
+
+  using Runtime::on_round;
+  void on_round(ProcessId owner, RoundHandler handler) override;
+
+  Tick run_until(Tick limit) override;
+  Tick run_until_quiescent(Tick limit,
+                           const std::function<bool()>& predicate) override;
+
+  /// Stops and joins the worker threads; pending tasks are discarded.
+  /// Idempotent; also called by the destructor. After shutdown the
+  /// runtime cannot run again.
+  void shutdown();
+
+  [[nodiscard]] int contexts() const { return config_.n; }
+  /// Rounds completed so far (diagnostics).
+  [[nodiscard]] RoundId rounds_run() const { return next_round_; }
+
+ private:
+  struct Task {
+    Tick due = 0;
+    std::uint64_t order = 0;  // global post order: stable tie-break
+    EventFn fn;
+  };
+
+  /// One mailbox per execution context; index n is the driver context.
+  /// The mutex guards `tasks` only — `handlers` is written before the
+  /// first round and read-only afterwards.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Task> tasks;
+    std::vector<RoundHandler> handlers;
+  };
+
+  void worker_loop(int idx);
+  /// Extracts and executes every task of context `idx` due at or before
+  /// `cutoff`, in (due, post-order) order. Runs the tasks outside the
+  /// mailbox lock so they may post into other mailboxes.
+  void drain(int idx, Tick cutoff);
+  Tick run_rounds(Tick limit, const std::function<bool()>* predicate);
+
+  ThreadedConfig config_;
+  RoundClock clock_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<Tick> now_{0};
+  std::atomic<std::uint64_t> post_order_{0};
+
+  // Round-barrier state, guarded by barrier_mu_.
+  std::mutex barrier_mu_;
+  std::condition_variable cv_open_;  // driver -> workers: round released
+  std::condition_variable cv_done_;  // workers -> driver: context parked
+  RoundId open_round_ = -1;
+  int done_count_ = 0;
+  bool stop_ = false;
+
+  RoundId next_round_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+  bool epoch_set_ = false;
+};
+
+}  // namespace urcgc::rt

@@ -1,52 +1,12 @@
 #pragma once
-// Round / subrun time arithmetic.
-//
-// Paper Section 4: communications proceed in rounds; a subrun consists of
-// two rounds (request round, decision round) and is assumed as long as one
-// network round-trip delay (rtd). We fix a tick budget per round and derive
-// everything else, so that delays measured in ticks convert exactly to the
-// rtd units the paper plots.
+// Round / subrun time arithmetic — canonical definition lives in
+// runtime/clock.hpp (rt::RoundClock), shared by every backend. This alias
+// keeps the historical sim::RoundClock spelling working.
 
-#include "common/assert.hpp"
-#include "common/types.hpp"
+#include "runtime/clock.hpp"
 
 namespace urcgc::sim {
 
-class RoundClock {
- public:
-  explicit RoundClock(Tick ticks_per_round = 10)
-      : ticks_per_round_(ticks_per_round) {
-    URCGC_ASSERT(ticks_per_round > 0);
-  }
-
-  [[nodiscard]] Tick ticks_per_round() const { return ticks_per_round_; }
-  /// One subrun = two rounds = one rtd.
-  [[nodiscard]] Tick ticks_per_subrun() const { return 2 * ticks_per_round_; }
-  [[nodiscard]] Tick ticks_per_rtd() const { return ticks_per_subrun(); }
-
-  [[nodiscard]] RoundId round_of(Tick t) const { return t / ticks_per_round_; }
-  [[nodiscard]] SubrunId subrun_of(Tick t) const {
-    return t / ticks_per_subrun();
-  }
-  [[nodiscard]] Tick round_start(RoundId r) const {
-    return r * ticks_per_round_;
-  }
-  [[nodiscard]] Tick subrun_start(SubrunId s) const {
-    return s * ticks_per_subrun();
-  }
-
-  /// True when round r is the first (request) round of its subrun.
-  [[nodiscard]] static bool is_request_round(RoundId r) { return r % 2 == 0; }
-  [[nodiscard]] static SubrunId subrun_of_round(RoundId r) { return r / 2; }
-
-  /// Converts a tick duration to rtd units (fractional).
-  [[nodiscard]] double to_rtd(Tick duration) const {
-    return static_cast<double>(duration) /
-           static_cast<double>(ticks_per_rtd());
-  }
-
- private:
-  Tick ticks_per_round_;
-};
+using RoundClock = rt::RoundClock;
 
 }  // namespace urcgc::sim

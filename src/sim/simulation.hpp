@@ -3,39 +3,50 @@
 // scheduler. Protocol nodes never see wall-clock time; everything runs off
 // this kernel, which makes whole-system runs deterministic and fast
 // (millions of events per second).
+//
+// Simulation is the deterministic implementation of rt::Runtime; protocol
+// code depends on the interface only, so the same stack also runs on the
+// real-time rt::ThreadedRuntime backend. Being single-threaded, the
+// simulator ignores execution-context ownership.
 
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 
 namespace urcgc::sim {
 
 /// Handler invoked at the beginning of every round.
-using RoundHandler = std::function<void(RoundId)>;
+using RoundHandler = rt::RoundHandler;
 
-class Simulation {
+class Simulation final : public rt::Runtime {
  public:
   explicit Simulation(RoundClock clock = RoundClock{})
       : clock_(clock) {}
 
-  [[nodiscard]] Tick now() const { return now_; }
-  [[nodiscard]] const RoundClock& clock() const { return clock_; }
+  [[nodiscard]] Tick now() const override { return now_; }
+  [[nodiscard]] const RoundClock& clock() const override { return clock_; }
 
-  /// Schedules fn at absolute tick `at` (>= now).
+  /// Schedules fn at absolute tick `at` (>= now). Simulator-specific:
+  /// tests and fault scripts use it to pin events to exact virtual times.
   void at(Tick when, EventFn fn) { queue_.schedule(when, std::move(fn)); }
 
-  /// Schedules fn `delay` ticks from now.
-  void after(Tick delay, EventFn fn) {
+  /// Schedules fn `delay` ticks from now; ownership is irrelevant on the
+  /// single-threaded kernel.
+  using rt::Runtime::after;
+  void post(ProcessId /*owner*/, Tick delay, rt::EventFn fn) override {
     queue_.schedule(now_ + delay, std::move(fn));
   }
 
-  /// Registers a handler called at the start of every round, in registration
-  /// order. Round events are generated lazily while the simulation runs.
-  void on_round(RoundHandler handler) {
+  /// Registers a handler called at the start of every round, in
+  /// registration order (across all owners). Round events are generated
+  /// lazily while the simulation runs.
+  using rt::Runtime::on_round;
+  void on_round(ProcessId /*owner*/, rt::RoundHandler handler) override {
     round_handlers_.push_back(std::move(handler));
   }
 
@@ -43,11 +54,12 @@ class Simulation {
   /// comes first. Round-begin events keep the queue non-empty, so a limit is
   /// required whenever round handlers are registered. Returns the tick at
   /// which the run stopped.
-  Tick run_until(Tick limit);
+  Tick run_until(Tick limit) override;
 
   /// Runs until `predicate` returns true (checked at every round boundary)
   /// or `limit` is hit. Returns the stop tick.
-  Tick run_until_quiescent(Tick limit, const std::function<bool()>& predicate);
+  Tick run_until_quiescent(
+      Tick limit, const std::function<bool()>& predicate) override;
 
   /// Number of events executed so far (diagnostics / micro-benchmarks).
   [[nodiscard]] std::uint64_t events_executed() const {

@@ -6,6 +6,7 @@
 
 #include "baselines/cbcast.hpp"
 #include "causal/graph.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc::baselines {
 namespace {

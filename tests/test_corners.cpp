@@ -9,6 +9,7 @@
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
 #include "net/transport.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc {
 namespace {

@@ -11,6 +11,7 @@
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc::harness {
 namespace {

@@ -23,6 +23,28 @@ struct Rig {
   Network network;
 };
 
+using NetworkDeathTest = ::testing::Test;
+
+TEST(NetworkDeathTest, DuplicateAttachAborts) {
+  Rig rig(2);
+  rig.network.attach(0, [](const Packet&) {});
+  EXPECT_DEATH(rig.network.attach(0, [](const Packet&) {}),
+               "endpoint registered twice");
+}
+
+TEST(NetworkDeathTest, OutOfRangeAttachAborts) {
+  Rig rig(2);
+  EXPECT_DEATH(rig.network.attach(2, [](const Packet&) {}),
+               "ProcessId outside the configured group");
+  EXPECT_DEATH(rig.network.attach(-1, [](const Packet&) {}),
+               "ProcessId outside the configured group");
+}
+
+TEST(NetworkDeathTest, EmptyDeliveryFnAborts) {
+  Rig rig(2);
+  EXPECT_DEATH(rig.network.attach(0, DeliveryFn{}), "empty delivery upcall");
+}
+
 TEST(Network, UnicastDeliversWithinLatencyBounds) {
   Rig rig(2);
   std::vector<Packet> received;

@@ -14,6 +14,7 @@
 
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc::core {
 namespace {

@@ -6,6 +6,7 @@
 
 #include "baselines/psync.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc::baselines {
 namespace {

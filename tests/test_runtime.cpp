@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "runtime/threaded.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::rt {
+namespace {
+
+ThreadedConfig free_running(int n, Tick round_ticks = 10) {
+  ThreadedConfig config;
+  config.n = n;
+  config.clock = RoundClock(round_ticks);
+  config.tick_duration = std::chrono::nanoseconds(0);
+  return config;
+}
+
+TEST(ThreadedRuntime, RoundHandlersObserveMonotoneRounds) {
+  ThreadedRuntime rt(free_running(3));
+  // Each vector is touched only by its owner's thread; the run_until
+  // barrier orders the final reads.
+  std::vector<std::vector<RoundId>> seen(3);
+  for (ProcessId p = 0; p < 3; ++p) {
+    rt.on_round(p, [&seen, p](RoundId r) { seen[p].push_back(r); });
+  }
+  rt.run_until(99);
+  std::vector<RoundId> expected;
+  for (RoundId r = 0; r <= 9; ++r) expected.push_back(r);
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(seen[p], expected) << "p" << p;
+  EXPECT_EQ(rt.rounds_run(), 10);
+}
+
+TEST(ThreadedRuntime, NowMatchesRoundStartInsideHandlers) {
+  ThreadedRuntime rt(free_running(2));
+  std::vector<Tick> at;
+  rt.on_round(0, [&](RoundId) { at.push_back(rt.now()); });
+  rt.run_until(45);
+  EXPECT_EQ(at, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+TEST(ThreadedRuntime, PostedTaskRunsBeforeNextRoundHandler) {
+  // A task posted during round r with sub-round delay reaches its owner
+  // before the owner's round r+1 handler — the simulator's "arrives before
+  // the next boundary" guarantee.
+  ThreadedRuntime rt(free_running(2));
+  std::vector<std::pair<char, RoundId>> log;  // owned by context 1
+  rt.on_round(0, [&rt, &log](RoundId r) {
+    rt.post(1, /*delay=*/5, [&log, r] { log.push_back({'t', r}); });
+  });
+  rt.on_round(1, [&log](RoundId r) { log.push_back({'h', r}); });
+  rt.run_until(59);
+  // For every round r, the datagram sent in round r ('t', r) must appear
+  // before the handler of round r+1 ('h', r+1).
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].first != 't') continue;
+    for (std::size_t j = i + 1; j < log.size(); ++j) {
+      if (log[j].first == 'h') {
+        EXPECT_GT(log[j].second, log[i].second)
+            << "task of round " << log[i].second << " ran after handler of "
+            << log[j].second;
+        break;
+      }
+    }
+  }
+  // Every round's task arrived.
+  int tasks = 0;
+  for (const auto& entry : log) tasks += entry.first == 't' ? 1 : 0;
+  EXPECT_EQ(tasks, 5);
+}
+
+TEST(ThreadedRuntime, DelayedPostDefersToDueRound) {
+  ThreadedRuntime rt(free_running(1));
+  Tick ran_at = -1;
+  rt.post(0, /*delay=*/25, [&] { ran_at = rt.now(); });
+  rt.run_until(99);
+  // Due tick 25 falls inside round 2; the owner first drains at a boundary
+  // >= 25, which is round 3 (tick 30).
+  EXPECT_EQ(ran_at, 30);
+}
+
+TEST(ThreadedRuntime, DriverHandlersRunOnHostContext) {
+  ThreadedRuntime rt(free_running(2));
+  const auto driver_id = std::this_thread::get_id();
+  int rounds = 0;
+  bool on_driver = true;
+  rt.on_round([&](RoundId) {
+    ++rounds;
+    on_driver = on_driver && std::this_thread::get_id() == driver_id;
+  });
+  rt.run_until(39);
+  EXPECT_EQ(rounds, 4);
+  EXPECT_TRUE(on_driver);
+}
+
+TEST(ThreadedRuntime, RunUntilQuiescentStopsAtPredicate) {
+  ThreadedRuntime rt(free_running(2));
+  std::atomic<int> rounds{0};
+  rt.on_round(0, [&](RoundId) { rounds.fetch_add(1); });
+  const Tick stopped =
+      rt.run_until_quiescent(10'000, [&] { return rounds.load() >= 4; });
+  // The predicate is checked at round boundaries; the run must stop well
+  // short of the limit.
+  EXPECT_GE(rounds.load(), 4);
+  EXPECT_LE(rounds.load(), 5);
+  EXPECT_LT(stopped, 10'000);
+}
+
+TEST(ThreadedRuntime, CrossContextPostsAllArrive) {
+  constexpr int kN = 4;
+  ThreadedRuntime rt(free_running(kN));
+  std::vector<int> received(kN, 0);  // each slot touched only by its owner
+  for (ProcessId p = 0; p < kN; ++p) {
+    rt.on_round(p, [&rt, &received, p](RoundId) {
+      for (ProcessId q = 0; q < kN; ++q) {
+        if (q == p) continue;
+        rt.post(q, /*delay=*/3, [&received, q] { ++received[q]; });
+      }
+    });
+  }
+  rt.run_until(99);  // 10 rounds; round 9's posts are still in flight
+  int total = 0;
+  for (int count : received) total += count;
+  // Every post from rounds 0..8 must have been consumed: 9 rounds x n x
+  // (n-1) messages.
+  EXPECT_GE(total, 9 * kN * (kN - 1));
+}
+
+TEST(ThreadedRuntime, ShutdownIsIdempotent) {
+  auto rt = std::make_unique<ThreadedRuntime>(free_running(3));
+  rt->on_round(0, [](RoundId) {});
+  rt->run_until(19);
+  rt->shutdown();
+  rt->shutdown();  // second call is a no-op
+  rt.reset();      // destructor after explicit shutdown is fine too
+  SUCCEED();
+}
+
+TEST(ThreadedRuntime, WallClockPacingRespectsTickDuration) {
+  ThreadedConfig config = free_running(1);
+  config.tick_duration = std::chrono::microseconds(100);
+  ThreadedRuntime rt(config);
+  int rounds = 0;
+  rt.on_round(0, [&](RoundId) { ++rounds; });
+  const auto before = std::chrono::steady_clock::now();
+  rt.run_until(49);  // 5 rounds x 10 ticks x 100us = 4ms minimum
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_EQ(rounds, 5);
+  EXPECT_GE(elapsed, std::chrono::microseconds(4000));
+}
+
+// --- Cross-backend equivalence ---------------------------------------
+
+harness::ExperimentConfig workload_config(int n, std::int64_t messages,
+                                          std::uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.protocol.n = n;
+  config.workload.total_messages = messages;
+  config.workload.load = 0.5;
+  config.workload.cross_dep_prob = 0.3;
+  config.seed = seed;
+  config.limit_rtd = 2000;
+  return config;
+}
+
+TEST(CrossBackend, SeededWorkloadPassesOnBothBackends) {
+  auto config = workload_config(6, 120, 42);
+  const auto sim_report = harness::Experiment(config).run();
+
+  config.backend = harness::Backend::kThreads;
+  config.thread_tick_ns = 0;  // free-running: fast and ordering-equivalent
+  const auto thr_report = harness::Experiment(config).run();
+
+  for (const auto* report : {&sim_report, &thr_report}) {
+    EXPECT_TRUE(report->quiescent);
+    EXPECT_TRUE(report->workload_exhausted);
+    EXPECT_TRUE(report->all_ok()) << report->violations.size()
+                                  << " violations";
+  }
+  // Fault-free: the full offered load is generated and processed
+  // everywhere on both backends, whatever the interleaving.
+  EXPECT_EQ(sim_report.generated, 120u);
+  EXPECT_EQ(thr_report.generated, 120u);
+  EXPECT_EQ(sim_report.processed_events, 120u * 6);
+  EXPECT_EQ(thr_report.processed_events, 120u * 6);
+}
+
+TEST(CrossBackend, TenProcessThreadedRunReachesQuiescence) {
+  auto config = workload_config(10, 300, 7);
+  config.backend = harness::Backend::kThreads;
+  config.thread_tick_ns = 0;
+  const auto report = harness::Experiment(config).run();
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+  EXPECT_EQ(report.generated, 300u);
+  EXPECT_EQ(report.processed_events, 300u * 10);
+}
+
+TEST(CrossBackend, CrashFaultToleratedOnBothBackends) {
+  auto config = workload_config(8, 160, 11);
+  config.faults.crashes = {{5, 400}};
+  const auto sim_report = harness::Experiment(config).run();
+
+  config.backend = harness::Backend::kThreads;
+  config.thread_tick_ns = 0;
+  const auto thr_report = harness::Experiment(config).run();
+
+  for (const auto* report : {&sim_report, &thr_report}) {
+    EXPECT_TRUE(report->quiescent);
+    EXPECT_TRUE(report->all_ok());
+    ASSERT_GE(report->halts.size(), 1u);
+    EXPECT_EQ(report->halts.front().p, 5);
+  }
+}
+
+}  // namespace
+}  // namespace urcgc::rt

@@ -12,6 +12,7 @@
 #include "core/process.hpp"
 #include "harness/experiment.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc {
 namespace {

@@ -10,6 +10,7 @@
 #include "causal/graph.hpp"
 #include "core/total_order.hpp"
 #include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc::core {
 namespace {

@@ -9,6 +9,7 @@
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
 #include "trace/trace.hpp"
+#include "sim/simulation.hpp"
 
 namespace urcgc::trace {
 namespace {

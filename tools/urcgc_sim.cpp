@@ -29,6 +29,8 @@ using namespace urcgc;
 
 struct Options {
   std::string protocol = "urcgc";  // urcgc | cbcast | psync
+  std::string backend = "sim";     // sim | threads
+  std::int64_t tick_ns = 50'000;   // threads backend: real ns per tick
   int n = 10;
   int k = 3;
   double load = 0.5;
@@ -54,6 +56,11 @@ struct Options {
       stderr,
       "usage: %s [flags]\n"
       "  --protocol=urcgc|cbcast|psync   protocol to run (default urcgc)\n"
+      "  --backend=sim|threads           runtime backend (default sim;\n"
+      "                                  threads = one OS thread/process,\n"
+      "                                  urcgc only, non-deterministic)\n"
+      "  --tick-ns=NS                    threads: real ns per tick (50000;\n"
+      "                                  0 = free-running)\n"
       "  --n=N                           group size (default 10)\n"
       "  --k=K                           failure-detection attempts (3)\n"
       "  --load=L                        msgs/process/round in [0,1] (0.5)\n"
@@ -92,6 +99,10 @@ Options parse(int argc, char** argv) {
     std::string_view value;
     if (consume(arg, "--protocol", value)) {
       opt.protocol = value;
+    } else if (consume(arg, "--backend", value)) {
+      opt.backend = value;
+    } else if (consume(arg, "--tick-ns", value)) {
+      opt.tick_ns = std::atoll(value.data());
     } else if (consume(arg, "--n", value)) {
       opt.n = std::atoi(value.data());
     } else if (consume(arg, "--k", value)) {
@@ -170,6 +181,17 @@ int run_urcgc(const Options& opt) {
   config.transport.h_all_on_broadcast = true;
   config.seed = opt.seed;
   config.limit_rtd = opt.limit_rtd;
+  if (opt.backend == "threads") {
+    if (opt.tick_ns < 0) {
+      std::fprintf(stderr, "--tick-ns must be >= 0 (0 = free-running)\n");
+      return 2;
+    }
+    config.backend = harness::Backend::kThreads;
+    config.thread_tick_ns = opt.tick_ns;
+  } else if (opt.backend != "sim") {
+    std::fprintf(stderr, "unknown backend: %s\n", opt.backend.c_str());
+    return 2;
+  }
 
   // Optional JSONL trace (everything except per-datagram send events,
   // which would dominate the file).
@@ -293,6 +315,13 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (opt.protocol == "urcgc") return run_urcgc(opt);
   if (opt.protocol == "cbcast" || opt.protocol == "psync") {
+    if (opt.backend != "sim") {
+      std::fprintf(stderr,
+                   "--backend=%s is urcgc-only; baselines run on the "
+                   "simulator\n",
+                   opt.backend.c_str());
+      return 2;
+    }
     return run_baseline(opt);
   }
   std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
