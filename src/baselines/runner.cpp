@@ -80,8 +80,10 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
   }
 
   fault::FaultInjector injector(std::move(plan), Rng(config.seed).fork(1));
-  net::Network network(sim, injector, {.min_latency = 5, .max_latency = 9},
-                       Rng(config.seed).fork(2));
+  net::Network network(
+      sim, injector,
+      {.min_latency = 5, .max_latency = 9, .metrics = config.metrics},
+      Rng(config.seed).fork(2));
 
   struct Recorder : CbcastObserver {
     DelayLog log;
@@ -114,6 +116,8 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
   } recorder;
   recorder.crashed = &crashed;
   recorder.n = config.n;
+  recorder.log.delays.bind(config.metrics);
+  recorder.traffic.bind(config.metrics);
 
   CbcastConfig node_config;
   node_config.n = config.n;
@@ -221,8 +225,10 @@ BaselineReport run_psync(const BaselineConfig& config) {
   }
 
   fault::FaultInjector injector(std::move(plan), Rng(config.seed).fork(4));
-  net::Network network(sim, injector, {.min_latency = 5, .max_latency = 9},
-                       Rng(config.seed).fork(5));
+  net::Network network(
+      sim, injector,
+      {.min_latency = 5, .max_latency = 9, .metrics = config.metrics},
+      Rng(config.seed).fork(5));
 
   struct Recorder : PsyncObserver {
     DelayLog log;
@@ -244,6 +250,8 @@ BaselineReport run_psync(const BaselineConfig& config) {
       settled_at.emplace(p, at);
     }
   } recorder;
+  recorder.log.delays.bind(config.metrics);
+  recorder.traffic.bind(config.metrics);
 
   PsyncConfig node_config;
   node_config.n = config.n;

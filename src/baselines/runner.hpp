@@ -9,6 +9,7 @@
 
 #include "baselines/cbcast.hpp"
 #include "baselines/psync.hpp"
+#include "obs/registry.hpp"
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
 #include "workload/workload.hpp"
@@ -36,6 +37,10 @@ struct BaselineConfig {
   std::size_t psync_waiting_bound = 0;
   double limit_rtd = 2000.0;
   std::uint64_t seed = 1;
+  /// Optional observability registry (built for >= n processes): receives
+  /// the same traffic counters, delay histogram and network counters the
+  /// urcgc harness exports, so baseline runs are comparable in one file.
+  obs::Registry* metrics = nullptr;
 };
 
 struct BaselineReport {

@@ -52,6 +52,10 @@ class Observer {
   virtual void on_recovery_attempt(ProcessId /*p*/, ProcessId /*target*/,
                                    ProcessId /*origin*/, Tick /*at*/) {}
   virtual void on_flow_blocked(ProcessId /*p*/, Tick /*at*/) {}
+  /// A REQUEST from `from` for `rq_subrun` reached `p` outside the open
+  /// inbox window and was discarded (quorum shrinkage).
+  virtual void on_request_dropped(ProcessId /*p*/, ProcessId /*from*/,
+                                  SubrunId /*rq_subrun*/, Tick /*at*/) {}
 };
 
 }  // namespace urcgc::core

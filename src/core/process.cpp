@@ -10,13 +10,15 @@ namespace urcgc::core {
 
 UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
                            rt::Runtime& runtime, net::Endpoint& endpoint,
-                           fault::FaultInjector& faults, Observer* observer)
+                           fault::FaultInjector& faults, Observer* observer,
+                           obs::Registry* metrics)
     : config_(config),
       self_(self),
       rt_(runtime),
       endpoint_(endpoint),
       faults_(faults),
       observer_(observer),
+      metrics_(metrics),
       mt_(config, self, observer),
       latest_(Decision::initial(config.n)),
       recovery_attempts_(config.n, 0),
@@ -28,6 +30,18 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
                        (config.server_count >= 1 &&
                         config.server_count <= config.n),
                    "non-peer structures need 1 <= server_count <= n");
+  if (metrics_ != nullptr) {
+    m_.generated = metrics_->counter("urcgc.generated");
+    m_.flow_blocked_rounds = metrics_->counter("urcgc.flow_blocked_rounds");
+    m_.recoveries_issued = metrics_->counter("urcgc.recoveries_issued");
+    m_.recoveries_served = metrics_->counter("urcgc.recoveries_served");
+    m_.decisions_made = metrics_->counter("urcgc.decisions_made");
+    m_.decisions_applied = metrics_->counter("urcgc.decisions_applied");
+    m_.orphans_discarded = metrics_->counter("urcgc.orphans_discarded");
+    m_.cleanings = metrics_->counter("urcgc.cleanings");
+    m_.requests_dropped = metrics_->counter("urcgc.requests_dropped");
+    m_.halts = metrics_->counter("urcgc.halts");
+  }
 }
 
 void UrcgcProcess::start() {
@@ -114,8 +128,15 @@ void UrcgcProcess::request_round(SubrunId subrun) {
   // is the coordinator's crash, which the algorithm absorbs by resuming the
   // decision activity at the next subrun; counting those subruns would make
   // the whole group desert after f >= K consecutive coordinator crashes.
+  // Misses are counted against the subrun actually being awaited: only a
+  // decision at least as fresh as subrun-1 proves that subrun's
+  // coordinator reached us. A *delayed* decision from an earlier subrun
+  // arriving during subrun-1 must not zero the accumulated count — it says
+  // nothing about the coordinator we were waiting for — though, as any
+  // received datagram, it does keep the silence guard below from charging
+  // the subrun as a receive failure.
   if (subrun > 0) {
-    if (decision_seen_this_subrun_) {
+    if (latest_.decided_at >= subrun - 1) {
       missed_decisions_ = 0;
     } else if (last_datagram_at_ < rt_.clock().subrun_start(subrun - 1)) {
       ++missed_decisions_;
@@ -125,7 +146,6 @@ void UrcgcProcess::request_round(SubrunId subrun) {
       }
     }
   }
-  decision_seen_this_subrun_ = false;
 
   // Reset the coordinator inbox for the subrun we are entering; stale
   // requests from a previous subrun must not leak into this decision.
@@ -145,6 +165,7 @@ void UrcgcProcess::generate_one(Tick now) {
   if (user_queue_.empty()) return;
   if (flow_blocked()) {
     ++counters_.flow_blocked_rounds;
+    bump(m_.flow_blocked_rounds);
     if (observer_ != nullptr) observer_->on_flow_blocked(self_, now);
     return;
   }
@@ -159,6 +180,7 @@ void UrcgcProcess::generate_one(Tick now) {
   msg.payload = std::move(payload);
 
   ++counters_.generated;
+  bump(m_.generated);
   if (observer_ != nullptr) observer_->on_generated(self_, msg, now);
 
   broadcast_pdu(encode_pdu(msg), stats::MsgClass::kAppData);
@@ -248,6 +270,7 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
 
   Decision d = compute_decision(inputs);
   ++counters_.decisions_made;
+  bump(m_.decisions_made);
   if (observer_ != nullptr) observer_->on_decision_made(self_, d, rt_.now());
 
   broadcast_pdu(encode_pdu(d), stats::MsgClass::kDecision);
@@ -257,9 +280,8 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
 void UrcgcProcess::apply_decision(const Decision& d) {
   if (d.decided_at <= latest_.decided_at) return;  // stale or duplicate
   latest_ = d;
-  decision_seen_this_subrun_ = true;
-  missed_decisions_ = 0;
   ++counters_.decisions_applied;
+  bump(m_.decisions_applied);
 
   if (!d.alive[self_]) {
     // The group declared us crashed; an alive process that notices it is
@@ -272,6 +294,7 @@ void UrcgcProcess::apply_decision(const Decision& d) {
     const std::size_t purged = mt_.clean(d.clean_upto);
     if (purged > 0) {
       ++counters_.cleanings;
+      bump(m_.cleanings);
       if (observer_ != nullptr) {
         observer_->on_history_cleaned(self_, purged, rt_.now());
       }
@@ -296,6 +319,7 @@ void UrcgcProcess::apply_decision(const Decision& d) {
       const auto discarded =
           mt_.discard_orphans(q, d.max_processed[q] + 1, rt_.now());
       counters_.orphans_discarded += discarded.size();
+      bump(m_.orphans_discarded, discarded.size());
     }
   }
 }
@@ -364,6 +388,7 @@ void UrcgcProcess::issue_recoveries() {
 
     RecoverRq rq{self_, origin, range.from_seq, range.to_seq};
     ++counters_.recoveries_issued;
+    bump(m_.recoveries_issued);
     if (observer_ != nullptr) {
       observer_->on_recovery_attempt(self_, target, origin, rt_.now());
     }
@@ -372,7 +397,17 @@ void UrcgcProcess::issue_recoveries() {
 }
 
 void UrcgcProcess::handle_request(Request rq) {
-  if (rq.subrun != inbox_subrun_) return;  // late or early: drop
+  if (rq.subrun != inbox_subrun_) {
+    // Late or early: the inbox window for that subrun is closed (or never
+    // opened here). Each drop silently shrinks a decision quorum, so it is
+    // accounted and surfaced rather than vanishing.
+    ++counters_.requests_dropped;
+    bump(m_.requests_dropped);
+    if (observer_ != nullptr) {
+      observer_->on_request_dropped(self_, rq.from, rq.subrun, rt_.now());
+    }
+    return;
+  }
   inbox_.push_back(std::move(rq));
 }
 
@@ -380,6 +415,7 @@ void UrcgcProcess::handle_recover_rq(const RecoverRq& rq) {
   RecoverRsp rsp = mt_.serve_recovery(rq);
   if (rsp.messages.empty()) return;  // nothing to offer
   ++counters_.recoveries_served;
+  bump(m_.recoveries_served);
   send_pdu(rq.from, encode_pdu(rsp), stats::MsgClass::kRecoverRsp);
 }
 
@@ -433,6 +469,7 @@ void UrcgcProcess::halt(HaltReason reason) {
   if (halted_) return;
   halted_ = true;
   halt_reason_ = reason;
+  bump(m_.halts);
   if (reason != HaltReason::kCrashFault) {
     // Suicides and voluntary leaves are silent to the network from now on;
     // registering the crash with the injector makes the subnet drop traffic

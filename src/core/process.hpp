@@ -34,15 +34,20 @@
 #include "core/pdu.hpp"
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
+#include "obs/registry.hpp"
 #include "runtime/runtime.hpp"
 
 namespace urcgc::core {
 
 class UrcgcProcess {
  public:
+  /// `metrics`, when given, receives the per-process protocol counters
+  /// (shard `self`) under the obs::Registry thread-safety contract: this
+  /// process only ever touches its own shard.
   UrcgcProcess(const Config& config, ProcessId self, rt::Runtime& runtime,
                net::Endpoint& endpoint, fault::FaultInjector& faults,
-               Observer* observer = nullptr);
+               Observer* observer = nullptr,
+               obs::Registry* metrics = nullptr);
 
   UrcgcProcess(const UrcgcProcess&) = delete;
   UrcgcProcess& operator=(const UrcgcProcess&) = delete;
@@ -95,6 +100,10 @@ class UrcgcProcess {
   /// the first process at or cyclically after (s mod n) it believes alive.
   [[nodiscard]] ProcessId coordinator_of(SubrunId s) const;
 
+  /// Requests currently parked in the coordinator inbox (the open subrun's
+  /// collection window) — a per-round observability gauge.
+  [[nodiscard]] std::size_t inbox_size() const { return inbox_.size(); }
+
   struct Counters {
     std::uint64_t generated = 0;
     std::uint64_t flow_blocked_rounds = 0;
@@ -104,6 +113,9 @@ class UrcgcProcess {
     std::uint64_t decisions_applied = 0;
     std::uint64_t orphans_discarded = 0;
     std::uint64_t cleanings = 0;
+    /// REQUESTs that reached us outside the open inbox window (late or
+    /// early) and were discarded — each one shrinks a decision quorum.
+    std::uint64_t requests_dropped = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -133,12 +145,32 @@ class UrcgcProcess {
   [[nodiscard]] std::vector<Mid> build_deps(std::vector<Mid> user_deps,
                                             Seq my_seq) const;
 
+  /// Increments a registry counter on this process's shard; no-op when no
+  /// registry is attached.
+  void bump(obs::Metric m, std::uint64_t delta = 1) {
+    if (metrics_ != nullptr) metrics_->add(self_, m, delta);
+  }
+
   Config config_;
   ProcessId self_;
   rt::Runtime& rt_;
   net::Endpoint& endpoint_;
   fault::FaultInjector& faults_;
   Observer* observer_;
+  obs::Registry* metrics_;
+  /// Handles into `metrics_` (all invalid when metrics_ == nullptr).
+  struct Handles {
+    obs::Metric generated;
+    obs::Metric flow_blocked_rounds;
+    obs::Metric recoveries_issued;
+    obs::Metric recoveries_served;
+    obs::Metric decisions_made;
+    obs::Metric decisions_applied;
+    obs::Metric orphans_discarded;
+    obs::Metric cleanings;
+    obs::Metric requests_dropped;
+    obs::Metric halts;
+  } m_;
   MtEntity mt_;
 
   Decision latest_;
@@ -150,9 +182,11 @@ class UrcgcProcess {
   std::vector<Request> inbox_;
   SubrunId inbox_subrun_ = -1;
 
-  // Failure-detection bookkeeping.
+  // Failure-detection bookkeeping. The decision awaited at the start of
+  // subrun s is the one of subrun s-1; it counts as received only when
+  // latest_.decided_at has reached s-1 (a delayed decision from an older
+  // subrun must not mask a dead coordinator).
   int missed_decisions_ = 0;
-  bool decision_seen_this_subrun_ = false;
   Tick last_datagram_at_ = -1;
 
   // Recovery bookkeeping (per origin).

@@ -27,8 +27,14 @@ namespace {
 /// needs no synchronisation of its own).
 class Recorder final : public core::Observer {
  public:
-  Recorder(Tick ticks_per_rtd, core::Observer* extra)
-      : ticks_per_rtd_(ticks_per_rtd), extra_(extra) {}
+  Recorder(Tick ticks_per_rtd, core::Observer* extra,
+           obs::Registry* metrics)
+      : ticks_per_rtd_(ticks_per_rtd), extra_(extra) {
+    // Dual-write the classic trackers into the registry so exports carry
+    // the same traffic/delay data the report does.
+    delays_.bind(metrics);
+    traffic_.bind(metrics);
+  }
 
   void on_generated(ProcessId p, const core::AppMessage& msg,
                     Tick at) override {
@@ -49,7 +55,7 @@ class Recorder final : public core::Observer {
   void on_sent(ProcessId p, stats::MsgClass cls, std::size_t bytes,
                Tick at) override {
     std::lock_guard<std::mutex> lk(mu_);
-    traffic_.record(cls, bytes);
+    traffic_.record(p, cls, bytes);
     if (extra_ != nullptr) extra_->on_sent(p, cls, bytes, at);
   }
 
@@ -94,6 +100,14 @@ class Recorder final : public core::Observer {
   void on_flow_blocked(ProcessId p, Tick at) override {
     std::lock_guard<std::mutex> lk(mu_);
     if (extra_ != nullptr) extra_->on_flow_blocked(p, at);
+  }
+
+  void on_request_dropped(ProcessId p, ProcessId from, SubrunId rq_subrun,
+                          Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (extra_ != nullptr) {
+      extra_->on_request_dropped(p, from, rq_subrun, at);
+    }
   }
 
   std::mutex mu_;
@@ -152,19 +166,26 @@ ExperimentReport Experiment::run() {
   // --- System assembly ------------------------------------------------
   // The runtime is declared first so it outlives (is destroyed after)
   // everything whose callbacks it may still hold.
+  if (config_.metrics != nullptr) {
+    URCGC_ASSERT_MSG(config_.metrics->processes() >= n,
+                     "metrics registry built for fewer processes than n");
+  }
   std::unique_ptr<rt::Runtime> runtime;
   if (config_.backend == Backend::kThreads) {
     rt::ThreadedConfig tc;
     tc.n = n;
     tc.clock = clock;
     tc.tick_duration = std::chrono::nanoseconds(config_.thread_tick_ns);
+    tc.metrics = config_.metrics;
     runtime = std::make_unique<rt::ThreadedRuntime>(tc);
   } else {
     runtime = std::make_unique<sim::Simulation>(clock);
   }
   rt::Runtime& rt = *runtime;
-  net::Network network(rt, injector, config_.net, master.fork(0x0E7));
-  Recorder recorder(per_rtd, config_.extra_observer);
+  net::NetConfig net_config = config_.net;
+  net_config.metrics = config_.metrics;
+  net::Network network(rt, injector, net_config, master.fork(0x0E7));
+  Recorder recorder(per_rtd, config_.extra_observer, config_.metrics);
 
   std::vector<std::unique_ptr<net::Endpoint>> endpoints;
   std::vector<net::TransportEndpoint*> transports;
@@ -181,7 +202,8 @@ ExperimentReport Experiment::run() {
       endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
     }
     processes.push_back(std::make_unique<core::UrcgcProcess>(
-        config_.protocol, p, rt, *endpoints.back(), injector, &recorder));
+        config_.protocol, p, rt, *endpoints.back(), injector, &recorder,
+        config_.metrics));
   }
 
   workload::LoadGenerator::Hooks hooks;
@@ -227,6 +249,37 @@ ExperimentReport Experiment::run() {
     report.history_avg.record(at, alive > 0 ? hist_sum / alive : 0.0);
     report.waiting_max.record(at, wait_max);
   });
+
+  // Per-round registry sampling. Runs as a host round handler: on the
+  // threaded backend every worker is parked at the barrier while host
+  // handlers execute, so reading protocol state here is race-free.
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    const obs::Metric g_hist = reg.gauge("proc.history_len");
+    const obs::Metric g_wait = reg.gauge("proc.waiting_depth");
+    const obs::Metric g_inbox = reg.gauge("proc.inbox_size");
+    const obs::Metric g_age = reg.gauge("proc.decision_age_subruns");
+    rt.on_round([&reg, &processes, clock, g_hist, g_wait, g_inbox,
+                 g_age](RoundId round) {
+      const Tick at = clock.round_start(round);
+      const SubrunId subrun = rt::RoundClock::subrun_of_round(round);
+      for (const auto& process : processes) {
+        if (process->halted()) continue;
+        const ProcessId p = process->id();
+        reg.sample(at, p, g_hist,
+                   static_cast<double>(process->mt().history_size()));
+        reg.sample(at, p, g_wait,
+                   static_cast<double>(process->mt().waiting_size()));
+        reg.sample(at, p, g_inbox,
+                   static_cast<double>(process->inbox_size()));
+        // Subruns since the freshest decision this process holds was made
+        // (initial decision => age since subrun 0 — "never heard one").
+        const SubrunId decided_at =
+            std::max<SubrunId>(process->latest_decision().decided_at, 0);
+        reg.sample(at, p, g_age, static_cast<double>(subrun - decided_at));
+      }
+    });
+  }
 
   // --- Run -------------------------------------------------------------
   const auto limit = static_cast<Tick>(config_.limit_rtd *
@@ -291,6 +344,7 @@ ExperimentReport Experiment::run() {
     state.history = process->mt().history_size();
     state.waiting = process->mt().waiting_size();
     state.flow_blocked_rounds = process->counters().flow_blocked_rounds;
+    state.requests_dropped = process->counters().requests_dropped;
     report.processes.push_back(state);
   }
 

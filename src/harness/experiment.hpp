@@ -18,6 +18,7 @@
 #include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "net/transport.hpp"
+#include "obs/registry.hpp"
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
 #include "workload/workload.hpp"
@@ -72,6 +73,12 @@ struct ExperimentConfig {
   /// Optional second observer (e.g. a trace::TraceRecorder) that receives
   /// every protocol event alongside the harness's metric recorder.
   core::Observer* extra_observer = nullptr;
+  /// Optional observability registry (must outlive the run and be built
+  /// for at least `protocol.n` processes). The harness wires it through
+  /// every layer — processes, network, runtime, delay/traffic trackers —
+  /// and samples per-process gauges (history length, waiting depth,
+  /// coordinator inbox size, decision age) at every round boundary.
+  obs::Registry* metrics = nullptr;
   /// Hard simulation stop, in rtd (subruns).
   double limit_rtd = 5000.0;
   /// Runtime backend for the run. Results on kThreads are not
@@ -107,6 +114,7 @@ struct ProcessEndState {
   std::size_t history = 0;
   std::size_t waiting = 0;
   std::uint64_t flow_blocked_rounds = 0;
+  std::uint64_t requests_dropped = 0;
 };
 
 struct ExperimentReport {

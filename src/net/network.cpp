@@ -12,6 +12,13 @@ Network::Network(rt::Runtime& runtime, fault::FaultInjector& faults,
       endpoints_(faults.group_size()) {
   URCGC_ASSERT(config_.min_latency >= 0);
   URCGC_ASSERT(config_.max_latency >= config_.min_latency);
+  if (config_.metrics != nullptr) {
+    m_sent_ = config_.metrics->counter("net.packets_sent");
+    m_bytes_sent_ = config_.metrics->counter("net.bytes_sent");
+    m_dropped_ = config_.metrics->counter("net.packets_dropped");
+    m_delivered_ = config_.metrics->counter("net.packets_delivered");
+    m_bytes_delivered_ = config_.metrics->counter("net.bytes_delivered");
+  }
 }
 
 void Network::attach(ProcessId id, DeliveryFn fn) {
@@ -44,9 +51,18 @@ void Network::send_copy(ProcessId src, ProcessId dst,
         faults_.drop_on_send(src, sent_at) ||
         faults_.drop_on_hop(dst, sent_at)) {
       ++stats_.packets_dropped;
+      if (config_.metrics != nullptr) {
+        config_.metrics->add(src, m_sent_);
+        config_.metrics->add(src, m_bytes_sent_, payload.size());
+        config_.metrics->add(src, m_dropped_);
+      }
       return;
     }
     latency = rng_.uniform_range(config_.min_latency, config_.max_latency);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->add(src, m_sent_);
+    config_.metrics->add(src, m_bytes_sent_, payload.size());
   }
 
   Packet packet{src, dst, sent_at, std::move(payload)};
@@ -54,8 +70,13 @@ void Network::send_copy(ProcessId src, ProcessId dst,
     // A destination that crashed while the packet was in flight never sees
     // it (the NIC of a fail-stop process is dead).
     if (faults_.is_crashed(p.dst, rt_.now())) {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.packets_dropped;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.packets_dropped;
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->add(p.dst, m_dropped_);
+      }
       return;
     }
     URCGC_ASSERT_MSG(static_cast<bool>(endpoints_[p.dst]),
@@ -64,6 +85,10 @@ void Network::send_copy(ProcessId src, ProcessId dst,
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.packets_delivered;
       stats_.bytes_delivered += p.payload.size();
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->add(p.dst, m_delivered_);
+      config_.metrics->add(p.dst, m_bytes_delivered_, p.payload.size());
     }
     // Upcall outside the lock: the receiver may immediately send.
     endpoints_[p.dst](p);

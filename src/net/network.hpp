@@ -24,6 +24,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "net/packet.hpp"
+#include "obs/registry.hpp"
 #include "runtime/runtime.hpp"
 
 namespace urcgc::net {
@@ -31,6 +32,12 @@ namespace urcgc::net {
 struct NetConfig {
   Tick min_latency = 1;
   Tick max_latency = 9;
+  /// Optional observability registry. Send-path counters land on the
+  /// sender's shard (send_copy executes in the sender's context), delivery
+  /// and in-flight-drop counters on the receiver's shard (the delivery
+  /// event executes in the destination's context) — so the per-shard
+  /// ownership rule holds without any extra locking.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Upcall invoked when a packet reaches a (non-crashed) destination.
@@ -81,6 +88,12 @@ class Network {
   Rng rng_;
   std::vector<DeliveryFn> endpoints_;
   NetStats stats_;
+
+  obs::Metric m_sent_{};
+  obs::Metric m_bytes_sent_{};
+  obs::Metric m_dropped_{};
+  obs::Metric m_delivered_{};
+  obs::Metric m_bytes_delivered_{};
 };
 
 }  // namespace urcgc::net

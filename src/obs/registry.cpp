@@ -1,0 +1,501 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace urcgc::obs {
+
+std::string_view to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Registry::Registry(int processes) : processes_(processes) {
+  URCGC_ASSERT(processes >= 0);
+  shards_.resize(static_cast<std::size_t>(processes) + 1);
+}
+
+std::size_t Registry::shard_of(ProcessId p) const {
+  if (p == kNoProcess) return static_cast<std::size_t>(processes_);
+  URCGC_ASSERT(p >= 0 && p < processes_);
+  return static_cast<std::size_t>(p);
+}
+
+const Registry::Def* Registry::def_of(Metric m) const {
+  if (!m.valid() || static_cast<std::size_t>(m.id) >= defs_.size()) {
+    return nullptr;
+  }
+  return &defs_[static_cast<std::size_t>(m.id)];
+}
+
+Metric Registry::intern(std::string_view name, Kind kind,
+                        HistogramSpec spec) {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) {
+      URCGC_ASSERT_MSG(defs_[i].kind == kind,
+                       "metric re-registered under a different kind");
+      return Metric{static_cast<std::int32_t>(i)};
+    }
+  }
+  Def def;
+  def.name = std::string(name);
+  def.kind = kind;
+  def.spec = spec;
+  switch (kind) {
+    case Kind::kCounter:
+      def.slot = static_cast<std::int32_t>(shards_.front().counters.size());
+      for (Shard& s : shards_) s.counters.push_back(0);
+      break;
+    case Kind::kGauge:
+      def.slot = static_cast<std::int32_t>(shards_.front().gauges.size());
+      for (Shard& s : shards_) s.gauges.push_back(0.0);
+      break;
+    case Kind::kHistogram: {
+      URCGC_ASSERT(spec.buckets > 0 && spec.hi > spec.lo);
+      def.slot = static_cast<std::int32_t>(shards_.front().hists.size());
+      Hist h;
+      h.buckets.assign(static_cast<std::size_t>(spec.buckets) + 1, 0);
+      for (Shard& s : shards_) s.hists.push_back(h);
+      break;
+    }
+  }
+  defs_.push_back(std::move(def));
+  return Metric{static_cast<std::int32_t>(defs_.size() - 1)};
+}
+
+Metric Registry::counter(std::string_view name) {
+  return intern(name, Kind::kCounter, {});
+}
+
+Metric Registry::gauge(std::string_view name) {
+  return intern(name, Kind::kGauge, {});
+}
+
+Metric Registry::histogram(std::string_view name, HistogramSpec spec) {
+  return intern(name, Kind::kHistogram, spec);
+}
+
+Metric Registry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    if (defs_[i].name == name) return Metric{static_cast<std::int32_t>(i)};
+  }
+  return Metric{};
+}
+
+std::string_view Registry::name(Metric m) const {
+  const Def* def = def_of(m);
+  return def == nullptr ? std::string_view{} : def->name;
+}
+
+Kind Registry::kind(Metric m) const {
+  const Def* def = def_of(m);
+  URCGC_ASSERT(def != nullptr);
+  return def->kind;
+}
+
+std::vector<Metric> Registry::metrics() const {
+  std::vector<Metric> out;
+  out.reserve(defs_.size());
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    out.push_back(Metric{static_cast<std::int32_t>(i)});
+  }
+  return out;
+}
+
+void Registry::add(ProcessId p, Metric m, std::uint64_t delta) {
+  const Def* def = def_of(m);
+  if (def == nullptr) return;
+  URCGC_ASSERT(def->kind == Kind::kCounter);
+  shards_[shard_of(p)].counters[static_cast<std::size_t>(def->slot)] += delta;
+}
+
+void Registry::set(ProcessId p, Metric m, double value) {
+  const Def* def = def_of(m);
+  if (def == nullptr) return;
+  URCGC_ASSERT(def->kind == Kind::kGauge);
+  shards_[shard_of(p)].gauges[static_cast<std::size_t>(def->slot)] = value;
+}
+
+void Registry::set_max(ProcessId p, Metric m, double value) {
+  const Def* def = def_of(m);
+  if (def == nullptr) return;
+  URCGC_ASSERT(def->kind == Kind::kGauge);
+  double& cell = shards_[shard_of(p)].gauges[static_cast<std::size_t>(def->slot)];
+  cell = std::max(cell, value);
+}
+
+void Registry::observe(ProcessId p, Metric m, double value) {
+  const Def* def = def_of(m);
+  if (def == nullptr) return;
+  URCGC_ASSERT(def->kind == Kind::kHistogram);
+  Hist& h = shards_[shard_of(p)].hists[static_cast<std::size_t>(def->slot)];
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  const HistogramSpec& spec = def->spec;
+  const double width =
+      (spec.hi - spec.lo) / static_cast<double>(spec.buckets);
+  std::size_t idx;
+  if (value < spec.lo) {
+    idx = 0;
+  } else if (value >= spec.hi) {
+    idx = static_cast<std::size_t>(spec.buckets);  // overflow bucket
+  } else {
+    idx = static_cast<std::size_t>((value - spec.lo) / width);
+    idx = std::min(idx, static_cast<std::size_t>(spec.buckets - 1));
+  }
+  ++h.buckets[idx];
+}
+
+void Registry::sample(Tick at, ProcessId p, Metric m, double value) {
+  if (!m.valid()) return;
+  samples_.push_back(Sample{at, p, m, value});
+}
+
+std::uint64_t Registry::counter_value(Metric m, ProcessId p) const {
+  const Def* def = def_of(m);
+  if (def == nullptr) return 0;
+  URCGC_ASSERT(def->kind == Kind::kCounter);
+  return shards_[shard_of(p)].counters[static_cast<std::size_t>(def->slot)];
+}
+
+std::uint64_t Registry::counter_total(Metric m) const {
+  const Def* def = def_of(m);
+  if (def == nullptr) return 0;
+  URCGC_ASSERT(def->kind == Kind::kCounter);
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.counters[static_cast<std::size_t>(def->slot)];
+  }
+  return total;
+}
+
+double Registry::gauge_value(Metric m, ProcessId p) const {
+  const Def* def = def_of(m);
+  if (def == nullptr) return 0.0;
+  URCGC_ASSERT(def->kind == Kind::kGauge);
+  return shards_[shard_of(p)].gauges[static_cast<std::size_t>(def->slot)];
+}
+
+double Registry::gauge_max(Metric m) const {
+  const Def* def = def_of(m);
+  if (def == nullptr) return 0.0;
+  URCGC_ASSERT(def->kind == Kind::kGauge);
+  double best = 0.0;
+  for (const Shard& s : shards_) {
+    best = std::max(best, s.gauges[static_cast<std::size_t>(def->slot)]);
+  }
+  return best;
+}
+
+namespace {
+
+/// Percentile by linear interpolation inside the covering bucket, clamped
+/// to the exact observed [min, max].
+double percentile(const HistogramSnapshot& snap, const HistogramSpec& spec,
+                  double q) {
+  if (snap.count == 0) return 0.0;
+  const double target = q * static_cast<double>(snap.count);
+  const double width =
+      (spec.hi - spec.lo) / static_cast<double>(spec.buckets);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = snap.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      double lo = spec.lo + static_cast<double>(i) * width;
+      double hi = lo + width;
+      if (i == snap.buckets.size() - 1) {  // overflow bucket
+        lo = spec.hi;
+        hi = snap.max;
+      }
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      const double v = lo + frac * (hi - lo);
+      return std::clamp(v, snap.min, snap.max);
+    }
+    cum += in_bucket;
+  }
+  return snap.max;
+}
+
+}  // namespace
+
+HistogramSnapshot Registry::histogram_merged(Metric m) const {
+  HistogramSnapshot snap;
+  const Def* def = def_of(m);
+  if (def == nullptr) return snap;
+  URCGC_ASSERT(def->kind == Kind::kHistogram);
+  snap.buckets.assign(static_cast<std::size_t>(def->spec.buckets) + 1, 0);
+  for (const Shard& s : shards_) {
+    const Hist& h = s.hists[static_cast<std::size_t>(def->slot)];
+    if (h.count == 0) continue;
+    if (snap.count == 0) {
+      snap.min = h.min;
+      snap.max = h.max;
+    } else {
+      snap.min = std::min(snap.min, h.min);
+      snap.max = std::max(snap.max, h.max);
+    }
+    snap.count += h.count;
+    snap.sum += h.sum;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      snap.buckets[i] += h.buckets[i];
+    }
+  }
+  snap.p50 = percentile(snap, def->spec, 0.50);
+  snap.p90 = percentile(snap, def->spec, 0.90);
+  snap.p99 = percentile(snap, def->spec, 0.99);
+  return snap;
+}
+
+namespace {
+
+/// Metric names are identifier-like, but escape defensively anyway.
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // Integral doubles print without a trailing ".0"; JSON readers accept
+  // both forms.
+  os << v;
+}
+
+}  // namespace
+
+void Registry::write_jsonl(std::ostream& os) const {
+  os << "{\"type\":\"meta\",\"processes\":" << processes_
+     << ",\"metrics\":" << defs_.size() << ",\"samples\":" << samples_.size()
+     << "}\n";
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const Def& def = defs_[i];
+    const Metric m{static_cast<std::int32_t>(i)};
+    switch (def.kind) {
+      case Kind::kCounter: {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          const std::uint64_t v =
+              shards_[s].counters[static_cast<std::size_t>(def.slot)];
+          if (v == 0) continue;
+          const auto p = s == shards_.size() - 1
+                             ? kNoProcess
+                             : static_cast<ProcessId>(s);
+          os << "{\"type\":\"counter\",\"name\":";
+          json_string(os, def.name);
+          os << ",\"process\":" << p << ",\"value\":" << v << "}\n";
+        }
+        os << "{\"type\":\"counter_total\",\"name\":";
+        json_string(os, def.name);
+        os << ",\"value\":" << counter_total(m) << "}\n";
+        break;
+      }
+      case Kind::kGauge: {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          const double v =
+              shards_[s].gauges[static_cast<std::size_t>(def.slot)];
+          if (v == 0.0) continue;
+          const auto p = s == shards_.size() - 1
+                             ? kNoProcess
+                             : static_cast<ProcessId>(s);
+          os << "{\"type\":\"gauge\",\"name\":";
+          json_string(os, def.name);
+          os << ",\"process\":" << p << ",\"value\":";
+          json_number(os, v);
+          os << "}\n";
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = histogram_merged(m);
+        os << "{\"type\":\"histogram\",\"name\":";
+        json_string(os, def.name);
+        os << ",\"count\":" << snap.count << ",\"mean\":";
+        json_number(os, snap.mean());
+        os << ",\"min\":";
+        json_number(os, snap.min);
+        os << ",\"max\":";
+        json_number(os, snap.max);
+        os << ",\"p50\":";
+        json_number(os, snap.p50);
+        os << ",\"p90\":";
+        json_number(os, snap.p90);
+        os << ",\"p99\":";
+        json_number(os, snap.p99);
+        os << ",\"buckets\":[";
+        for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+          if (b > 0) os << ',';
+          os << snap.buckets[b];
+        }
+        os << "]}\n";
+        break;
+      }
+    }
+  }
+  for (const Sample& sample : samples_) {
+    os << "{\"type\":\"sample\",\"name\":";
+    json_string(os, defs_[static_cast<std::size_t>(sample.metric.id)].name);
+    os << ",\"at\":" << sample.at << ",\"process\":" << sample.process
+       << ",\"value\":";
+    json_number(os, sample.value);
+    os << "}\n";
+  }
+}
+
+void Registry::write_csv(std::ostream& os) const {
+  os << "kind,name,process,at,value\n";
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const Def& def = defs_[i];
+    const Metric m{static_cast<std::int32_t>(i)};
+    switch (def.kind) {
+      case Kind::kCounter:
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          const std::uint64_t v =
+              shards_[s].counters[static_cast<std::size_t>(def.slot)];
+          if (v == 0) continue;
+          const auto p = s == shards_.size() - 1
+                             ? kNoProcess
+                             : static_cast<ProcessId>(s);
+          os << "counter," << def.name << ',' << p << ",," << v << '\n';
+        }
+        os << "counter_total," << def.name << ",,," << counter_total(m)
+           << '\n';
+        break;
+      case Kind::kGauge:
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+          const double v =
+              shards_[s].gauges[static_cast<std::size_t>(def.slot)];
+          if (v == 0.0) continue;
+          const auto p = s == shards_.size() - 1
+                             ? kNoProcess
+                             : static_cast<ProcessId>(s);
+          os << "gauge," << def.name << ',' << p << ",," << v << '\n';
+        }
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = histogram_merged(m);
+        os << "histogram," << def.name << ".count,,," << snap.count << '\n';
+        os << "histogram," << def.name << ".mean,,," << snap.mean() << '\n';
+        os << "histogram," << def.name << ".p50,,," << snap.p50 << '\n';
+        os << "histogram," << def.name << ".p90,,," << snap.p90 << '\n';
+        os << "histogram," << def.name << ".p99,,," << snap.p99 << '\n';
+        os << "histogram," << def.name << ".max,,," << snap.max << '\n';
+        break;
+      }
+    }
+  }
+  for (const Sample& sample : samples_) {
+    os << "sample,"
+       << defs_[static_cast<std::size_t>(sample.metric.id)].name << ','
+       << sample.process << ',' << sample.at << ',' << sample.value << '\n';
+  }
+}
+
+void Registry::write_summary(std::ostream& os) const {
+  os << "-- counters " << std::string(52, '-') << '\n';
+  os << std::left << std::setw(36) << "name" << std::right << std::setw(12)
+     << "total" << std::setw(16) << "max/process" << '\n';
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const Def& def = defs_[i];
+    if (def.kind != Kind::kCounter) continue;
+    const Metric m{static_cast<std::int32_t>(i)};
+    const std::uint64_t total = counter_total(m);
+    if (total == 0) continue;
+    std::uint64_t per_max = 0;
+    for (const Shard& s : shards_) {
+      per_max =
+          std::max(per_max, s.counters[static_cast<std::size_t>(def.slot)]);
+    }
+    os << std::left << std::setw(36) << def.name << std::right
+       << std::setw(12) << total << std::setw(16) << per_max << '\n';
+  }
+  bool gauge_header = false;
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const Def& def = defs_[i];
+    if (def.kind != Kind::kGauge) continue;
+    const double v = gauge_max(Metric{static_cast<std::int32_t>(i)});
+    if (v == 0.0) continue;
+    if (!gauge_header) {
+      os << "-- gauges (max over shards) " << std::string(36, '-') << '\n';
+      gauge_header = true;
+    }
+    os << std::left << std::setw(36) << def.name << std::right
+       << std::setw(12) << v << '\n';
+  }
+  bool hist_header = false;
+  for (std::size_t i = 0; i < defs_.size(); ++i) {
+    const Def& def = defs_[i];
+    if (def.kind != Kind::kHistogram) continue;
+    const HistogramSnapshot snap =
+        histogram_merged(Metric{static_cast<std::int32_t>(i)});
+    if (snap.count == 0) continue;
+    if (!hist_header) {
+      os << "-- histograms " << std::string(50, '-') << '\n';
+      os << std::left << std::setw(28) << "name" << std::right
+         << std::setw(9) << "count" << std::setw(9) << "mean" << std::setw(9)
+         << "p50" << std::setw(9) << "p90" << std::setw(9) << "p99"
+         << std::setw(9) << "max" << '\n';
+      hist_header = true;
+    }
+    os << std::left << std::setw(28) << def.name << std::right << std::setw(9)
+       << snap.count << std::setw(9) << std::fixed << std::setprecision(1)
+       << snap.mean() << std::setw(9) << snap.p50 << std::setw(9) << snap.p90
+       << std::setw(9) << snap.p99 << std::setw(9) << snap.max << '\n';
+    os.unsetf(std::ios_base::fixed);
+    os << std::setprecision(6);
+  }
+  if (!samples_.empty()) {
+    os << "-- samples " << std::string(53, '-') << '\n';
+    // One line per sampled series: point count, last and max value.
+    for (std::size_t i = 0; i < defs_.size(); ++i) {
+      const Metric m{static_cast<std::int32_t>(i)};
+      std::size_t points = 0;
+      double last = 0.0;
+      double peak = 0.0;
+      for (const Sample& sample : samples_) {
+        if (sample.metric.id != m.id) continue;
+        ++points;
+        last = sample.value;
+        peak = std::max(peak, sample.value);
+      }
+      if (points == 0) continue;
+      os << std::left << std::setw(36) << defs_[i].name << std::right
+         << std::setw(9) << points << " points, last " << last << ", peak "
+         << peak << '\n';
+    }
+  }
+}
+
+}  // namespace urcgc::obs

@@ -1,0 +1,183 @@
+#pragma once
+// urcgc::obs — unified observability layer.
+//
+// One Registry per running system. Counters, gauges and fixed-bucket
+// histograms are registered by name (get-or-create) during assembly and
+// updated through cheap integer handles on the hot path. Storage is
+// sharded per execution context: shard p belongs to process p, shard n to
+// the host/driver context (ProcessId kNoProcess).
+//
+// Thread-safety contract (mirrors rt::Runtime's execution contexts):
+//   - registration (counter()/gauge()/histogram()) happens on one thread
+//     before the run — typically during system assembly;
+//   - add()/set()/set_max()/observe() on shard p may only be called from
+//     p's execution context. On the deterministic simulator everything is
+//     one thread, so this costs nothing; on rt::ThreadedRuntime each
+//     process thread touches only its own shard, so no locking is needed
+//     anywhere on the update path;
+//   - sample() appends to the shared time-series log and is host-context
+//     only (the harness samples at round boundaries, where the threaded
+//     backend parks every worker at its barrier);
+//   - reads (totals, snapshots, exporters) are host-context only, either
+//     at a round boundary or after the run. The round barrier's mutex
+//     provides the happens-before edge that makes the shard cells visible.
+//
+// Exporters: JSONL (one object per line — counters per process and total,
+// gauge samples per round, merged histograms with p50/p90/p99), CSV with
+// the same rows, and a human-readable summary table.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace urcgc::obs {
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] std::string_view to_string(Kind kind);
+
+/// Opaque handle to a registered metric. Copyable, trivially cheap; an
+/// invalid (default) handle makes every update a no-op so call sites need
+/// no null checks of their own.
+struct Metric {
+  std::int32_t id = -1;
+  [[nodiscard]] constexpr bool valid() const { return id >= 0; }
+};
+
+/// Fixed-bucket histogram layout: `buckets` equal-width buckets spanning
+/// [lo, hi), plus an implicit overflow bucket. Exact min/max/sum ride
+/// along, so means are exact and percentile interpolation is clamped to
+/// the observed range.
+struct HistogramSpec {
+  double lo = 0.0;
+  double hi = 100.0;
+  int buckets = 20;
+};
+
+/// Merged (cross-shard) view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::uint64_t> buckets;  // spec.buckets cells + overflow
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// One per-round gauge observation recorded via sample().
+struct Sample {
+  Tick at = 0;
+  ProcessId process = kNoProcess;
+  Metric metric{};
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  /// `processes` process shards plus one host shard.
+  explicit Registry(int processes);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // ---- Registration (assembly phase, single-threaded) ----
+  // Get-or-create by name: registering the same name twice returns the
+  // same handle, so every process can register its own metric set without
+  // coordination. Re-registering under a different kind is an error.
+
+  Metric counter(std::string_view name);
+  Metric gauge(std::string_view name);
+  Metric histogram(std::string_view name, HistogramSpec spec = {});
+
+  /// Handle of an already-registered metric (invalid handle if unknown).
+  [[nodiscard]] Metric find(std::string_view name) const;
+  [[nodiscard]] std::string_view name(Metric m) const;
+  [[nodiscard]] Kind kind(Metric m) const;
+  [[nodiscard]] int processes() const { return processes_; }
+
+  // ---- Updates (owner-context only; no-ops on invalid handles) ----
+
+  void add(ProcessId p, Metric m, std::uint64_t delta = 1);
+  void set(ProcessId p, Metric m, double value);
+  /// Monotone gauge update: keeps the maximum of all values seen.
+  void set_max(ProcessId p, Metric m, double value);
+  void observe(ProcessId p, Metric m, double value);
+
+  /// Appends a (tick, process, metric, value) row to the time-series log.
+  /// Host-context only.
+  void sample(Tick at, ProcessId p, Metric m, double value);
+
+  // ---- Reads (host context, quiesced) ----
+
+  [[nodiscard]] std::uint64_t counter_value(Metric m, ProcessId p) const;
+  [[nodiscard]] std::uint64_t counter_total(Metric m) const;
+  [[nodiscard]] double gauge_value(Metric m, ProcessId p) const;
+  /// Maximum of a gauge over every shard.
+  [[nodiscard]] double gauge_max(Metric m) const;
+  [[nodiscard]] HistogramSnapshot histogram_merged(Metric m) const;
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::vector<Metric> metrics() const;
+
+  // ---- Exporters ----
+
+  /// JSONL, one object per line:
+  ///   {"type":"counter","name":...,"process":p,"value":v}   (non-zero)
+  ///   {"type":"counter_total","name":...,"value":v}
+  ///   {"type":"gauge","name":...,"process":p,"value":v}     (non-zero)
+  ///   {"type":"histogram","name":...,"count":c,"mean":m,"min":...,
+  ///    "max":...,"p50":...,"p90":...,"p99":...,"buckets":[...]}
+  ///   {"type":"sample","name":...,"at":t,"process":p,"value":v}
+  void write_jsonl(std::ostream& os) const;
+
+  /// CSV with header `kind,name,process,at,value`; histogram aggregates
+  /// appear as pseudo-metrics `<name>.count|.mean|.p50|.p90|.p99|.max`.
+  void write_csv(std::ostream& os) const;
+
+  /// Human-readable summary table (counters, histograms, sample series).
+  void write_summary(std::ostream& os) const;
+
+ private:
+  struct Def {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    HistogramSpec spec{};
+    std::int32_t slot = 0;  // index into the per-kind shard arrays
+  };
+
+  struct Hist {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets;  // spec.buckets + overflow
+  };
+
+  struct Shard {
+    std::vector<std::uint64_t> counters;
+    std::vector<double> gauges;
+    std::vector<Hist> hists;
+  };
+
+  Metric intern(std::string_view name, Kind kind, HistogramSpec spec);
+  [[nodiscard]] std::size_t shard_of(ProcessId p) const;
+  [[nodiscard]] const Def* def_of(Metric m) const;
+
+  int processes_;
+  std::vector<Def> defs_;
+  std::vector<Shard> shards_;  // processes_ + 1 (host last)
+  std::vector<Sample> samples_;
+};
+
+}  // namespace urcgc::obs

@@ -11,6 +11,11 @@ ThreadedRuntime::ThreadedRuntime(ThreadedConfig config)
     : config_(config), clock_(config.clock) {
   URCGC_ASSERT(config_.n >= 1);
   URCGC_ASSERT(config_.tick_duration.count() >= 0);
+  if (config_.metrics != nullptr) {
+    m_rounds_ = config_.metrics->counter("runtime.rounds");
+    m_release_lag_ = config_.metrics->histogram(
+        "runtime.release_lag_us", obs::HistogramSpec{0.0, 500.0, 25});
+  }
   mailboxes_.reserve(static_cast<std::size_t>(config_.n) + 1);
   for (int i = 0; i <= config_.n; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -102,16 +107,26 @@ Tick ThreadedRuntime::run_rounds(Tick limit,
                                  const std::function<bool()>* predicate) {
   URCGC_ASSERT_MSG(!threads_.empty() || config_.n == 0,
                    "threaded backend: run after shutdown");
-  if (!epoch_set_) {
-    epoch_ = std::chrono::steady_clock::now() -
-             clock_.round_start(next_round_) * config_.tick_duration;
-    epoch_set_ = true;
-  }
+  // Re-anchor the pacing epoch for *this* call: whatever wall-clock time
+  // elapsed between run calls (driver-side work, a deliberate pause) did
+  // not advance the tick clock, so the schedule must restart from here.
+  // Anchoring only once — on the first call — left every subsequent
+  // round's target in the past after a pause, and the backlog burst
+  // through back-to-back with no pacing until the schedule caught up.
+  epoch_ = std::chrono::steady_clock::now() -
+           clock_.round_start(next_round_) * config_.tick_duration;
   while (clock_.round_start(next_round_) <= limit) {
     const RoundId r = next_round_;
     const Tick start = clock_.round_start(r);
     if (config_.tick_duration.count() > 0) {
-      std::this_thread::sleep_until(epoch_ + start * config_.tick_duration);
+      const auto target = epoch_ + start * config_.tick_duration;
+      std::this_thread::sleep_until(target);
+      if (config_.metrics != nullptr) {
+        const auto lag = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - target);
+        config_.metrics->observe(kNoProcess, m_release_lag_,
+                                 static_cast<double>(lag.count()) / 1000.0);
+      }
     }
     now_.store(start, std::memory_order_release);
     // All workers are parked here, so the predicate may read protocol
@@ -133,6 +148,9 @@ Tick ThreadedRuntime::run_rounds(Tick limit,
     {
       std::unique_lock<std::mutex> lk(barrier_mu_);
       cv_done_.wait(lk, [&] { return done_count_ == config_.n; });
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->add(kNoProcess, m_rounds_);
     }
     ++next_round_;
   }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/registry.hpp"
 #include "runtime/runtime.hpp"
 
 namespace urcgc::rt {
@@ -50,6 +51,11 @@ struct ThreadedConfig {
   /// steady_clock at this rate. Zero = free-running (rounds proceed as
   /// fast as the barrier allows; ordering guarantees are unchanged).
   std::chrono::nanoseconds tick_duration = std::chrono::microseconds(50);
+  /// Optional observability registry: the runtime records rounds run and
+  /// the release lag (how late each round opened versus its steady-clock
+  /// target) on the host shard — driver-context only, per the registry's
+  /// thread-safety contract.
+  obs::Registry* metrics = nullptr;
 };
 
 class ThreadedRuntime final : public Runtime {
@@ -124,8 +130,14 @@ class ThreadedRuntime final : public Runtime {
   bool stop_ = false;
 
   RoundId next_round_ = 0;
+  // Pacing anchor for the current run_until* call. Re-established at the
+  // start of every run: a pause between calls (the driver doing other
+  // work) must not leave the schedule in the past, or the backlog of
+  // "overdue" rounds would burst through with no pacing at all.
   std::chrono::steady_clock::time_point epoch_{};
-  bool epoch_set_ = false;
+
+  obs::Metric m_rounds_{};
+  obs::Metric m_release_lag_{};
 };
 
 }  // namespace urcgc::rt

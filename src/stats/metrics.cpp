@@ -1,6 +1,7 @@
 #include "stats/metrics.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace urcgc::stats {
 
@@ -34,6 +35,17 @@ bool is_control(MsgClass cls) {
   }
 }
 
+void TrafficAccountant::bind(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const std::string cls(to_string(static_cast<MsgClass>(i)));
+    m_msgs_[i] = registry_->counter("traffic.msgs." + cls);
+    m_bytes_[i] = registry_->counter("traffic.bytes." + cls);
+    m_max_bytes_[i] = registry_->gauge("traffic.max_bytes." + cls);
+  }
+}
+
 std::uint64_t TrafficAccountant::control_count() const {
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
@@ -50,6 +62,15 @@ std::uint64_t TrafficAccountant::control_bytes() const {
   return total;
 }
 
+void DelayTracker::bind(obs::Registry* registry) {
+  registry_ = registry;
+  if (registry_ == nullptr) return;
+  // 5-tick-wide buckets cover the normal couple-of-subruns range; the
+  // overflow bucket (with exact max) absorbs recovery-delayed tails.
+  m_delay_ = registry_->histogram("delay.ticks",
+                                  obs::HistogramSpec{0.0, 200.0, 40});
+}
+
 void DelayTracker::on_generated(const Mid& mid, Tick at) {
   sent_.emplace(mid, at);
 }
@@ -57,6 +78,13 @@ void DelayTracker::on_generated(const Mid& mid, Tick at) {
 void DelayTracker::on_processed(const Mid& mid, ProcessId by, Tick at) {
   processed_[mid].push_back({by, at});
   ++processed_events_;
+  if (registry_ != nullptr) {
+    auto sent = sent_.find(mid);
+    if (sent != sent_.end()) {
+      registry_->observe(by, m_delay_,
+                         static_cast<double>(at - sent->second));
+    }
+  }
 }
 
 std::vector<double> DelayTracker::delays_ticks() const {

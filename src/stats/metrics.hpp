@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/registry.hpp"
 #include "stats/summary.hpp"
 
 namespace urcgc::stats {
@@ -40,11 +41,30 @@ enum class MsgClass : int {
 
 class TrafficAccountant {
  public:
+  /// Mirrors every subsequent record into `registry`: counters
+  /// "traffic.msgs.<class>" and "traffic.bytes.<class>" plus the max
+  /// gauge "traffic.max_bytes.<class>", on the shard named per record
+  /// call. Registers the handles up front (assembly phase), so the
+  /// record path stays registration-free.
+  void bind(obs::Registry* registry);
+
   void record(MsgClass cls, std::size_t bytes) {
+    record(kNoProcess, cls, bytes);
+  }
+
+  /// Shard-attributed record: `p` is the process whose execution context
+  /// this call runs in (kNoProcess for driver-side accounting).
+  void record(ProcessId p, MsgClass cls, std::size_t bytes) {
     auto& cell = cells_[static_cast<std::size_t>(cls)];
     ++cell.count;
     cell.bytes += bytes;
     if (bytes > cell.max_bytes) cell.max_bytes = bytes;
+    if (registry_ != nullptr) {
+      const auto i = static_cast<std::size_t>(cls);
+      registry_->add(p, m_msgs_[i]);
+      registry_->add(p, m_bytes_[i], bytes);
+      registry_->set_max(p, m_max_bytes_[i], static_cast<double>(bytes));
+    }
   }
 
   [[nodiscard]] std::uint64_t count(MsgClass cls) const {
@@ -67,6 +87,13 @@ class TrafficAccountant {
     std::uint64_t max_bytes = 0;
   };
   std::array<Cell, static_cast<std::size_t>(MsgClass::kCount)> cells_{};
+
+  obs::Registry* registry_ = nullptr;
+  std::array<obs::Metric, static_cast<std::size_t>(MsgClass::kCount)> m_msgs_{};
+  std::array<obs::Metric, static_cast<std::size_t>(MsgClass::kCount)>
+      m_bytes_{};
+  std::array<obs::Metric, static_cast<std::size_t>(MsgClass::kCount)>
+      m_max_bytes_{};
 };
 
 /// Tracks, for every application message, generation time and per-process
@@ -74,6 +101,11 @@ class TrafficAccountant {
 /// (processing tick − generation tick) over all (message, processor) pairs.
 class DelayTracker {
  public:
+  /// Mirrors every (message, processor) delay into `registry` as the
+  /// "delay.ticks" histogram on the processor's shard, as the events
+  /// stream in.
+  void bind(obs::Registry* registry);
+
   void on_generated(const Mid& mid, Tick at);
   void on_processed(const Mid& mid, ProcessId by, Tick at);
 
@@ -99,6 +131,9 @@ class DelayTracker {
   std::unordered_map<Mid, Tick> sent_;
   std::unordered_map<Mid, std::vector<std::pair<ProcessId, Tick>>> processed_;
   std::uint64_t processed_events_ = 0;
+
+  obs::Registry* registry_ = nullptr;
+  obs::Metric m_delay_{};
 };
 
 /// Step time series sampled by the harness (e.g. history length per round).

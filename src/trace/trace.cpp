@@ -16,14 +16,33 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kDiscarded: return "discarded";
     case EventKind::kRecovery: return "recovery";
     case EventKind::kFlowBlocked: return "flow-blocked";
+    case EventKind::kRequestDropped: return "request-dropped";
+    case EventKind::kCount: break;
   }
   return "?";
 }
 
-TraceRecorder::TraceRecorder(std::vector<EventKind> keep)
-    : keep_(std::move(keep)) {}
+TraceRecorder::TraceRecorder(std::vector<EventKind> keep,
+                             obs::Registry* metrics)
+    : keep_(std::move(keep)), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    m_events_.reserve(static_cast<std::size_t>(EventKind::kCount));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(EventKind::kCount);
+         ++i) {
+      m_events_.push_back(metrics_->counter(
+          "trace.events." +
+          std::string(to_string(static_cast<EventKind>(i)))));
+    }
+  }
+}
 
 void TraceRecorder::record(TraceEvent event) {
+  // Count before the keep-filter: the registry tallies every observed
+  // event, while the in-memory log stays filterable.
+  if (metrics_ != nullptr) {
+    metrics_->add(event.process,
+                  m_events_[static_cast<std::size_t>(event.kind)]);
+  }
   if (!keep_.empty() &&
       std::find(keep_.begin(), keep_.end(), event.kind) == keep_.end()) {
     return;
@@ -121,6 +140,17 @@ void TraceRecorder::on_flow_blocked(ProcessId p, Tick at) {
   record(event);
 }
 
+void TraceRecorder::on_request_dropped(ProcessId p, ProcessId from,
+                                       SubrunId rq_subrun, Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kRequestDropped;
+  event.process = p;
+  event.peer = from;
+  event.subrun = rq_subrun;
+  record(event);
+}
+
 std::vector<TraceEvent> TraceRecorder::filter(EventKind kind) const {
   std::vector<TraceEvent> out;
   for (const TraceEvent& event : events_) {
@@ -159,7 +189,11 @@ void TraceRecorder::write_jsonl(std::ostream& os) const {
         os << ",\"target\":" << event.peer
            << ",\"origin\":" << event.origin;
         break;
+      case EventKind::kRequestDropped:
+        os << ",\"from\":" << event.peer << ",\"subrun\":" << event.subrun;
+        break;
       case EventKind::kFlowBlocked:
+      case EventKind::kCount:
         break;
     }
     os << "}\n";
@@ -196,7 +230,11 @@ void TraceRecorder::write_text(std::ostream& os, Tick ticks_per_rtd) const {
         os << " from p" << event.peer << " for p" << event.origin
            << "'s sequence";
         break;
+      case EventKind::kRequestDropped:
+        os << " from p" << event.peer << " for subrun " << event.subrun;
+        break;
       case EventKind::kFlowBlocked:
+      case EventKind::kCount:
         break;
     }
     os << "\n";

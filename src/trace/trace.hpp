@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/observer.hpp"
+#include "obs/registry.hpp"
 
 namespace urcgc::trace {
 
@@ -26,6 +27,8 @@ enum class EventKind : std::uint8_t {
   kDiscarded,
   kRecovery,
   kFlowBlocked,
+  kRequestDropped,
+  kCount,  // sentinel, not a real kind
 };
 
 [[nodiscard]] std::string_view to_string(EventKind kind);
@@ -51,7 +54,10 @@ class TraceRecorder final : public core::Observer {
  public:
   /// Event kinds to keep; empty = everything. kSent traces are voluminous
   /// (one per datagram copy) — filter them out unless needed.
-  explicit TraceRecorder(std::vector<EventKind> keep = {});
+  /// `metrics`, when given, counts every observed event (kept or not)
+  /// under "trace.events.<kind>" on the emitting process's shard.
+  explicit TraceRecorder(std::vector<EventKind> keep = {},
+                         obs::Registry* metrics = nullptr);
 
   void on_generated(ProcessId p, const core::AppMessage& msg,
                     Tick at) override;
@@ -67,6 +73,8 @@ class TraceRecorder final : public core::Observer {
   void on_recovery_attempt(ProcessId p, ProcessId target, ProcessId origin,
                            Tick at) override;
   void on_flow_blocked(ProcessId p, Tick at) override;
+  void on_request_dropped(ProcessId p, ProcessId from, SubrunId rq_subrun,
+                          Tick at) override;
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
@@ -88,6 +96,8 @@ class TraceRecorder final : public core::Observer {
 
   std::vector<EventKind> keep_;
   std::vector<TraceEvent> events_;
+  obs::Registry* metrics_;
+  std::vector<obs::Metric> m_events_;  // one counter per EventKind
 };
 
 /// Fans observer callbacks out to several observers (none owned).
@@ -130,6 +140,10 @@ class MultiObserver final : public core::Observer {
   }
   void on_flow_blocked(ProcessId p, Tick at) override {
     for (auto* o : observers_) o->on_flow_blocked(p, at);
+  }
+  void on_request_dropped(ProcessId p, ProcessId from, SubrunId rq_subrun,
+                          Tick at) override {
+    for (auto* o : observers_) o->on_request_dropped(p, from, rq_subrun, at);
   }
 
  private:

@@ -133,7 +133,12 @@ inline void put_bools(Writer& w, const std::vector<bool>& values) {
     Reader& r) {
   auto count = r.u32();
   if (!count) return Unexpected(count.error());
-  const std::size_t nbytes = (count.value() + 7) / 8;
+  // Widen before rounding up: in 32-bit arithmetic a hostile count near
+  // 2^32 wraps (count + 7) to a tiny value, defeating the truncation guard
+  // and reserving gigabytes below. The other get_* pre-checks multiply by
+  // a ULL element size, which already promotes to 64 bits.
+  const std::uint64_t nbytes =
+      (static_cast<std::uint64_t>(count.value()) + 7) / 8;
   if (nbytes > r.remaining()) return Unexpected(DecodeError::kTruncated);
   std::vector<bool> values;
   values.reserve(count.value());

@@ -1,0 +1,312 @@
+// Tests of the urcgc::obs observability layer: registry semantics
+// (get-or-create, shards, totals), histogram percentiles, exporters, and
+// the end-to-end harness integration that the --metrics-out flag of
+// urcgc-sim relies on — validated on both runtime backends.
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/registry.hpp"
+
+namespace urcgc::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// True when some line contains every needle.
+bool any_line_with(const std::vector<std::string>& lines,
+                   std::initializer_list<std::string_view> needles) {
+  for (const std::string& line : lines) {
+    bool all = true;
+    for (std::string_view needle : needles) {
+      if (line.find(needle) == std::string::npos) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(ObsRegistry, GetOrCreateReturnsSameHandle) {
+  Registry reg(2);
+  const Metric a = reg.counter("x");
+  const Metric b = reg.counter("x");
+  ASSERT_TRUE(a.valid());
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(reg.find("x").id, a.id);
+  EXPECT_EQ(reg.name(a), "x");
+  EXPECT_EQ(reg.kind(a), Kind::kCounter);
+  EXPECT_FALSE(reg.find("unknown").valid());
+}
+
+TEST(ObsRegistry, InvalidHandlesAreNoOps) {
+  Registry reg(1);
+  const Metric none{};
+  reg.add(0, none);
+  reg.set(0, none, 1.0);
+  reg.set_max(0, none, 1.0);
+  reg.observe(0, none, 1.0);
+  reg.sample(0, 0, none, 1.0);
+  EXPECT_EQ(reg.counter_value(none, 0), 0u);
+  EXPECT_EQ(reg.counter_total(none), 0u);
+  EXPECT_TRUE(reg.samples().empty());
+  EXPECT_TRUE(reg.metrics().empty());
+}
+
+TEST(ObsRegistry, CounterShardsAndTotals) {
+  Registry reg(3);
+  const Metric m = reg.counter("c");
+  reg.add(0, m);
+  reg.add(0, m, 4);
+  reg.add(2, m, 10);
+  reg.add(kNoProcess, m, 100);  // host shard
+  EXPECT_EQ(reg.counter_value(m, 0), 5u);
+  EXPECT_EQ(reg.counter_value(m, 1), 0u);
+  EXPECT_EQ(reg.counter_value(m, 2), 10u);
+  EXPECT_EQ(reg.counter_value(m, kNoProcess), 100u);
+  EXPECT_EQ(reg.counter_total(m), 115u);
+}
+
+TEST(ObsRegistry, GaugeSetAndMonotoneMax) {
+  Registry reg(2);
+  const Metric m = reg.gauge("g");
+  reg.set(0, m, 7.5);
+  reg.set(0, m, 2.0);  // plain set overwrites
+  EXPECT_DOUBLE_EQ(reg.gauge_value(m, 0), 2.0);
+  reg.set_max(1, m, 3.0);
+  reg.set_max(1, m, 1.0);  // lower value must not win
+  EXPECT_DOUBLE_EQ(reg.gauge_value(m, 1), 3.0);
+  EXPECT_DOUBLE_EQ(reg.gauge_max(m), 3.0);
+}
+
+TEST(ObsRegistry, HistogramPercentilesAndMergeAcrossShards) {
+  Registry reg(2);
+  const Metric m = reg.histogram("h", {0.0, 100.0, 100});
+  // 1..100 spread over both process shards: the merged view must see the
+  // whole population.
+  for (int v = 1; v <= 100; ++v) {
+    reg.observe(v % 2, m, static_cast<double>(v));
+  }
+  const HistogramSnapshot snap = reg.histogram_merged(m);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  EXPECT_NEAR(snap.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(snap.p50, 50.0, 2.0);
+  EXPECT_NEAR(snap.p90, 90.0, 2.0);
+  EXPECT_NEAR(snap.p99, 99.0, 2.0);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(ObsRegistry, HistogramOverflowBucketClampsToObservedMax) {
+  Registry reg(1);
+  const Metric m = reg.histogram("h", {0.0, 10.0, 5});
+  reg.observe(0, m, 5.0);
+  reg.observe(0, m, 250.0);  // beyond hi: lands in the overflow bucket
+  const HistogramSnapshot snap = reg.histogram_merged(m);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.max, 250.0);
+  ASSERT_EQ(snap.buckets.size(), 6u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  // Percentiles interpolate inside [hi, max] for the overflow bucket and
+  // never exceed the observed maximum.
+  EXPECT_LE(snap.p99, 250.0);
+  EXPECT_GE(snap.p99, 10.0);
+}
+
+TEST(ObsRegistry, SampleAppendsTimeSeries) {
+  Registry reg(2);
+  const Metric m = reg.gauge("depth");
+  reg.sample(10, 0, m, 1.0);
+  reg.sample(20, 1, m, 2.5);
+  ASSERT_EQ(reg.samples().size(), 2u);
+  EXPECT_EQ(reg.samples()[0].at, 10);
+  EXPECT_EQ(reg.samples()[1].process, 1);
+  EXPECT_DOUBLE_EQ(reg.samples()[1].value, 2.5);
+}
+
+TEST(ObsRegistry, JsonlExportsEveryRowType) {
+  Registry reg(2);
+  const Metric c = reg.counter("c");
+  const Metric g = reg.gauge("g");
+  const Metric h = reg.histogram("h", {0.0, 10.0, 5});
+  reg.add(0, c, 2);
+  reg.add(kNoProcess, c, 5);
+  reg.set(1, g, 3.5);
+  reg.observe(0, h, 4.0);
+  reg.observe(1, h, 6.0);
+  reg.sample(30, 1, g, 3.5);
+
+  std::ostringstream out;
+  reg.write_jsonl(out);
+  const auto lines = lines_of(out.str());
+  ASSERT_GE(lines.size(), 6u);
+  // Every line is a single JSON object.
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(line.starts_with("{\"type\":\"")) << line;
+    EXPECT_TRUE(line.ends_with("}")) << line;
+  }
+  EXPECT_TRUE(any_line_with(lines, {"\"type\":\"meta\"", "\"processes\":2"}));
+  EXPECT_TRUE(any_line_with(
+      lines,
+      {"\"type\":\"counter\"", "\"name\":\"c\"", "\"process\":0",
+       "\"value\":2"}));
+  // Host-shard rows carry process -1; zero shards are omitted.
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"counter\"", "\"process\":-1", "\"value\":5"}));
+  EXPECT_FALSE(any_line_with(
+      lines, {"\"type\":\"counter\"", "\"name\":\"c\"", "\"process\":1"}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"counter_total\"", "\"name\":\"c\"", "\"value\":7"}));
+  EXPECT_TRUE(any_line_with(
+      lines,
+      {"\"type\":\"gauge\"", "\"name\":\"g\"", "\"process\":1",
+       "\"value\":3.5"}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"histogram\"", "\"name\":\"h\"", "\"count\":2",
+              "\"buckets\":["}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"sample\"", "\"name\":\"g\"", "\"at\":30",
+              "\"process\":1"}));
+}
+
+TEST(ObsRegistry, CsvExportsHeaderAndRows) {
+  Registry reg(1);
+  const Metric c = reg.counter("c");
+  const Metric h = reg.histogram("h", {0.0, 10.0, 5});
+  reg.add(0, c, 2);
+  reg.observe(0, h, 4.0);
+  std::ostringstream out;
+  reg.write_csv(out);
+  const auto lines = lines_of(out.str());
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.front(), "kind,name,process,at,value");
+  EXPECT_TRUE(any_line_with(lines, {"counter,c,0,,2"}));
+  EXPECT_TRUE(any_line_with(lines, {"counter_total,c,,,2"}));
+  EXPECT_TRUE(any_line_with(lines, {"histogram,h.count,,,1"}));
+  EXPECT_TRUE(any_line_with(lines, {"histogram,h.p50,,,"}));
+}
+
+TEST(ObsRegistry, SummaryListsActiveMetrics) {
+  Registry reg(1);
+  reg.add(0, reg.counter("busy.counter"), 3);
+  reg.observe(0, reg.histogram("lat", {0.0, 10.0, 5}), 4.0);
+  reg.add(0, reg.counter("idle.counter"), 0);
+  std::ostringstream out;
+  reg.write_summary(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("busy.counter"), std::string::npos);
+  EXPECT_NE(text.find("lat"), std::string::npos);
+  // Zero-valued metrics stay out of the table.
+  EXPECT_EQ(text.find("idle.counter"), std::string::npos);
+}
+
+// --- End-to-end: harness integration on both backends ------------------
+
+void run_and_validate(harness::Backend backend) {
+  constexpr int kN = 6;
+  Registry registry(kN);
+  harness::ExperimentConfig config;
+  config.protocol.n = kN;
+  config.workload.total_messages = 60;
+  config.workload.load = 0.5;
+  config.seed = 9;
+  config.limit_rtd = 2000;
+  config.backend = backend;
+  config.thread_tick_ns = 0;  // free-running when threaded
+  config.metrics = &registry;
+  const auto report = harness::Experiment(config).run();
+  ASSERT_TRUE(report.quiescent);
+  ASSERT_TRUE(report.all_ok());
+
+  // Protocol counters came in on the per-process shards.
+  const Metric generated = registry.find("urcgc.generated");
+  ASSERT_TRUE(generated.valid());
+  EXPECT_EQ(registry.counter_total(generated), report.generated);
+  EXPECT_EQ(registry.counter_value(generated, kNoProcess), 0u);
+  const Metric applied = registry.find("urcgc.decisions_applied");
+  ASSERT_TRUE(applied.valid());
+  for (ProcessId p = 0; p < kN; ++p) {
+    EXPECT_GT(registry.counter_value(applied, p), 0u) << "p" << p;
+  }
+
+  // Fault-free run: the network dropped nothing, and every REQUEST made
+  // its inbox window (max latency < round length) — on both backends.
+  EXPECT_GT(registry.counter_total(registry.find("net.packets_sent")), 0u);
+  EXPECT_EQ(registry.counter_total(registry.find("net.packets_dropped")), 0u);
+  EXPECT_EQ(registry.counter_total(registry.find("urcgc.requests_dropped")),
+            0u);
+
+  // Delay histogram: populated, ordered percentiles.
+  const Metric delay = registry.find("delay.ticks");
+  ASSERT_TRUE(delay.valid());
+  const HistogramSnapshot snap = registry.histogram_merged(delay);
+  EXPECT_GT(snap.count, 0u);
+  EXPECT_GT(snap.p50, 0.0);
+  EXPECT_LE(snap.p50, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+
+  // Per-round gauge samples were taken for every live process.
+  ASSERT_FALSE(registry.samples().empty());
+  const Metric hist_len = registry.find("proc.history_len");
+  ASSERT_TRUE(hist_len.valid());
+  bool saw_history_sample = false;
+  for (const Sample& sample : registry.samples()) {
+    if (sample.metric.id == hist_len.id) {
+      saw_history_sample = true;
+      EXPECT_GE(sample.process, 0);
+      EXPECT_LT(sample.process, kN);
+    }
+  }
+  EXPECT_TRUE(saw_history_sample);
+
+  // The JSONL export of a real run is well-formed and complete.
+  std::ostringstream out;
+  registry.write_jsonl(out);
+  const auto lines = lines_of(out.str());
+  ASSERT_GT(lines.size(), 10u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(line.starts_with("{\"type\":\"")) << line;
+    EXPECT_TRUE(line.ends_with("}")) << line;
+  }
+  EXPECT_TRUE(any_line_with(lines, {"\"type\":\"meta\"", "\"processes\":6"}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"counter\"", "\"name\":\"urcgc.generated\""}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"counter_total\"", "\"name\":\"net.packets_sent\""}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"histogram\"", "\"name\":\"delay.ticks\"",
+              "\"p50\":", "\"p99\":"}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"sample\"", "\"name\":\"proc.history_len\""}));
+  EXPECT_TRUE(any_line_with(
+      lines, {"\"type\":\"sample\"", "\"name\":\"proc.waiting_depth\""}));
+}
+
+TEST(ObsIntegration, SimBackendExportsFullMetricsSet) {
+  run_and_validate(harness::Backend::kSim);
+}
+
+TEST(ObsIntegration, ThreadedBackendExportsFullMetricsSet) {
+  run_and_validate(harness::Backend::kThreads);
+}
+
+}  // namespace
+}  // namespace urcgc::obs

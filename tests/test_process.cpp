@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/observer.hpp"
+#include "core/pdu.hpp"
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
+#include "obs/registry.hpp"
 #include "sim/simulation.hpp"
 
 namespace urcgc::core {
@@ -314,6 +318,128 @@ TEST(UrcgcProcess, CountersTrackDecisions) {
   EXPECT_GE(g.at(0).counters().decisions_made, 1u);
   EXPECT_GE(g.at(1).counters().decisions_made, 1u);
   EXPECT_GE(g.at(0).counters().decisions_applied, 3u);
+}
+
+// ---- Isolated-process fixtures ----------------------------------------
+
+/// Endpoint double for single-process tests: swallows everything the
+/// process sends and exposes the captured upcall so a test can hand-craft
+/// PDUs and deliver them at exact virtual times.
+class StubEndpoint final : public net::Endpoint {
+ public:
+  explicit StubEndpoint(ProcessId self) : self_(self) {}
+
+  [[nodiscard]] ProcessId self() const override { return self_; }
+  void set_upcall(UpcallFn fn) override { upcall_ = std::move(fn); }
+  void send(ProcessId, std::vector<std::uint8_t>) override {}
+  void broadcast(std::vector<std::uint8_t>) override {}
+
+  void inject(ProcessId src, const std::vector<std::uint8_t>& bytes) {
+    if (upcall_) upcall_(src, bytes);
+  }
+
+ private:
+  ProcessId self_;
+  UpcallFn upcall_;
+};
+
+TEST(UrcgcProcess, DelayedStaleDecisionDoesNotResetKMisses) {
+  // A DECISION of an *older* subrun arriving late must not hide a dead
+  // coordinator. p7 is fully partitioned except for one decision delayed
+  // from subrun 0: the decisions of the subruns it actually awaits never
+  // arrive, so after K charged subruns it must still leave. (The previous
+  // accounting reset the K-miss counter on *any* applied decision, so a
+  // trickle of stale decisions kept a partitioned process in the group
+  // forever.)
+  Config config = small(8);
+  config.k_attempts = 3;
+  sim::Simulation sim;
+  fault::FaultInjector injector(fault::FaultPlan(8), Rng(7));
+  StubEndpoint endpoint(7);
+  UrcgcProcess p(config, 7, sim, endpoint, injector);
+  p.start();
+
+  // Subruns 0 and 1 pass in silence: misses charged at t=20 and t=40. At
+  // t=45 the delayed subrun-0 decision arrives; it updates the latest
+  // decision but proves nothing about the awaited coordinators, and at
+  // t=60 the silence guard sees a datagram did arrive, so subrun 2 is not
+  // charged either way. Subrun 3 is silent again: the third miss at t=80
+  // makes p7 leave.
+  Decision stale = Decision::initial(8);
+  stale.decided_at = 0;
+  stale.coordinator = 0;
+  sim.at(45, [&] { endpoint.inject(0, encode_pdu(stale)); });
+
+  sim.run_until(90);
+  EXPECT_EQ(p.latest_decision().decided_at, 0);  // the stale one applied
+  EXPECT_TRUE(p.halted());
+  EXPECT_EQ(p.halt_reason(), HaltReason::kNoCoordinator);
+}
+
+TEST(UrcgcProcess, FreshDecisionStillResetsKMisses) {
+  // Counter-probe for the test above: a decision as fresh as the awaited
+  // subrun *does* zero the miss count, even after earlier charged misses.
+  Config config = small(8);
+  config.k_attempts = 3;
+  sim::Simulation sim;
+  fault::FaultInjector injector(fault::FaultPlan(8), Rng(7));
+  StubEndpoint endpoint(7);
+  UrcgcProcess p(config, 7, sim, endpoint, injector);
+  p.start();
+
+  // Two silent subruns (misses at t=20, t=40), then the subrun-2 decision
+  // arrives in its own subrun: at t=60 the count resets, and the silent
+  // subruns 3 and 4 only get it back to 2 by t=100.
+  Decision fresh = Decision::initial(8);
+  fresh.decided_at = 2;
+  fresh.coordinator = 2;
+  sim.at(55, [&] { endpoint.inject(2, encode_pdu(fresh)); });
+
+  sim.run_until(100);
+  EXPECT_FALSE(p.halted());
+}
+
+TEST(UrcgcProcess, LateRequestDroppedCountedAndObserved) {
+  // A REQUEST arriving outside the open inbox window is discarded; the
+  // drop must show up in the process counters, the observer callback and
+  // the metrics registry instead of vanishing silently.
+  struct DropObserver : Observer {
+    int drops = 0;
+    ProcessId from = kNoProcess;
+    SubrunId rq_subrun = -2;
+    void on_request_dropped(ProcessId, ProcessId sender, SubrunId subrun,
+                            Tick) override {
+      ++drops;
+      from = sender;
+      rq_subrun = subrun;
+    }
+  };
+  DropObserver observer;
+  obs::Registry registry(4);
+  Config config = small(4);
+  sim::Simulation sim;
+  fault::FaultInjector injector(fault::FaultPlan(4), Rng(7));
+  StubEndpoint endpoint(2);
+  UrcgcProcess p(config, 2, sim, endpoint, injector, &observer, &registry);
+  p.start();
+
+  Request late;
+  late.subrun = 0;  // stale: at t=25 the open window is subrun 1's
+  late.from = 1;
+  late.last_processed.assign(4, 0);
+  late.oldest_waiting.assign(4, kNoSeq);
+  late.prev_decision = Decision::initial(4);
+  sim.at(25, [&] { endpoint.inject(1, encode_pdu(late)); });
+  sim.run_until(30);
+
+  EXPECT_EQ(p.counters().requests_dropped, 1u);
+  EXPECT_EQ(observer.drops, 1);
+  EXPECT_EQ(observer.from, 1);
+  EXPECT_EQ(observer.rq_subrun, 0);
+  const obs::Metric m = registry.find("urcgc.requests_dropped");
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(registry.counter_value(m, 2), 1u);
+  EXPECT_EQ(registry.counter_total(m), 1u);
 }
 
 }  // namespace

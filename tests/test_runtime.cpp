@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -153,6 +154,24 @@ TEST(ThreadedRuntime, WallClockPacingRespectsTickDuration) {
   EXPECT_GE(elapsed, std::chrono::microseconds(4000));
 }
 
+TEST(ThreadedRuntime, PacingReanchorsAfterPause) {
+  // The wall-clock epoch must be re-anchored at the start of every run
+  // call. Anchoring only once meant that after a pause between run calls
+  // the schedule was entirely in the past, so the next segment burst
+  // through its rounds with no pacing at all.
+  ThreadedConfig config = free_running(1);
+  config.tick_duration = std::chrono::microseconds(100);
+  ThreadedRuntime rt(config);
+  rt.on_round(0, [](RoundId) {});
+  rt.run_until(49);
+  // Driver-side pause far longer than the whole first segment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto before = std::chrono::steady_clock::now();
+  rt.run_until(99);  // 5 more rounds: 4ms minimum under correct pacing
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_GE(elapsed, std::chrono::microseconds(4000));
+}
+
 // --- Cross-backend equivalence ---------------------------------------
 
 harness::ExperimentConfig workload_config(int n, std::int64_t messages,
@@ -180,6 +199,11 @@ TEST(CrossBackend, SeededWorkloadPassesOnBothBackends) {
     EXPECT_TRUE(report->workload_exhausted);
     EXPECT_TRUE(report->all_ok()) << report->violations.size()
                                   << " violations";
+    // Max network latency (9) is below the round length, so no REQUEST can
+    // ever arrive outside its inbox window on either backend.
+    for (const auto& process : report->processes) {
+      EXPECT_EQ(process.requests_dropped, 0u);
+    }
   }
   // Fault-free: the full offered load is generated and processed
   // everywhere on both backends, whatever the interleaving.

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "baselines/runner.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "obs/registry.hpp"
 #include "trace/trace.hpp"
 
 namespace {
@@ -47,8 +49,16 @@ struct Options {
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
+  std::string metrics_out_path;
+  std::string metrics_csv_path;
+  bool metrics_summary = false;
   std::uint64_t seed = 1;
   double limit_rtd = 6000;
+
+  [[nodiscard]] bool wants_metrics() const {
+    return !metrics_out_path.empty() || !metrics_csv_path.empty() ||
+           metrics_summary;
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -75,6 +85,9 @@ struct Options {
       "  --causality=general|intermediate|temporal\n"
       "  --transport                     mount on h-reply transport\n"
       "  --trace=FILE                    write a JSONL protocol trace\n"
+      "  --metrics-out=FILE              write obs registry as JSONL\n"
+      "  --metrics-csv=FILE              write obs registry as CSV\n"
+      "  --metrics-summary               print a metrics summary table\n"
       "  --seed=S --limit-rtd=T --csv --verbose\n",
       argv0);
   std::exit(2);
@@ -139,6 +152,12 @@ Options parse(int argc, char** argv) {
       opt.limit_rtd = std::atof(value.data());
     } else if (consume(arg, "--trace", value)) {
       opt.trace_path = value;
+    } else if (consume(arg, "--metrics-out", value)) {
+      opt.metrics_out_path = value;
+    } else if (consume(arg, "--metrics-csv", value)) {
+      opt.metrics_csv_path = value;
+    } else if (consume(arg, "--metrics-summary", value)) {
+      opt.metrics_summary = true;
     } else if (consume(arg, "--csv", value)) {
       opt.csv = true;
     } else if (consume(arg, "--verbose", value)) {
@@ -152,6 +171,35 @@ Options parse(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+/// Writes the registry to the requested sinks. Returns false (with a
+/// message on stderr) if a file could not be opened.
+bool export_metrics(const obs::Registry& registry, const Options& opt) {
+  if (!opt.metrics_out_path.empty()) {
+    std::ofstream out(opt.metrics_out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file %s\n",
+                   opt.metrics_out_path.c_str());
+      return false;
+    }
+    registry.write_jsonl(out);
+    std::fprintf(stderr, "wrote metrics JSONL to %s\n",
+                 opt.metrics_out_path.c_str());
+  }
+  if (!opt.metrics_csv_path.empty()) {
+    std::ofstream out(opt.metrics_csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file %s\n",
+                   opt.metrics_csv_path.c_str());
+      return false;
+    }
+    registry.write_csv(out);
+    std::fprintf(stderr, "wrote metrics CSV to %s\n",
+                 opt.metrics_csv_path.c_str());
+  }
+  if (opt.metrics_summary) registry.write_summary(std::cout);
+  return true;
 }
 
 int run_urcgc(const Options& opt) {
@@ -194,15 +242,31 @@ int run_urcgc(const Options& opt) {
   }
 
   // Optional JSONL trace (everything except per-datagram send events,
-  // which would dominate the file).
-  trace::TraceRecorder tracer(
-      {trace::EventKind::kGenerated, trace::EventKind::kProcessed,
-       trace::EventKind::kDecision, trace::EventKind::kCleaned,
-       trace::EventKind::kHalt, trace::EventKind::kDiscarded,
-       trace::EventKind::kRecovery, trace::EventKind::kFlowBlocked});
-  if (!opt.trace_path.empty()) config.extra_observer = &tracer;
+  // which would dominate the file). With --metrics-* but no --trace the
+  // recorder still observes — it feeds the trace.events.* counters — but
+  // its in-memory log keeps only the rare kinds so long runs stay cheap.
+  obs::Registry registry(opt.n);
+  if (opt.wants_metrics()) config.metrics = &registry;
+
+  std::vector<trace::EventKind> keep{
+      trace::EventKind::kHalt, trace::EventKind::kDiscarded,
+      trace::EventKind::kRequestDropped};
+  if (!opt.trace_path.empty()) {
+    keep.insert(keep.end(),
+                {trace::EventKind::kGenerated, trace::EventKind::kProcessed,
+                 trace::EventKind::kDecision, trace::EventKind::kCleaned,
+                 trace::EventKind::kRecovery,
+                 trace::EventKind::kFlowBlocked});
+  }
+  trace::TraceRecorder tracer(std::move(keep),
+                              opt.wants_metrics() ? &registry : nullptr);
+  if (!opt.trace_path.empty() || opt.wants_metrics()) {
+    config.extra_observer = &tracer;
+  }
 
   const auto report = harness::Experiment(config).run();
+
+  if (opt.wants_metrics() && !export_metrics(registry, opt)) return 2;
 
   if (!opt.trace_path.empty()) {
     std::ofstream trace_file(opt.trace_path);
@@ -288,9 +352,14 @@ int run_baseline(const Options& opt) {
   config.seed = opt.seed;
   config.limit_rtd = opt.limit_rtd;
 
+  obs::Registry registry(opt.n);
+  if (opt.wants_metrics()) config.metrics = &registry;
+
   const auto report = opt.protocol == "cbcast"
                           ? baselines::run_cbcast(config)
                           : baselines::run_psync(config);
+
+  if (opt.wants_metrics() && !export_metrics(registry, opt)) return 2;
   std::printf("%s run: n=%d K=%d messages=%lld seed=%llu\n",
               opt.protocol.c_str(), opt.n, opt.k,
               static_cast<long long>(opt.messages),
