@@ -1,0 +1,168 @@
+// Soak bench: long repeated runs over the throughput sweep's axes, with
+// omission faults on for urcgc (the baselines run fault-free — Psync has
+// no loss-recovery path, so faulting it tests the baseline, not us),
+// validating that (a) the URCGC correctness clauses
+// hold on every run on both backends, and (b) the zero-copy fan-out's
+// buffer accounting stays flat — bytes copied per delivered message must
+// not grow with run length (a growth trend would mean some layer silently
+// re-materializes shared payloads).
+//
+// Usage:
+//   bench_soak [--seeds=N] [--messages=N] [--full]
+//
+// Default: n in {10, 50}, payloads {64, 1024}, urcgc on sim+threads plus
+// both baselines on sim, 3 seeds. --full widens to the full throughput
+// matrix (n up to 200, 16 KiB payloads).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/runner.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+struct SoakStats {
+  std::uint64_t delivered = 0;
+  wire::BufferStats buffers;
+  bool ok = false;
+
+  [[nodiscard]] double copied_per_delivery() const {
+    if (delivered == 0) return 0.0;
+    return static_cast<double>(buffers.bytes_allocated +
+                               buffers.bytes_copied) /
+           static_cast<double>(delivered);
+  }
+};
+
+SoakStats soak_urcgc(bool threads, int n, std::size_t payload,
+                     std::int64_t messages, std::uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.protocol.n = n;
+  config.workload.load = 0.8;
+  config.workload.total_messages = messages;
+  config.workload.cross_dep_prob = 0.2;
+  config.workload.payload_bytes = payload;
+  config.faults.omission_prob = 1.0 / 500.0;
+  config.backend =
+      threads ? harness::Backend::kThreads : harness::Backend::kSim;
+  config.thread_tick_ns = 0;
+  config.seed = seed;
+  config.limit_rtd = 8000;
+  const auto report = harness::Experiment(config).run();
+  return {report.processed_events, report.buffers,
+          report.all_ok() && report.workload_exhausted};
+}
+
+SoakStats soak_baseline(bool cbcast, int n, std::size_t payload,
+                        std::int64_t messages, std::uint64_t seed) {
+  baselines::BaselineConfig config;
+  config.n = n;
+  config.workload.load = 0.8;
+  config.workload.total_messages = messages;
+  config.workload.payload_bytes = payload;
+  // Baselines run fault-free: Psync genuinely loses atomicity under
+  // subnet loss (no recovery path — the paper's point), and the soak
+  // validates our substrate, not the baselines' guarantees.
+  config.seed = seed;
+  config.limit_rtd = 8000;
+  const auto report =
+      cbcast ? baselines::run_cbcast(config) : baselines::run_psync(config);
+  return {report.delivered_events, report.buffers, report.causal_order_ok};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 3;
+  std::int64_t messages = 400;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seeds=", 0) == 0) {
+      seeds = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--messages=", 0) == 0) {
+      messages = std::atoll(arg.c_str() + 11);
+    } else if (arg == "--full") {
+      full = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_soak [--seeds=N] [--messages=N] [--full]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<int> group_sizes =
+      full ? std::vector<int>{10, 50, 200} : std::vector<int>{10, 50};
+  const std::vector<std::size_t> payloads =
+      full ? std::vector<std::size_t>{64, 1024, 16384}
+           : std::vector<std::size_t>{64, 1024};
+
+  struct Point {
+    const char* protocol;
+    bool threads;
+  };
+  const Point points[] = {
+      {"urcgc", false}, {"urcgc", true}, {"cbcast", false}, {"psync", false}};
+
+  std::printf(
+      "Soak — %d seed(s), %lld messages per run, omission 1/500 (urcgc)\n\n",
+      seeds, static_cast<long long>(messages));
+  harness::Table table({"protocol", "backend", "n", "payload", "runs",
+                        "copied B/msg (short)", "copied B/msg (long)",
+                        "verdict"});
+  bool all_ok = true;
+  for (const Point& point : points) {
+    for (int n : group_sizes) {
+      for (std::size_t payload : payloads) {
+        double short_cost = 0.0;
+        double long_cost = 0.0;
+        bool point_ok = true;
+        int runs = 0;
+        for (int s = 1; s <= seeds; ++s, ++runs) {
+          // Pair each seed's normal-length run with a 4x-longer one: the
+          // per-delivery copy cost must not trend upward with run length.
+          SoakStats short_run, long_run;
+          const auto seed = static_cast<std::uint64_t>(s);
+          if (std::strcmp(point.protocol, "urcgc") == 0) {
+            short_run =
+                soak_urcgc(point.threads, n, payload, messages, seed);
+            long_run =
+                soak_urcgc(point.threads, n, payload, 4 * messages, seed);
+          } else {
+            const bool cbcast = std::strcmp(point.protocol, "cbcast") == 0;
+            short_run = soak_baseline(cbcast, n, payload, messages, seed);
+            long_run = soak_baseline(cbcast, n, payload, 4 * messages, seed);
+          }
+          point_ok &= short_run.ok && long_run.ok;
+          short_cost += short_run.copied_per_delivery();
+          long_cost += long_run.copied_per_delivery();
+          // 1.25x headroom over the short run: amortization can only
+          // improve with length, so growth beyond noise is a regression.
+          if (long_run.copied_per_delivery() >
+              short_run.copied_per_delivery() * 1.25 + 8.0) {
+            point_ok = false;
+          }
+        }
+        short_cost /= seeds;
+        long_cost /= seeds;
+        all_ok &= point_ok;
+        table.row({point.protocol, point.threads ? "threads" : "sim",
+                   harness::Table::num(static_cast<std::int64_t>(n)),
+                   harness::Table::num(static_cast<double>(payload), 0),
+                   harness::Table::num(static_cast<std::int64_t>(runs)),
+                   harness::Table::num(short_cost, 1),
+                   harness::Table::num(long_cost, 1),
+                   point_ok ? "OK" : "FAIL"});
+      }
+    }
+  }
+  table.print();
+  std::printf("\nsoak %s\n", all_ok ? "PASSED" : "FAILED");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,349 @@
+// Broadcast fan-out throughput bench with machine-readable output.
+//
+// Sweeps group size n x payload size x runtime backend for urcgc and the
+// CBCAST / Psync baselines on a fault-free subnet, measuring wall-clock
+// throughput, delivery-delay percentiles and the wire-buffer accounting
+// (allocations and bytes physically copied per delivered message). Each
+// simulator point is also run under the legacy clone-per-destination cost
+// model (NetConfig::per_copy_payloads) so the zero-copy fan-out's saving
+// is measured inside one binary, against identical traffic: drop/latency
+// draws do not depend on the payload mode, so both runs deliver the same
+// messages and differ only in copy cost.
+//
+// Output: a human-readable table on stdout and, with --json=FILE, the
+// BENCH_throughput.json document whose schema PERFORMANCE.md documents
+// field by field (validated in CI by tools/check_bench_schema.py).
+//
+// Usage:
+//   bench_throughput [--json=FILE] [--quick] [--backend=sim|threads|all]
+//                    [--protocol=urcgc|cbcast|psync|all] [--messages=N]
+//                    [--seed=S]
+//
+// --quick restricts the sweep to its smallest point (n=10, 64 B, sim) —
+// the CI smoke configuration.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "baselines/runner.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace urcgc;
+
+constexpr int kSchemaVersion = 1;
+
+struct Options {
+  std::string json_path;
+  bool quick = false;
+  std::string backend = "all";
+  std::string protocol = "all";
+  std::int64_t messages = 150;
+  std::uint64_t seed = 1;
+};
+
+struct RunResult {
+  std::string protocol;
+  std::string backend;
+  std::string payload_mode;  // "shared" | "per_copy"
+  int n = 0;
+  std::size_t payload_bytes = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double wall_seconds = 0.0;
+  double delay_p50_rtd = 0.0;
+  double delay_p99_rtd = 0.0;
+  wire::BufferStats buffers;
+  bool ok = true;
+
+  [[nodiscard]] double msgs_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(generated) / wall_seconds
+                              : 0.0;
+  }
+  [[nodiscard]] double deliveries_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(delivered) / wall_seconds
+                              : 0.0;
+  }
+  /// Post-serialization cost of moving payload bytes to n-1 destinations:
+  /// every byte a buffer materialization touched, amortised per delivery.
+  [[nodiscard]] double bytes_copied_per_delivered_message() const {
+    if (delivered == 0) return 0.0;
+    return static_cast<double>(buffers.bytes_allocated +
+                               buffers.bytes_copied) /
+           static_cast<double>(delivered);
+  }
+  [[nodiscard]] double allocations_per_message() const {
+    if (generated == 0) return 0.0;
+    return static_cast<double>(buffers.allocations) /
+           static_cast<double>(generated);
+  }
+};
+
+template <typename Fn>
+RunResult timed(Fn&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  RunResult result = body();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+RunResult run_urcgc(const Options& options, bool threads, int n,
+                    std::size_t payload, bool per_copy) {
+  return timed([&] {
+    harness::ExperimentConfig config;
+    config.protocol.n = n;
+    config.workload.load = 1.0;
+    config.workload.total_messages = options.messages;
+    config.workload.cross_dep_prob = 0.0;
+    config.workload.payload_bytes = payload;
+    config.net.per_copy_payloads = per_copy;
+    config.backend =
+        threads ? harness::Backend::kThreads : harness::Backend::kSim;
+    config.thread_tick_ns = 0;  // free-running: measure work, not pacing
+    config.seed = options.seed;
+    config.limit_rtd = 4000;
+    const auto report = harness::Experiment(config).run();
+    RunResult result;
+    result.generated = report.generated;
+    result.delivered = report.processed_events;
+    result.delay_p50_rtd = report.delay_rtd.p50;
+    result.delay_p99_rtd = report.delay_rtd.p99;
+    result.buffers = report.buffers;
+    result.ok = report.all_ok() && report.workload_exhausted;
+    return result;
+  });
+}
+
+RunResult run_baseline(const Options& options, bool cbcast, bool threads,
+                       int n, std::size_t payload, bool per_copy) {
+  return timed([&] {
+    baselines::BaselineConfig config;
+    config.n = n;
+    config.workload.load = 1.0;
+    config.workload.total_messages = options.messages;
+    config.workload.cross_dep_prob = 0.0;
+    config.workload.payload_bytes = payload;
+    config.backend =
+        threads ? baselines::Backend::kThreads : baselines::Backend::kSim;
+    config.thread_tick_ns = 0;
+    config.per_copy_payloads = per_copy;
+    config.seed = options.seed;
+    config.limit_rtd = 4000;
+    const auto report =
+        cbcast ? baselines::run_cbcast(config) : baselines::run_psync(config);
+    RunResult result;
+    result.generated = report.generated;
+    result.delivered = report.delivered_events;
+    result.delay_p50_rtd = report.delay_rtd.p50;
+    result.delay_p99_rtd = report.delay_rtd.p99;
+    result.buffers = report.buffers;
+    result.ok = report.causal_order_ok;
+    return result;
+  });
+}
+
+void write_json(const Options& options,
+                const std::vector<RunResult>& results) {
+  std::FILE* f = std::fopen(options.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 options.json_path.c_str());
+    std::exit(1);
+  }
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": %d,\n", kSchemaVersion);
+  std::fprintf(f, "  \"bench\": \"bench_throughput\",\n");
+  std::fprintf(f, "  \"generated_at\": \"%s\",\n", date);
+  std::fprintf(f, "  \"quick\": %s,\n", options.quick ? "true" : "false");
+  std::fprintf(f, "  \"messages_per_run\": %lld,\n",
+               static_cast<long long>(options.messages));
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(options.seed));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"protocol\": \"%s\",\n", r.protocol.c_str());
+    std::fprintf(f, "      \"backend\": \"%s\",\n", r.backend.c_str());
+    std::fprintf(f, "      \"payload_mode\": \"%s\",\n",
+                 r.payload_mode.c_str());
+    std::fprintf(f, "      \"n\": %d,\n", r.n);
+    std::fprintf(f, "      \"payload_bytes\": %zu,\n", r.payload_bytes);
+    std::fprintf(f, "      \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(r.seed));
+    std::fprintf(f, "      \"messages_generated\": %llu,\n",
+                 static_cast<unsigned long long>(r.generated));
+    std::fprintf(f, "      \"messages_delivered\": %llu,\n",
+                 static_cast<unsigned long long>(r.delivered));
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", r.wall_seconds);
+    std::fprintf(f, "      \"msgs_per_sec\": %.1f,\n", r.msgs_per_sec());
+    std::fprintf(f, "      \"deliveries_per_sec\": %.1f,\n",
+                 r.deliveries_per_sec());
+    std::fprintf(f, "      \"delivery_delay_rtd_p50\": %.4f,\n",
+                 r.delay_p50_rtd);
+    std::fprintf(f, "      \"delivery_delay_rtd_p99\": %.4f,\n",
+                 r.delay_p99_rtd);
+    std::fprintf(f, "      \"buffer_allocations\": %llu,\n",
+                 static_cast<unsigned long long>(r.buffers.allocations));
+    std::fprintf(f, "      \"buffer_bytes_allocated\": %llu,\n",
+                 static_cast<unsigned long long>(r.buffers.bytes_allocated));
+    std::fprintf(f, "      \"buffer_bytes_copied\": %llu,\n",
+                 static_cast<unsigned long long>(r.buffers.bytes_copied));
+    std::fprintf(f, "      \"bytes_copied_per_delivered_message\": %.2f,\n",
+                 r.bytes_copied_per_delivered_message());
+    std::fprintf(f, "      \"allocations_per_message\": %.2f,\n",
+                 r.allocations_per_message());
+    std::fprintf(f, "      \"ok\": %s\n", r.ok ? "true" : "false");
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu runs)\n", options.json_path.c_str(),
+              results.size());
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (const char* v = value("--json=")) {
+      options.json_path = v;
+    } else if (const char* v = value("--backend=")) {
+      options.backend = v;
+    } else if (const char* v = value("--protocol=")) {
+      options.protocol = v;
+    } else if (const char* v = value("--messages=")) {
+      options.messages = std::atoll(v);
+    } else if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s\n"
+                   "usage: bench_throughput [--json=FILE] [--quick] "
+                   "[--backend=sim|threads|all] "
+                   "[--protocol=urcgc|cbcast|psync|all] [--messages=N] "
+                   "[--seed=S]\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+
+  std::vector<int> group_sizes{10, 50, 200};
+  std::vector<std::size_t> payloads{64, 1024, 16384};
+  std::vector<std::string> backends{"sim", "threads"};
+  std::vector<std::string> protocols{"urcgc", "cbcast", "psync"};
+  if (options.quick) {
+    group_sizes = {10};
+    payloads = {64};
+    backends = {"sim"};
+  }
+  if (options.backend != "all") backends = {options.backend};
+  if (options.protocol != "all") protocols = {options.protocol};
+
+  std::printf(
+      "Broadcast fan-out throughput — %lld messages per point, seed %llu\n\n",
+      static_cast<long long>(options.messages),
+      static_cast<unsigned long long>(options.seed));
+
+  harness::Table table({"protocol", "backend", "mode", "n", "payload",
+                        "msgs/s", "delivs/s", "p50 rtd", "p99 rtd",
+                        "copied B/msg", "allocs/msg"});
+  std::vector<RunResult> results;
+  bool all_ok = true;
+  for (const std::string& backend : backends) {
+    const bool threads = backend == "threads";
+    for (const std::string& protocol : protocols) {
+      for (int n : group_sizes) {
+        for (std::size_t payload : payloads) {
+          // Every simulator point runs in both payload modes (the per-copy
+          // leg reproduces the pre-zero-copy cost model); the threaded
+          // sweep sticks to the real configuration.
+          const int modes = threads ? 1 : 2;
+          for (int mode = 0; mode < modes; ++mode) {
+            const bool per_copy = mode == 1;
+            RunResult result =
+                protocol == "urcgc"
+                    ? run_urcgc(options, threads, n, payload, per_copy)
+                    : run_baseline(options, protocol == "cbcast", threads, n,
+                                   payload, per_copy);
+            result.protocol = protocol;
+            result.backend = backend;
+            result.payload_mode = per_copy ? "per_copy" : "shared";
+            result.n = n;
+            result.payload_bytes = payload;
+            result.seed = options.seed;
+            if (!result.ok) {
+              std::fprintf(stderr,
+                           "VALIDATION FAILED: %s/%s n=%d payload=%zu %s\n",
+                           protocol.c_str(), backend.c_str(), n, payload,
+                           result.payload_mode.c_str());
+              all_ok = false;
+            }
+            table.row({protocol, backend, result.payload_mode,
+                       harness::Table::num(n, 0),
+                       harness::Table::num(static_cast<double>(payload), 0),
+                       harness::Table::num(result.msgs_per_sec(), 0),
+                       harness::Table::num(result.deliveries_per_sec(), 0),
+                       harness::Table::num(result.delay_p50_rtd, 2),
+                       harness::Table::num(result.delay_p99_rtd, 2),
+                       harness::Table::num(
+                           result.bytes_copied_per_delivered_message(), 1),
+                       harness::Table::num(result.allocations_per_message(),
+                                           1)});
+            results.push_back(std::move(result));
+          }
+        }
+      }
+    }
+  }
+  table.print();
+
+  // Headline comparison the acceptance criterion tracks: shared vs per-copy
+  // bytes copied per delivered message at the largest simulated point.
+  const RunResult* shared_head = nullptr;
+  const RunResult* cloned_head = nullptr;
+  for (const RunResult& r : results) {
+    if (r.protocol != "urcgc" || r.backend != "sim") continue;
+    if (r.n != 200 || r.payload_bytes != 16384) continue;
+    (r.payload_mode == "shared" ? shared_head : cloned_head) = &r;
+  }
+  if (shared_head != nullptr && cloned_head != nullptr) {
+    const double before = cloned_head->bytes_copied_per_delivered_message();
+    const double after = shared_head->bytes_copied_per_delivered_message();
+    std::printf(
+        "\nheadline (urcgc, sim, n=200, 16 KiB): %.1f -> %.1f bytes "
+        "copied/delivered message (%.0fx reduction, requirement >= 5x: %s)\n",
+        before, after, before / after, before / after >= 5.0 ? "OK" : "FAIL");
+  }
+
+  if (!options.json_path.empty()) write_json(options, results);
+  return all_ok ? 0 : 1;
+}

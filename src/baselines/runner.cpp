@@ -1,12 +1,16 @@
 #include "baselines/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 
 #include "common/assert.hpp"
 #include "net/endpoint.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/threaded.hpp"
 #include "sim/simulation.hpp"
 
 namespace urcgc::baselines {
@@ -14,6 +18,21 @@ namespace urcgc::baselines {
 namespace {
 
 constexpr Tick kTicksPerRtd = 20;
+
+/// Backend factory shared by both runners. RoundClock(10) gives the same
+/// 20-tick rtd the constant above assumes.
+std::unique_ptr<rt::Runtime> make_runtime(const BaselineConfig& config) {
+  const rt::RoundClock clock(kTicksPerRtd / 2);
+  if (config.backend == Backend::kThreads) {
+    rt::ThreadedConfig tc;
+    tc.n = config.n;
+    tc.clock = clock;
+    tc.tick_duration = std::chrono::nanoseconds(config.thread_tick_ns);
+    tc.metrics = config.metrics;
+    return std::make_unique<rt::ThreadedRuntime>(tc);
+  }
+  return std::make_unique<sim::Simulation>(clock);
+}
 
 /// Per-sender FIFO + set-equality check over survivor logs: the causal
 /// order validation both baselines must pass.
@@ -49,10 +68,25 @@ struct DelayLog {
   std::uint64_t delivered = 0;
 };
 
+/// Mirrors the run's wire-buffer delta into host-shard registry counters,
+/// matching what the urcgc harness exports (post-run, host context).
+void export_buffer_counters(obs::Registry* metrics,
+                            const wire::BufferStats& delta) {
+  if (metrics == nullptr) return;
+  metrics->add(kNoProcess, metrics->counter("wire.buffer_allocations"),
+               delta.allocations);
+  metrics->add(kNoProcess, metrics->counter("wire.buffer_bytes_allocated"),
+               delta.bytes_allocated);
+  metrics->add(kNoProcess, metrics->counter("wire.buffer_bytes_copied"),
+               delta.bytes_copied);
+}
+
 }  // namespace
 
 BaselineReport run_cbcast(const BaselineConfig& config) {
-  sim::Simulation sim;
+  const wire::BufferStats buffers_before = wire::buffer_stats();
+  std::unique_ptr<rt::Runtime> runtime = make_runtime(config);
+  rt::Runtime& rt = *runtime;
   fault::FaultPlan plan = build_plan(config);
 
   // Figure 5 storm: one ordinary member crash to trigger the flush, then
@@ -80,12 +114,17 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
   }
 
   fault::FaultInjector injector(std::move(plan), Rng(config.seed).fork(1));
-  net::Network network(
-      sim, injector,
-      {.min_latency = 5, .max_latency = 9, .metrics = config.metrics},
-      Rng(config.seed).fork(2));
+  net::Network network(rt, injector,
+                       {.min_latency = 5,
+                        .max_latency = 9,
+                        .metrics = config.metrics,
+                        .per_copy_payloads = config.per_copy_payloads},
+                       Rng(config.seed).fork(2));
 
+  // On the threaded backend observer callbacks arrive concurrently from
+  // every process thread; the mutex serialises the shared structures.
   struct Recorder : CbcastObserver {
+    std::mutex mu;
     DelayLog log;
     stats::TrafficAccountant traffic;
     std::map<ProcessId, Tick> settled_at;  // view excludes all crashed
@@ -94,19 +133,24 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
     std::vector<const CbcastProcess*> procs;
 
     void on_generated(ProcessId, const Mid& mid, Tick at) override {
+      std::lock_guard<std::mutex> lk(mu);
       log.delays.on_generated(mid, at);
       ++log.generated;
     }
     void on_delivered(ProcessId p, const Mid& mid, Tick at) override {
+      std::lock_guard<std::mutex> lk(mu);
       log.delays.on_processed(mid, p, at);
       ++log.delivered;
     }
     void on_sent(ProcessId, stats::MsgClass cls, std::size_t bytes,
                  Tick) override {
+      std::lock_guard<std::mutex> lk(mu);
       traffic.record(cls, bytes);
     }
     void on_view_installed(ProcessId p, int, int, Tick at) override {
+      std::lock_guard<std::mutex> lk(mu);
       if (crashed->empty() || settled_at.contains(p)) return;
+      // Reading p's own member view from p's execution context is safe.
       const auto& members = procs[p]->members();
       const bool all_excluded =
           std::all_of(crashed->begin(), crashed->end(),
@@ -131,7 +175,7 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
         network, p,
         net::TransportConfig{.max_retries = 3, .retry_interval = 20}));
     processes.push_back(std::make_unique<CbcastProcess>(
-        node_config, p, sim, *endpoints.back(), injector, &recorder));
+        node_config, p, rt, *endpoints.back(), injector, &recorder));
   }
   for (const auto& process : processes) recorder.procs.push_back(process.get());
   for (auto& process : processes) process->start();
@@ -149,10 +193,10 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
   };
   workload::LoadGenerator load(config.n, config.workload, std::move(hooks),
                                Rng(config.seed).fork(3));
-  sim.on_round([&](RoundId round) { load.on_round(round); });
+  rt.on_round([&](RoundId round) { load.on_round(round); });
 
   const auto limit = static_cast<Tick>(config.limit_rtd * kTicksPerRtd);
-  sim.run_until_quiescent(limit, [&] {
+  Tick stopped_at = rt.run_until_quiescent(limit, [&] {
     if (!load.exhausted()) return false;
     for (const auto& process : processes) {
       if (process->halted()) continue;
@@ -167,7 +211,7 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
     return true;
   });
   // Grace for trailing stability traffic.
-  sim.run_until(std::min(limit, sim.now() + 6 * kTicksPerRtd));
+  stopped_at = rt.run_until(std::min(limit, stopped_at + 6 * kTicksPerRtd));
 
   BaselineReport report;
   report.submitted = load.submitted();
@@ -208,12 +252,16 @@ BaselineReport run_cbcast(const BaselineConfig& config) {
         static_cast<double>(settle_max - first_crash) / kTicksPerRtd;
   }
   report.causal_order_ok = logs_causally_consistent(survivor_logs);
-  report.end_rtd = static_cast<double>(sim.now()) / kTicksPerRtd;
+  report.end_rtd = static_cast<double>(stopped_at) / kTicksPerRtd;
+  report.buffers = wire::buffer_stats() - buffers_before;
+  export_buffer_counters(config.metrics, report.buffers);
   return report;
 }
 
 BaselineReport run_psync(const BaselineConfig& config) {
-  sim::Simulation sim;
+  const wire::BufferStats buffers_before = wire::buffer_stats();
+  std::unique_ptr<rt::Runtime> runtime = make_runtime(config);
+  rt::Runtime& rt = *runtime;
   fault::FaultPlan plan = build_plan(config);
   Tick first_crash = kNoTick;
   for (const auto& [p, at] : config.faults.crashes) {
@@ -225,28 +273,35 @@ BaselineReport run_psync(const BaselineConfig& config) {
   }
 
   fault::FaultInjector injector(std::move(plan), Rng(config.seed).fork(4));
-  net::Network network(
-      sim, injector,
-      {.min_latency = 5, .max_latency = 9, .metrics = config.metrics},
-      Rng(config.seed).fork(5));
+  net::Network network(rt, injector,
+                       {.min_latency = 5,
+                        .max_latency = 9,
+                        .metrics = config.metrics,
+                        .per_copy_payloads = config.per_copy_payloads},
+                       Rng(config.seed).fork(5));
 
   struct Recorder : PsyncObserver {
+    std::mutex mu;
     DelayLog log;
     stats::TrafficAccountant traffic;
     std::map<ProcessId, Tick> settled_at;
     void on_generated(ProcessId, const Mid& mid, Tick at) override {
+      std::lock_guard<std::mutex> lk(mu);
       log.delays.on_generated(mid, at);
       ++log.generated;
     }
     void on_delivered(ProcessId p, const Mid& mid, Tick at) override {
+      std::lock_guard<std::mutex> lk(mu);
       log.delays.on_processed(mid, p, at);
       ++log.delivered;
     }
     void on_sent(ProcessId, stats::MsgClass cls, std::size_t bytes,
                  Tick) override {
+      std::lock_guard<std::mutex> lk(mu);
       traffic.record(cls, bytes);
     }
     void on_mask_out(ProcessId p, ProcessId, Tick at) override {
+      std::lock_guard<std::mutex> lk(mu);
       settled_at.emplace(p, at);
     }
   } recorder;
@@ -264,7 +319,7 @@ BaselineReport run_psync(const BaselineConfig& config) {
   for (ProcessId p = 0; p < config.n; ++p) {
     endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
     processes.push_back(std::make_unique<PsyncProcess>(
-        node_config, p, sim, *endpoints.back(), injector, &recorder));
+        node_config, p, rt, *endpoints.back(), injector, &recorder));
   }
   for (auto& process : processes) process->start();
 
@@ -281,10 +336,10 @@ BaselineReport run_psync(const BaselineConfig& config) {
   };
   workload::LoadGenerator load(config.n, config.workload, std::move(hooks),
                                Rng(config.seed).fork(6));
-  sim.on_round([&](RoundId round) { load.on_round(round); });
+  rt.on_round([&](RoundId round) { load.on_round(round); });
 
   const auto limit = static_cast<Tick>(config.limit_rtd * kTicksPerRtd);
-  sim.run_until_quiescent(limit, [&] {
+  Tick stopped_at = rt.run_until_quiescent(limit, [&] {
     if (!load.exhausted()) return false;
     for (const auto& process : processes) {
       if (process->halted()) continue;
@@ -294,7 +349,7 @@ BaselineReport run_psync(const BaselineConfig& config) {
     }
     return true;
   });
-  sim.run_until(std::min(limit, sim.now() + 6 * kTicksPerRtd));
+  stopped_at = rt.run_until(std::min(limit, stopped_at + 6 * kTicksPerRtd));
 
   BaselineReport report;
   report.submitted = load.submitted();
@@ -330,7 +385,9 @@ BaselineReport run_psync(const BaselineConfig& config) {
         static_cast<double>(settle_max - first_crash) / kTicksPerRtd;
   }
   report.causal_order_ok = logs_causally_consistent(survivor_logs);
-  report.end_rtd = static_cast<double>(sim.now()) / kTicksPerRtd;
+  report.end_rtd = static_cast<double>(stopped_at) / kTicksPerRtd;
+  report.buffers = wire::buffer_stats() - buffers_before;
+  export_buffer_counters(config.metrics, report.buffers);
   return report;
 }
 

@@ -1,8 +1,9 @@
 #pragma once
 // Baseline experiment runners: assemble a CBCAST or Psync group over the
-// shared simulator/network/fault substrate, drive it with the same
-// LoadGenerator as urcgc, and report comparable metrics. Used by the
-// Figure 5 / Table 1 benches and the baseline integration tests.
+// shared runtime/network/fault substrate (deterministic simulator or the
+// threaded real-time backend), drive it with the same LoadGenerator as
+// urcgc, and report comparable metrics. Used by the Figure 5 / Table 1
+// benches, the throughput bench and the baseline integration tests.
 
 #include <cstdint>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "obs/registry.hpp"
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
+#include "wire/shared_buffer.hpp"
 #include "workload/workload.hpp"
 
 namespace urcgc::baselines {
@@ -27,11 +29,27 @@ struct BaselineFaultSpec {
   Tick storm_start = 100;
 };
 
+/// Which rt::Runtime implementation drives the run (mirrors
+/// harness::Backend; kept separate so baselines stay independent of the
+/// harness library).
+enum class Backend {
+  kSim,      ///< deterministic single-threaded simulator
+  kThreads,  ///< one OS thread per process, wall-clock round pacing
+};
+
 struct BaselineConfig {
   int n = 10;
   int k_attempts = 3;
   workload::WorkloadConfig workload;
   BaselineFaultSpec faults;
+  /// Runtime backend. Results on kThreads are not deterministic; the
+  /// causal-order validator tolerates reordering by construction.
+  Backend backend = Backend::kSim;
+  /// Real duration of one tick on the threaded backend (0 = free-running).
+  std::int64_t thread_tick_ns = 50'000;
+  /// Legacy clone-per-destination payload cost model (see
+  /// net::NetConfig::per_copy_payloads).
+  bool per_copy_payloads = false;
   /// Psync only: waiting-room bound (0 = unbounded); beyond it arriving
   /// undeliverable messages are deleted (Psync's flow control).
   std::size_t psync_waiting_bound = 0;
@@ -59,6 +77,9 @@ struct BaselineReport {
   std::uint64_t flow_drops = 0;
   /// Total simulated run length, rtd.
   double end_rtd = 0.0;
+  /// Wire-buffer accounting delta over this run (see
+  /// harness::ExperimentReport::buffers for the semantics).
+  wire::BufferStats buffers;
 };
 
 [[nodiscard]] BaselineReport run_cbcast(const BaselineConfig& config);

@@ -479,7 +479,7 @@ void UrcgcProcess::halt(HaltReason reason) {
   if (observer_ != nullptr) observer_->on_halt(self_, reason, rt_.now());
 }
 
-void UrcgcProcess::send_pdu(ProcessId dst, std::vector<std::uint8_t> bytes,
+void UrcgcProcess::send_pdu(ProcessId dst, wire::SharedBuffer bytes,
                             stats::MsgClass cls) {
   if (observer_ != nullptr) {
     observer_->on_sent(self_, cls, bytes.size(), rt_.now());
@@ -487,7 +487,7 @@ void UrcgcProcess::send_pdu(ProcessId dst, std::vector<std::uint8_t> bytes,
   endpoint_.send(dst, std::move(bytes));
 }
 
-void UrcgcProcess::broadcast_pdu(std::vector<std::uint8_t> bytes,
+void UrcgcProcess::broadcast_pdu(wire::SharedBuffer bytes,
                                  stats::MsgClass cls) {
   if (observer_ != nullptr) {
     // n-unicast semantics: one message per other group member.

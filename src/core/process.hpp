@@ -136,9 +136,9 @@ class UrcgcProcess {
   void handle_recover_rsp(const RecoverRsp& rsp);
 
   void halt(HaltReason reason);
-  void send_pdu(ProcessId dst, std::vector<std::uint8_t> bytes,
-                stats::MsgClass cls);
-  void broadcast_pdu(std::vector<std::uint8_t> bytes, stats::MsgClass cls);
+  void send_pdu(ProcessId dst, wire::SharedBuffer bytes, stats::MsgClass cls);
+  /// Serializes once; the endpoint/subnet share `bytes` across the fan-out.
+  void broadcast_pdu(wire::SharedBuffer bytes, stats::MsgClass cls);
 
   /// Builds the dependency list for a message about to carry (self, my_seq)
   /// under the configured causality mode.

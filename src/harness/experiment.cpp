@@ -135,6 +135,7 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
 }
 
 ExperimentReport Experiment::run() {
+  const wire::BufferStats buffers_before = wire::buffer_stats();
   const int n = config_.protocol.n;
   const rt::RoundClock clock(config_.round_ticks);
   const Tick per_rtd = clock.ticks_per_rtd();
@@ -332,6 +333,19 @@ ExperimentReport Experiment::run() {
   }
   report.net_stats = network.stats();
   report.fault_counters = injector.counters();
+  report.buffers = wire::buffer_stats() - buffers_before;
+  if (config_.metrics != nullptr) {
+    // Host-shard counters so metric exports carry the buffer accounting.
+    // buffer_stats() is process-global: in-process concurrent runs would
+    // attribute each other's traffic, which no current caller does.
+    obs::Registry& reg = *config_.metrics;
+    reg.add(kNoProcess, reg.counter("wire.buffer_allocations"),
+            report.buffers.allocations);
+    reg.add(kNoProcess, reg.counter("wire.buffer_bytes_allocated"),
+            report.buffers.bytes_allocated);
+    reg.add(kNoProcess, reg.counter("wire.buffer_bytes_copied"),
+            report.buffers.bytes_copied);
+  }
   report.decisions = std::move(recorder.decisions_);
   report.halts = std::move(recorder.halts_);
 

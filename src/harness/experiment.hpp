@@ -21,6 +21,7 @@
 #include "obs/registry.hpp"
 #include "stats/metrics.hpp"
 #include "stats/summary.hpp"
+#include "wire/shared_buffer.hpp"
 #include "workload/workload.hpp"
 
 namespace urcgc::harness {
@@ -136,6 +137,12 @@ struct ExperimentReport {
   stats::TrafficAccountant traffic;
   net::NetStats net_stats;
   fault::FaultCounters fault_counters;
+  /// Wire-buffer accounting over this run (delta of the process-global
+  /// wire::buffer_stats() across run()). `bytes_allocated` ≈ serialization
+  /// cost, `bytes_copied` ≈ post-serialization duplication — zero-copy
+  /// fan-out keeps the latter at 0 unless NetConfig::per_copy_payloads
+  /// restores the legacy clone-per-destination model.
+  wire::BufferStats buffers;
 
   // Time series in (rtd, value) — Figure 6.
   stats::TimeSeries history_max;

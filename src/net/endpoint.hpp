@@ -25,8 +25,22 @@ class Endpoint {
 
   [[nodiscard]] virtual ProcessId self() const = 0;
   virtual void set_upcall(UpcallFn fn) = 0;
-  virtual void send(ProcessId dst, std::vector<std::uint8_t> payload) = 0;
-  virtual void broadcast(std::vector<std::uint8_t> payload) = 0;
+  /// Payloads travel as ref-counted wire::SharedBuffer: serialize once,
+  /// share the frame across the whole fan-out (rvalue byte vectors
+  /// convert implicitly, without copying).
+  virtual void send(ProcessId dst, wire::SharedBuffer payload) = 0;
+  virtual void broadcast(wire::SharedBuffer payload) = 0;
+
+  /// Byte-vector conveniences: adopt the bytes and forward. Overload
+  /// resolution prefers these for vector/braced-list arguments, keeping
+  /// legacy call sites source-compatible. (Derived classes re-expose them
+  /// with `using Endpoint::send; using Endpoint::broadcast;`.)
+  void send(ProcessId dst, std::vector<std::uint8_t> payload) {
+    send(dst, wire::SharedBuffer::take(std::move(payload)));
+  }
+  void broadcast(std::vector<std::uint8_t> payload) {
+    broadcast(wire::SharedBuffer::take(std::move(payload)));
+  }
 };
 
 /// Endpoint mounted directly on the datagram subnetwork: no retransmission,
@@ -38,8 +52,10 @@ class DatagramEndpoint final : public Endpoint {
 
   [[nodiscard]] ProcessId self() const override { return self_; }
   void set_upcall(UpcallFn fn) override { upcall_ = std::move(fn); }
-  void send(ProcessId dst, std::vector<std::uint8_t> payload) override;
-  void broadcast(std::vector<std::uint8_t> payload) override;
+  void send(ProcessId dst, wire::SharedBuffer payload) override;
+  void broadcast(wire::SharedBuffer payload) override;
+  using Endpoint::send;
+  using Endpoint::broadcast;
 
  private:
   Network& network_;

@@ -18,6 +18,9 @@ Network::Network(rt::Runtime& runtime, fault::FaultInjector& faults,
     m_dropped_ = config_.metrics->counter("net.packets_dropped");
     m_delivered_ = config_.metrics->counter("net.packets_delivered");
     m_bytes_delivered_ = config_.metrics->counter("net.bytes_delivered");
+    m_payload_copies_ = config_.metrics->counter("net.payload_copies");
+    m_payload_bytes_copied_ =
+        config_.metrics->counter("net.payload_bytes_copied");
   }
 }
 
@@ -35,7 +38,7 @@ NetStats Network::stats() const {
 }
 
 void Network::send_copy(ProcessId src, ProcessId dst,
-                        std::vector<std::uint8_t> payload) {
+                        wire::SharedBuffer payload) {
   URCGC_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < endpoints_.size());
   const Tick sent_at = rt_.now();
   Tick latency;
@@ -65,6 +68,24 @@ void Network::send_copy(ProcessId src, ProcessId dst,
     config_.metrics->add(src, m_bytes_sent_, payload.size());
   }
 
+  // Legacy cost model: one private payload clone per aliased in-flight
+  // copy, exactly what the subnet paid before SharedBuffer (unicast moved
+  // its single copy, multicast/broadcast duplicated per destination). The
+  // drop/latency draws above are untouched, so deliveries are
+  // bit-identical in both modes.
+  if (config_.per_copy_payloads && payload.use_count() > 1) {
+    payload = wire::SharedBuffer::copy(payload.view());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.payload_copies;
+      stats_.payload_bytes_copied += payload.size();
+    }
+    if (config_.metrics != nullptr) {
+      config_.metrics->add(src, m_payload_copies_);
+      config_.metrics->add(src, m_payload_bytes_copied_, payload.size());
+    }
+  }
+
   Packet packet{src, dst, sent_at, std::move(payload)};
   rt_.post(dst, latency, [this, p = std::move(packet)]() mutable {
     // A destination that crashed while the packet was in flight never sees
@@ -84,11 +105,11 @@ void Network::send_copy(ProcessId src, ProcessId dst,
     {
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.packets_delivered;
-      stats_.bytes_delivered += p.payload.size();
+      stats_.bytes_delivered += p.size_bytes();
     }
     if (config_.metrics != nullptr) {
       config_.metrics->add(p.dst, m_delivered_);
-      config_.metrics->add(p.dst, m_bytes_delivered_, p.payload.size());
+      config_.metrics->add(p.dst, m_bytes_delivered_, p.size_bytes());
     }
     // Upcall outside the lock: the receiver may immediately send.
     endpoints_[p.dst](p);
@@ -96,19 +117,18 @@ void Network::send_copy(ProcessId src, ProcessId dst,
 }
 
 void Network::unicast(ProcessId src, ProcessId dst,
-                      std::vector<std::uint8_t> payload) {
+                      wire::SharedBuffer payload) {
   send_copy(src, dst, std::move(payload));
 }
 
 void Network::multicast(ProcessId src, std::span<const ProcessId> dsts,
-                        const std::vector<std::uint8_t>& payload) {
+                        const wire::SharedBuffer& payload) {
   for (ProcessId dst : dsts) {
     send_copy(src, dst, payload);
   }
 }
 
-void Network::broadcast(ProcessId src,
-                        const std::vector<std::uint8_t>& payload) {
+void Network::broadcast(ProcessId src, const wire::SharedBuffer& payload) {
   for (ProcessId dst = 0; static_cast<std::size_t>(dst) < endpoints_.size();
        ++dst) {
     if (dst == src) continue;

@@ -14,6 +14,14 @@
 // in the destination's mailbox and is consumed by the destination's own
 // thread. send_copy may be called from any execution context — the
 // internal mutex guards the rng and the counters, never the upcall.
+//
+// Fan-out is zero-copy: every destination's in-flight copy shares the
+// sender's one wire::SharedBuffer (n-unicast still means n datagrams, n
+// latency draws and n fault decisions — only the payload storage is
+// shared). NetConfig::per_copy_payloads restores the historical
+// clone-per-destination cost model for A/B measurement and equivalence
+// tests; the fault decisions and latency draws are identical either way,
+// so delivered bytes must match bit-for-bit.
 
 #include <functional>
 #include <mutex>
@@ -26,6 +34,7 @@
 #include "net/packet.hpp"
 #include "obs/registry.hpp"
 #include "runtime/runtime.hpp"
+#include "wire/shared_buffer.hpp"
 
 namespace urcgc::net {
 
@@ -38,6 +47,9 @@ struct NetConfig {
   /// event executes in the destination's context) — so the per-shard
   /// ownership rule holds without any extra locking.
   obs::Registry* metrics = nullptr;
+  /// Legacy cost model: clone the payload for every aliased datagram copy
+  /// (what the subnet did before SharedBuffer). Off = zero-copy fan-out.
+  bool per_copy_payloads = false;
 };
 
 /// Upcall invoked when a packet reaches a (non-crashed) destination.
@@ -59,16 +71,33 @@ class Network {
   [[nodiscard]] std::size_t group_size() const { return endpoints_.size(); }
 
   /// Sends one datagram copy from src to dst.
-  void unicast(ProcessId src, ProcessId dst,
-               std::vector<std::uint8_t> payload);
+  void unicast(ProcessId src, ProcessId dst, wire::SharedBuffer payload);
 
-  /// Sends one copy to every destination in `dsts` (n-unicast).
+  /// Sends one copy to every destination in `dsts` (n-unicast); all copies
+  /// share `payload`'s storage.
   void multicast(ProcessId src, std::span<const ProcessId> dsts,
-                 const std::vector<std::uint8_t>& payload);
+                 const wire::SharedBuffer& payload);
 
-  /// Sends to every attached process except src. The paper's processes
-  /// deliver their own messages locally, without a network hop.
-  void broadcast(ProcessId src, const std::vector<std::uint8_t>& payload);
+  /// Sends to every attached process except src, sharing one payload
+  /// buffer across the whole fan-out. The paper's processes deliver their
+  /// own messages locally, without a network hop.
+  void broadcast(ProcessId src, const wire::SharedBuffer& payload);
+
+  /// Byte-vector conveniences (tests, scripted traffic): adopt the bytes
+  /// into a SharedBuffer and forward. Preferred by overload resolution for
+  /// vector/braced-list arguments, so legacy call sites stay source-level
+  /// identical.
+  void unicast(ProcessId src, ProcessId dst,
+               std::vector<std::uint8_t> payload) {
+    unicast(src, dst, wire::SharedBuffer::take(std::move(payload)));
+  }
+  void multicast(ProcessId src, std::span<const ProcessId> dsts,
+                 std::vector<std::uint8_t> payload) {
+    multicast(src, dsts, wire::SharedBuffer::take(std::move(payload)));
+  }
+  void broadcast(ProcessId src, std::vector<std::uint8_t> payload) {
+    broadcast(src, wire::SharedBuffer::take(std::move(payload)));
+  }
 
   /// Snapshot of the traffic counters. Thread-safe; on the threaded
   /// backend call it from the driver context (e.g. after the run or at a
@@ -78,8 +107,7 @@ class Network {
   [[nodiscard]] rt::Runtime& runtime() { return rt_; }
 
  private:
-  void send_copy(ProcessId src, ProcessId dst,
-                 std::vector<std::uint8_t> payload);
+  void send_copy(ProcessId src, ProcessId dst, wire::SharedBuffer payload);
 
   rt::Runtime& rt_;
   fault::FaultInjector& faults_;
@@ -94,6 +122,8 @@ class Network {
   obs::Metric m_dropped_{};
   obs::Metric m_delivered_{};
   obs::Metric m_bytes_delivered_{};
+  obs::Metric m_payload_copies_{};
+  obs::Metric m_payload_bytes_copied_{};
 };
 
 }  // namespace urcgc::net

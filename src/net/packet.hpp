@@ -1,10 +1,17 @@
 #pragma once
 // Raw datagram representation plus network-level accounting.
+//
+// A Packet stays POD-ish on purpose: three scalar fields plus one
+// ref-counted payload handle. Copying a Packet bumps a refcount; it never
+// duplicates the payload bytes, so an n-member broadcast shares one
+// serialized frame across all n in-flight copies and deliveries. The
+// payload is immutable; mutation (fault injection only) goes through the
+// wire::SharedBuffer COW API.
 
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hpp"
+#include "wire/shared_buffer.hpp"
 
 namespace urcgc::net {
 
@@ -12,7 +19,7 @@ struct Packet {
   ProcessId src = kNoProcess;
   ProcessId dst = kNoProcess;
   Tick sent_at = 0;
-  std::vector<std::uint8_t> payload;
+  wire::SharedBuffer payload;
 
   [[nodiscard]] std::size_t size_bytes() const { return payload.size(); }
 };
@@ -23,6 +30,11 @@ struct NetStats {
   std::uint64_t packets_dropped = 0;    // omission/loss/crash drops
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  // Per-destination payload clones materialized by the subnet: always zero
+  // in the default shared (zero-copy) mode, one clone per aliased copy in
+  // NetConfig::per_copy_payloads mode (the pre-SharedBuffer cost model).
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_bytes_copied = 0;
 };
 
 }  // namespace urcgc::net

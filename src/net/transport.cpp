@@ -20,7 +20,7 @@ TransportEndpoint::TransportEndpoint(Network& network, ProcessId self,
   network_.attach(self_, [this](const Packet& packet) { on_packet(packet); });
 }
 
-std::vector<std::uint8_t> TransportEndpoint::frame_fragment(
+wire::SharedBuffer TransportEndpoint::frame_fragment(
     std::uint64_t xfer_id, std::uint16_t index, std::uint16_t count,
     std::span<const std::uint8_t> fragment) const {
   wire::Writer w(fragment.size() + 20);
@@ -32,12 +32,11 @@ std::vector<std::uint8_t> TransportEndpoint::frame_fragment(
   return std::move(w).take();
 }
 
-void TransportEndpoint::send(ProcessId dst,
-                             std::vector<std::uint8_t> payload) {
+void TransportEndpoint::send(ProcessId dst, wire::SharedBuffer payload) {
   data_rq({dst}, 1, std::move(payload));
 }
 
-void TransportEndpoint::broadcast(std::vector<std::uint8_t> payload) {
+void TransportEndpoint::broadcast(wire::SharedBuffer payload) {
   std::vector<ProcessId> dsts;
   for (ProcessId p = 0;
        static_cast<std::size_t>(p) < network_.group_size(); ++p) {
@@ -49,7 +48,7 @@ void TransportEndpoint::broadcast(std::vector<std::uint8_t> payload) {
 }
 
 void TransportEndpoint::data_rq(std::vector<ProcessId> dsts, int h,
-                                std::vector<std::uint8_t> payload,
+                                wire::SharedBuffer payload,
                                 ConfirmFn confirm) {
   URCGC_ASSERT(h >= 1 && static_cast<std::size_t>(h) <= dsts.size());
   const std::uint64_t xfer_id = next_xfer_++;
@@ -60,22 +59,27 @@ void TransportEndpoint::data_rq(std::vector<ProcessId> dsts, int h,
   xfer.retries_left = config_.max_retries;
   xfer.confirm = std::move(confirm);
 
-  // Fragmentation: split the user payload at the configured MTU. An empty
-  // payload still travels as one (empty) fragment so the receiver has
-  // something to acknowledge.
+  // Fragmentation: split the user payload at the configured MTU, framing
+  // each slice exactly once (the frames are shared by every destination
+  // and retry). An empty payload still travels as one (empty) fragment so
+  // the receiver has something to acknowledge.
+  const std::span<const std::uint8_t> bytes = payload.view();
   const std::size_t mtu =
-      config_.mtu == 0 ? std::max<std::size_t>(payload.size(), 1)
+      config_.mtu == 0 ? std::max<std::size_t>(bytes.size(), 1)
                        : config_.mtu;
-  std::size_t offset = 0;
-  do {
-    const std::size_t len = std::min(mtu, payload.size() - offset);
-    xfer.fragments.emplace_back(payload.begin() + offset,
-                                payload.begin() + offset + len);
-    offset += len;
-  } while (offset < payload.size());
-  if (xfer.fragments.size() > 1) ++stats_.fragmented_xfers;
-  URCGC_ASSERT_MSG(xfer.fragments.size() <= 0xFFFF,
+  const std::size_t count =
+      std::max<std::size_t>((bytes.size() + mtu - 1) / mtu, 1);
+  URCGC_ASSERT_MSG(count <= 0xFFFF,
                    "payload needs more than 65535 fragments");
+  xfer.frames.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::size_t offset = index * mtu;
+    const std::size_t len = std::min(mtu, bytes.size() - offset);
+    xfer.frames.push_back(frame_fragment(
+        xfer_id, static_cast<std::uint16_t>(index),
+        static_cast<std::uint16_t>(count), bytes.subspan(offset, len)));
+  }
+  if (xfer.frames.size() > 1) ++stats_.fragmented_xfers;
 
   xfers_.emplace(xfer_id, std::move(xfer));
   transmit(xfer_id, /*first=*/true);
@@ -86,15 +90,13 @@ void TransportEndpoint::transmit(std::uint64_t xfer_id, bool first) {
   auto it = xfers_.find(xfer_id);
   if (it == xfers_.end()) return;
   Xfer& xfer = it->second;
-  const auto count = static_cast<std::uint16_t>(xfer.fragments.size());
+  const auto count = static_cast<std::uint16_t>(xfer.frames.size());
   for (ProcessId dst : xfer.dsts) {
     if (xfer.complete(dst)) continue;  // only chase incomplete receivers
     const auto& acked = xfer.acked[dst];
     for (std::uint16_t index = 0; index < count; ++index) {
       if (acked.contains(index)) continue;  // this fragment got through
-      network_.unicast(self_, dst,
-                       frame_fragment(xfer_id, index, count,
-                                      xfer.fragments[index]));
+      network_.unicast(self_, dst, xfer.frames[index]);
       if (first) {
         ++stats_.data_sent;
       } else {
@@ -133,7 +135,7 @@ void TransportEndpoint::finish(std::uint64_t xfer_id) {
 }
 
 void TransportEndpoint::on_packet(const Packet& packet) {
-  wire::Reader r(packet.payload);
+  wire::Reader r(packet.payload.view());
   auto type = r.u8();
   if (!type) return;  // malformed datagram: drop, the subnet is unreliable
 

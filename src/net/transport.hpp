@@ -19,6 +19,11 @@
 // paper assigns to this layer: payloads larger than `mtu` are split into
 // per-fragment datagrams, individually acknowledged and retransmitted, and
 // reassembled before delivery.
+//
+// Zero-copy fan-out: each fragment is framed (header + payload slice)
+// exactly once per transfer, into a ref-counted wire::SharedBuffer; every
+// destination and every retransmission then shares that one frame, so the
+// per-(destination × retry) cost is a refcount bump, not a payload copy.
 
 #include <cstdint>
 #include <functional>
@@ -69,12 +74,21 @@ class TransportEndpoint final : public Endpoint {
   void set_upcall(UpcallFn fn) override { upcall_ = std::move(fn); }
 
   /// Endpoint interface: h = 1, fire-and-forget confirm.
-  void send(ProcessId dst, std::vector<std::uint8_t> payload) override;
-  void broadcast(std::vector<std::uint8_t> payload) override;
+  void send(ProcessId dst, wire::SharedBuffer payload) override;
+  void broadcast(wire::SharedBuffer payload) override;
+
+  /// Endpoint byte-vector conveniences.
+  using Endpoint::send;
+  using Endpoint::broadcast;
 
   /// Full t_data_Rq service.
+  void data_rq(std::vector<ProcessId> dsts, int h, wire::SharedBuffer payload,
+               ConfirmFn confirm = {});
   void data_rq(std::vector<ProcessId> dsts, int h,
-               std::vector<std::uint8_t> payload, ConfirmFn confirm = {});
+               std::vector<std::uint8_t> payload, ConfirmFn confirm = {}) {
+    data_rq(std::move(dsts), h, wire::SharedBuffer::take(std::move(payload)),
+            std::move(confirm));
+  }
 
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
 
@@ -83,14 +97,16 @@ class TransportEndpoint final : public Endpoint {
     std::vector<ProcessId> dsts;
     int h = 1;
     int retries_left = 0;
-    std::vector<std::vector<std::uint8_t>> fragments;  // user payload split
+    /// Framed fragments (header + payload slice), built once and shared by
+    /// every destination and retransmission.
+    std::vector<wire::SharedBuffer> frames;
     /// Per destination: fragment indices acknowledged.
     std::unordered_map<ProcessId, std::unordered_set<std::uint16_t>> acked;
     ConfirmFn confirm;
 
     [[nodiscard]] bool complete(ProcessId dst) const {
       auto it = acked.find(dst);
-      return it != acked.end() && it->second.size() == fragments.size();
+      return it != acked.end() && it->second.size() == frames.size();
     }
     [[nodiscard]] int complete_count() const {
       int count = 0;
@@ -109,7 +125,7 @@ class TransportEndpoint final : public Endpoint {
   void transmit(std::uint64_t xfer_id, bool first);
   void schedule_retry(std::uint64_t xfer_id);
   void finish(std::uint64_t xfer_id);
-  [[nodiscard]] std::vector<std::uint8_t> frame_fragment(
+  [[nodiscard]] wire::SharedBuffer frame_fragment(
       std::uint64_t xfer_id, std::uint16_t index, std::uint16_t count,
       std::span<const std::uint8_t> fragment) const;
 

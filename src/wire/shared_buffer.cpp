@@ -1,0 +1,55 @@
+#include "wire/shared_buffer.hpp"
+
+#include <atomic>
+
+namespace urcgc::wire {
+
+namespace {
+
+// Relaxed is enough: the counters are monotone tallies read after the run
+// (or across a quiesced round boundary), never used for synchronisation.
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes_allocated{0};
+std::atomic<std::uint64_t> g_bytes_copied{0};
+
+void count_block(std::size_t bytes, bool copied) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_allocated.fetch_add(bytes, std::memory_order_relaxed);
+  if (copied) g_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+BufferStats buffer_stats() {
+  return {g_allocations.load(std::memory_order_relaxed),
+          g_bytes_allocated.load(std::memory_order_relaxed),
+          g_bytes_copied.load(std::memory_order_relaxed)};
+}
+
+SharedBuffer::SharedBuffer(std::vector<std::uint8_t>&& bytes) {
+  count_block(bytes.size(), /*copied=*/false);
+  block_ = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+SharedBuffer SharedBuffer::copy(std::span<const std::uint8_t> bytes) {
+  count_block(bytes.size(), /*copied=*/true);
+  SharedBuffer buffer;
+  buffer.block_ = std::make_shared<const std::vector<std::uint8_t>>(
+      bytes.begin(), bytes.end());
+  return buffer;
+}
+
+std::vector<std::uint8_t> SharedBuffer::detach_copy() const {
+  g_bytes_copied.fetch_add(size(), std::memory_order_relaxed);
+  const auto v = view();
+  return {v.begin(), v.end()};
+}
+
+SharedBuffer SharedBuffer::with_mutation(
+    const std::function<void(std::vector<std::uint8_t>&)>& mutate) const {
+  std::vector<std::uint8_t> bytes = detach_copy();
+  mutate(bytes);
+  return SharedBuffer(std::move(bytes));
+}
+
+}  // namespace urcgc::wire

@@ -1,0 +1,115 @@
+#pragma once
+// SharedBuffer: ref-counted immutable payload bytes.
+//
+// One broadcast serializes its frame once; every in-flight datagram copy,
+// mailbox task and delivery upcall then shares the same storage through a
+// cheap refcount bump instead of duplicating the bytes per destination.
+// The contents are immutable for the buffer's whole lifetime — anyone who
+// needs to change in-flight bytes (the fault layer is the only sanctioned
+// place, see DESIGN.md "Wire buffers & zero-copy fan-out") must first
+// detach a private copy (copy-on-write): `detach_copy()` /
+// `with_mutation()` never touch storage another holder can observe.
+//
+// Accounting: every buffer materialization is counted in process-global
+// relaxed atomics (allocations, bytes allocated, bytes physically copied
+// after serialization), so benches can report bytes-copied-per-delivered-
+// message without instrumenting the hot path further. Snapshot with
+// buffer_stats() and difference across a run.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace urcgc::wire {
+
+/// Monotone process-global buffer accounting. `allocations` counts every
+/// backing block materialized (take/copy/COW detach); `bytes_allocated`
+/// their sizes; `bytes_copied` only the bytes physically duplicated after
+/// initial serialization (SharedBuffer::copy and COW detaches — a take()
+/// adopts storage and copies nothing).
+struct BufferStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t bytes_copied = 0;
+
+  BufferStats operator-(const BufferStats& rhs) const {
+    return {allocations - rhs.allocations,
+            bytes_allocated - rhs.bytes_allocated,
+            bytes_copied - rhs.bytes_copied};
+  }
+};
+
+[[nodiscard]] BufferStats buffer_stats();
+
+class SharedBuffer {
+ public:
+  /// Empty buffer; no storage, no accounting.
+  SharedBuffer() = default;
+
+  /// Adopts `bytes` without copying (the serialization path: a Writer's
+  /// vector becomes the shared frame). Implicit on purpose — every legacy
+  /// `send(std::move(frame))` call site keeps compiling and silently
+  /// becomes zero-copy.
+  SharedBuffer(std::vector<std::uint8_t>&& bytes);  // NOLINT(google-explicit-constructor)
+
+  /// Lvalue vectors must say what they mean: share (`take(std::move(v))`)
+  /// or duplicate (`copy(v)`).
+  SharedBuffer(const std::vector<std::uint8_t>&) = delete;
+
+  /// Adopts `bytes` without copying.
+  [[nodiscard]] static SharedBuffer take(std::vector<std::uint8_t>&& bytes) {
+    return SharedBuffer(std::move(bytes));
+  }
+
+  /// Materializes a new buffer holding a private copy of `bytes`.
+  [[nodiscard]] static SharedBuffer copy(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::span<const std::uint8_t> view() const {
+    return block_ == nullptr ? std::span<const std::uint8_t>() :
+        std::span<const std::uint8_t>(block_->data(), block_->size());
+  }
+  [[nodiscard]] const std::uint8_t* data() const { return view().data(); }
+  [[nodiscard]] std::size_t size() const {
+    return block_ == nullptr ? 0 : block_->size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Number of SharedBuffers sharing this storage (0 for empty). Approximate
+  /// under concurrency, exact on the simulator; meant for tests/diagnostics.
+  [[nodiscard]] long use_count() const { return block_ ? block_.use_count() : 0; }
+
+  /// True when this buffer is storage-identical (same block) to `other` —
+  /// sharing, not equality of bytes.
+  [[nodiscard]] bool aliases(const SharedBuffer& other) const {
+    return block_ != nullptr && block_ == other.block_;
+  }
+
+  /// COW boundary: a private mutable copy of the contents. Counted as a
+  /// copy. The original buffer (and every other holder) is untouched.
+  [[nodiscard]] std::vector<std::uint8_t> detach_copy() const;
+
+  /// COW convenience: detach, apply `mutate` to the private bytes, re-wrap.
+  [[nodiscard]] SharedBuffer with_mutation(
+      const std::function<void(std::vector<std::uint8_t>&)>& mutate) const;
+
+  friend bool operator==(const SharedBuffer& a, const SharedBuffer& b) {
+    const auto va = a.view();
+    const auto vb = b.view();
+    return std::equal(va.begin(), va.end(), vb.begin(), vb.end());
+  }
+  friend bool operator==(const SharedBuffer& a,
+                         const std::vector<std::uint8_t>& b) {
+    const auto va = a.view();
+    return std::equal(va.begin(), va.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> block_;
+};
+
+}  // namespace urcgc::wire

@@ -93,7 +93,7 @@ TEST(Fragmentation, EmptyPayloadStillDelivered) {
         ++deliveries;
         got_size = bytes.size();
       });
-  rig.endpoints[0]->send(1, {});
+  rig.endpoints[0]->send(1, std::vector<std::uint8_t>{});
   rig.sim.run_until(1000);
   EXPECT_EQ(deliveries, 1);
   EXPECT_EQ(got_size, 0u);

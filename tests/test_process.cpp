@@ -331,8 +331,8 @@ class StubEndpoint final : public net::Endpoint {
 
   [[nodiscard]] ProcessId self() const override { return self_; }
   void set_upcall(UpcallFn fn) override { upcall_ = std::move(fn); }
-  void send(ProcessId, std::vector<std::uint8_t>) override {}
-  void broadcast(std::vector<std::uint8_t>) override {}
+  void send(ProcessId, wire::SharedBuffer) override {}
+  void broadcast(wire::SharedBuffer) override {}
 
   void inject(ProcessId src, const std::vector<std::uint8_t>& bytes) {
     if (upcall_) upcall_(src, bytes);

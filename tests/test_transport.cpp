@@ -135,7 +135,7 @@ TEST(Transport, MalformedDatagramIgnored) {
       [&](ProcessId, std::span<const std::uint8_t>) { ++deliveries; });
   // Bypass the transport framing entirely: raw garbage on the wire.
   rig.network.unicast(0, 1, {0xFF, 0x01});
-  rig.network.unicast(0, 1, {});
+  rig.network.unicast(0, 1, std::vector<std::uint8_t>{});
   rig.sim.run_until(100);
   EXPECT_EQ(deliveries, 0);
 }

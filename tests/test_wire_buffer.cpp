@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "runtime/threaded.hpp"
+#include "sim/simulation.hpp"
+#include "wire/shared_buffer.hpp"
+
+namespace urcgc::wire {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(SharedBuffer, TakeAdoptsStorageWithoutCopying) {
+  auto v = bytes_of({1, 2, 3, 4});
+  const std::uint8_t* storage = v.data();
+  const BufferStats before = buffer_stats();
+  const SharedBuffer buf = SharedBuffer::take(std::move(v));
+  const BufferStats delta = buffer_stats() - before;
+  EXPECT_EQ(buf.data(), storage);  // same heap block, not a duplicate
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(delta.allocations, 1u);
+  EXPECT_EQ(delta.bytes_allocated, 4u);
+  EXPECT_EQ(delta.bytes_copied, 0u);
+}
+
+TEST(SharedBuffer, CopyMaterializesAndCountsCopiedBytes) {
+  const auto v = bytes_of({5, 6, 7});
+  const BufferStats before = buffer_stats();
+  const SharedBuffer buf = SharedBuffer::copy(v);
+  const BufferStats delta = buffer_stats() - before;
+  EXPECT_NE(buf.data(), v.data());
+  EXPECT_EQ(buf, v);
+  EXPECT_EQ(delta.allocations, 1u);
+  EXPECT_EQ(delta.bytes_allocated, 3u);
+  EXPECT_EQ(delta.bytes_copied, 3u);
+}
+
+TEST(SharedBuffer, CopiesAliasAndCountRefs) {
+  const SharedBuffer a = SharedBuffer::take(bytes_of({9, 9}));
+  EXPECT_EQ(a.use_count(), 1);
+  const SharedBuffer b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(a.aliases(b));
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.use_count(), 2);
+  EXPECT_EQ(a, b);
+  // Aliasing is storage identity, not byte equality.
+  const SharedBuffer c = SharedBuffer::take(bytes_of({9, 9}));
+  EXPECT_EQ(a, c);
+  EXPECT_FALSE(a.aliases(c));
+}
+
+TEST(SharedBuffer, EmptyBufferHasNoStorage) {
+  const BufferStats before = buffer_stats();
+  const SharedBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ((buffer_stats() - before).allocations, 0u);
+  EXPECT_EQ(empty, SharedBuffer{});
+}
+
+TEST(SharedBuffer, DetachCopyIsPrivateToTheCaller) {
+  const SharedBuffer shared = SharedBuffer::take(bytes_of({1, 2, 3}));
+  const SharedBuffer alias = shared;
+  const BufferStats before = buffer_stats();
+  std::vector<std::uint8_t> mine = shared.detach_copy();
+  const BufferStats delta = buffer_stats() - before;
+  mine[0] = 0xFF;
+  // No other holder observes the mutation.
+  EXPECT_EQ(shared, bytes_of({1, 2, 3}));
+  EXPECT_EQ(alias, bytes_of({1, 2, 3}));
+  EXPECT_EQ(delta.bytes_copied, 3u);
+}
+
+TEST(SharedBuffer, WithMutationLeavesOriginalUntouched) {
+  const SharedBuffer original = SharedBuffer::take(bytes_of({10, 20, 30}));
+  const SharedBuffer mutated = original.with_mutation(
+      [](std::vector<std::uint8_t>& bytes) { bytes[1] = 99; });
+  EXPECT_EQ(original, bytes_of({10, 20, 30}));
+  EXPECT_EQ(mutated, bytes_of({10, 99, 30}));
+  EXPECT_FALSE(original.aliases(mutated));
+}
+
+TEST(SharedBuffer, RvalueVectorConvertsImplicitly) {
+  const auto sink = [](SharedBuffer buf) { return buf.size(); };
+  EXPECT_EQ(sink(bytes_of({1, 2, 3, 4, 5})), 5u);
+}
+
+// ---- Fan-out behaviour on the subnet -----------------------------------
+
+struct SimRig {
+  explicit SimRig(int n, double loss, bool per_copy, std::uint64_t seed = 7)
+      : injector(
+            [&] {
+              fault::FaultPlan plan(n);
+              plan.packet_loss(loss);
+              return plan;
+            }(),
+            Rng(seed).fork(1)),
+        network(sim, injector,
+                {.min_latency = 1,
+                 .max_latency = 4,
+                 .per_copy_payloads = per_copy},
+                Rng(seed).fork(2)) {}
+
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  net::Network network;
+};
+
+TEST(ZeroCopyFanOut, BroadcastSharesOneBufferAcrossAllDeliveries) {
+  constexpr int kN = 8;
+  SimRig rig(kN, /*loss=*/0.0, /*per_copy=*/false);
+  std::vector<net::Packet> received;
+  for (ProcessId p = 0; p < kN; ++p) {
+    rig.network.attach(p, [&](const net::Packet& packet) {
+      received.push_back(packet);
+    });
+  }
+  const SharedBuffer frame = SharedBuffer::take(bytes_of({1, 2, 3, 4}));
+  const BufferStats before = buffer_stats();
+  rig.network.broadcast(0, frame);
+  rig.sim.run_until(100);
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kN - 1));
+  for (const net::Packet& packet : received) {
+    EXPECT_TRUE(packet.payload.aliases(frame));
+  }
+  const BufferStats delta = buffer_stats() - before;
+  EXPECT_EQ(delta.allocations, 0u);  // the whole fan-out allocated nothing
+  EXPECT_EQ(delta.bytes_copied, 0u);
+  EXPECT_EQ(rig.network.stats().payload_copies, 0u);
+}
+
+TEST(ZeroCopyFanOut, PerCopyModeClonesEveryAliasedDatagram) {
+  constexpr int kN = 8;
+  SimRig rig(kN, /*loss=*/0.0, /*per_copy=*/true);
+  std::vector<net::Packet> received;
+  for (ProcessId p = 0; p < kN; ++p) {
+    rig.network.attach(p, [&](const net::Packet& packet) {
+      received.push_back(packet);
+    });
+  }
+  const SharedBuffer frame = SharedBuffer::take(bytes_of({1, 2, 3, 4}));
+  rig.network.broadcast(0, frame);
+  rig.sim.run_until(100);
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kN - 1));
+  for (const net::Packet& packet : received) {
+    EXPECT_FALSE(packet.payload.aliases(frame));
+    EXPECT_EQ(packet.payload, frame);  // same bytes, private storage
+  }
+  EXPECT_EQ(rig.network.stats().payload_copies,
+            static_cast<std::uint64_t>(kN - 1));
+  EXPECT_EQ(rig.network.stats().payload_bytes_copied,
+            static_cast<std::uint64_t>(4 * (kN - 1)));
+}
+
+/// One scripted traffic pattern, delivered under omission faults, recorded
+/// as (dst, tick, bytes) — the sequence both payload modes must reproduce
+/// bit-for-bit (drop and latency draws are independent of the mode).
+struct Delivery {
+  ProcessId dst;
+  Tick at;
+  std::vector<std::uint8_t> bytes;
+  bool operator==(const Delivery&) const = default;
+};
+
+std::vector<Delivery> run_scripted_sim(bool per_copy) {
+  constexpr int kN = 6;
+  SimRig rig(kN, /*loss=*/0.3, per_copy);
+  std::vector<Delivery> deliveries;
+  for (ProcessId p = 0; p < kN; ++p) {
+    rig.network.attach(p, [&deliveries, &rig](const net::Packet& packet) {
+      deliveries.push_back({packet.dst, rig.sim.now(),
+                            {packet.payload.view().begin(),
+                             packet.payload.view().end()}});
+    });
+  }
+  rig.sim.on_round([&](RoundId round) {
+    if (round >= 20) return;
+    const auto sender = static_cast<ProcessId>(round % kN);
+    std::vector<std::uint8_t> payload(16 + round % 5);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>(round + i);
+    }
+    rig.network.broadcast(sender, std::move(payload));
+  });
+  rig.sim.run_until(400);
+  return deliveries;
+}
+
+TEST(ZeroCopyFanOut, SharedAndPerCopyDeliverIdenticalBytesUnderOmission) {
+  const auto shared = run_scripted_sim(/*per_copy=*/false);
+  const auto cloned = run_scripted_sim(/*per_copy=*/true);
+  ASSERT_FALSE(shared.empty());
+  EXPECT_EQ(shared, cloned);
+}
+
+/// Threaded-backend counterpart: a single sender keeps the network's rng
+/// sequence deterministic (drop/latency draws happen at send time, on the
+/// sender's context), so both modes must deliver the same per-destination
+/// byte sequences even with real threads racing.
+std::vector<std::vector<std::uint8_t>> run_scripted_threads(bool per_copy) {
+  constexpr int kN = 4;
+  rt::ThreadedConfig tc;
+  tc.n = kN;
+  tc.clock = rt::RoundClock(10);
+  tc.tick_duration = std::chrono::nanoseconds(0);
+  rt::ThreadedRuntime rt(tc);
+  fault::FaultPlan plan(kN);
+  plan.packet_loss(0.3);
+  fault::FaultInjector injector(std::move(plan), Rng(5).fork(1));
+  net::Network network(rt, injector,
+                       {.min_latency = 1,
+                        .max_latency = 4,
+                        .per_copy_payloads = per_copy},
+                       Rng(5).fork(2));
+  // logs[p] is only ever touched by p's own thread; the run_until barrier
+  // publishes the final contents to this thread.
+  std::vector<std::vector<std::uint8_t>> logs(kN);
+  for (ProcessId p = 0; p < kN; ++p) {
+    network.attach(p, [&logs, p](const net::Packet& packet) {
+      logs[p].insert(logs[p].end(), packet.payload.view().begin(),
+                     packet.payload.view().end());
+    });
+  }
+  rt.on_round(0, [&network](RoundId round) {
+    if (round >= 15) return;
+    std::vector<std::uint8_t> payload(8);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>(round * 17 + i);
+    }
+    network.broadcast(0, std::move(payload));
+  });
+  rt.run_until(300);
+  return logs;
+}
+
+TEST(ZeroCopyFanOut, SharedAndPerCopyAgreeOnThreadedBackend) {
+  const auto shared = run_scripted_threads(/*per_copy=*/false);
+  const auto cloned = run_scripted_threads(/*per_copy=*/true);
+  ASSERT_EQ(shared.size(), cloned.size());
+  bool anything_delivered = false;
+  for (std::size_t p = 0; p < shared.size(); ++p) {
+    EXPECT_EQ(shared[p], cloned[p]) << "destination " << p;
+    anything_delivered |= !shared[p].empty();
+  }
+  EXPECT_TRUE(anything_delivered);
+}
+
+}  // namespace
+}  // namespace urcgc::wire

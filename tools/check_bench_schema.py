@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_throughput.json document against the documented schema.
+
+Stdlib-only, used by the CI bench-smoke job and by hand after regenerating
+the baseline (see PERFORMANCE.md for the field-by-field schema). Exits 0 on
+success, 1 with a list of violations otherwise.
+
+Usage: check_bench_schema.py BENCH_throughput.json
+"""
+
+import json
+import sys
+
+EXPECTED_SCHEMA_VERSION = 1
+
+TOP_LEVEL = {
+    "schema_version": int,
+    "bench": str,
+    "generated_at": str,
+    "quick": bool,
+    "messages_per_run": int,
+    "seed": int,
+    "runs": list,
+}
+
+RUN_FIELDS = {
+    "protocol": str,
+    "backend": str,
+    "payload_mode": str,
+    "n": int,
+    "payload_bytes": int,
+    "seed": int,
+    "messages_generated": int,
+    "messages_delivered": int,
+    "wall_seconds": (int, float),
+    "msgs_per_sec": (int, float),
+    "deliveries_per_sec": (int, float),
+    "delivery_delay_rtd_p50": (int, float),
+    "delivery_delay_rtd_p99": (int, float),
+    "buffer_allocations": int,
+    "buffer_bytes_allocated": int,
+    "buffer_bytes_copied": int,
+    "bytes_copied_per_delivered_message": (int, float),
+    "allocations_per_message": (int, float),
+    "ok": bool,
+}
+
+PROTOCOLS = {"urcgc", "cbcast", "psync"}
+BACKENDS = {"sim", "threads"}
+PAYLOAD_MODES = {"shared", "per_copy"}
+
+
+def check(doc):
+    errors = []
+
+    def err(msg):
+        errors.append(msg)
+
+    for field, kind in TOP_LEVEL.items():
+        if field not in doc:
+            err(f"missing top-level field {field!r}")
+        elif not isinstance(doc[field], kind):
+            err(f"top-level field {field!r} is not {kind.__name__}")
+    for field in doc:
+        if field not in TOP_LEVEL:
+            err(f"unknown top-level field {field!r}")
+    if errors:
+        return errors
+
+    if doc["schema_version"] != EXPECTED_SCHEMA_VERSION:
+        err(f"schema_version {doc['schema_version']} != "
+            f"{EXPECTED_SCHEMA_VERSION}")
+    if doc["bench"] != "bench_throughput":
+        err(f"bench is {doc['bench']!r}, expected 'bench_throughput'")
+    if not doc["runs"]:
+        err("runs is empty")
+
+    for i, run in enumerate(doc["runs"]):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            err(f"{where} is not an object")
+            continue
+        for field, kind in RUN_FIELDS.items():
+            if field not in run:
+                err(f"{where} missing field {field!r}")
+            elif not isinstance(run[field], kind) or isinstance(
+                    run[field], bool) != (kind is bool):
+                err(f"{where}.{field} has wrong type")
+        for field in run:
+            if field not in RUN_FIELDS:
+                err(f"{where} has unknown field {field!r}")
+        if errors:
+            continue
+        if run["protocol"] not in PROTOCOLS:
+            err(f"{where}.protocol {run['protocol']!r} not in "
+                f"{sorted(PROTOCOLS)}")
+        if run["backend"] not in BACKENDS:
+            err(f"{where}.backend {run['backend']!r} not in "
+                f"{sorted(BACKENDS)}")
+        if run["payload_mode"] not in PAYLOAD_MODES:
+            err(f"{where}.payload_mode {run['payload_mode']!r} not in "
+                f"{sorted(PAYLOAD_MODES)}")
+        if run["n"] < 2:
+            err(f"{where}.n = {run['n']} < 2")
+        if run["payload_bytes"] <= 0:
+            err(f"{where}.payload_bytes must be positive")
+        if run["messages_delivered"] < run["messages_generated"]:
+            # Every generated message is delivered at least at its origin.
+            err(f"{where}: delivered {run['messages_delivered']} < "
+                f"generated {run['messages_generated']}")
+        if run["wall_seconds"] < 0:
+            err(f"{where}.wall_seconds negative")
+        if run["payload_mode"] == "shared" and run["buffer_bytes_copied"]:
+            err(f"{where}: shared-mode run copied "
+                f"{run['buffer_bytes_copied']} bytes (zero-copy regression)")
+        if not run["ok"]:
+            err(f"{where}: run reported validation failure (ok=false)")
+    return errors
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot parse {sys.argv[1]}: {e}", file=sys.stderr)
+        return 1
+    errors = check(doc)
+    if errors:
+        for e in errors:
+            print(f"SCHEMA VIOLATION: {e}", file=sys.stderr)
+        return 1
+    print(f"{sys.argv[1]}: schema OK ({len(doc['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

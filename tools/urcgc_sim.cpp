@@ -46,6 +46,7 @@ struct Options {
   std::size_t threshold = 0;
   std::string causality = "intermediate";
   bool use_transport = false;
+  bool per_copy = false;
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
@@ -68,7 +69,7 @@ struct Options {
       "  --protocol=urcgc|cbcast|psync   protocol to run (default urcgc)\n"
       "  --backend=sim|threads           runtime backend (default sim;\n"
       "                                  threads = one OS thread/process,\n"
-      "                                  urcgc only, non-deterministic)\n"
+      "                                  non-deterministic; all protocols)\n"
       "  --tick-ns=NS                    threads: real ns per tick (50000;\n"
       "                                  0 = free-running)\n"
       "  --n=N                           group size (default 10)\n"
@@ -84,6 +85,9 @@ struct Options {
       "  --threshold=H                   history flow-control threshold\n"
       "  --causality=general|intermediate|temporal\n"
       "  --transport                     mount on h-reply transport\n"
+      "  --per-copy                      legacy clone-per-destination\n"
+      "                                  payload cost model (A/B against\n"
+      "                                  the zero-copy fan-out)\n"
       "  --trace=FILE                    write a JSONL protocol trace\n"
       "  --metrics-out=FILE              write obs registry as JSONL\n"
       "  --metrics-csv=FILE              write obs registry as CSV\n"
@@ -146,6 +150,8 @@ Options parse(int argc, char** argv) {
       opt.causality = value;
     } else if (consume(arg, "--transport", value)) {
       opt.use_transport = true;
+    } else if (consume(arg, "--per-copy", value)) {
+      opt.per_copy = true;
     } else if (consume(arg, "--seed", value)) {
       opt.seed = std::strtoull(value.data(), nullptr, 10);
     } else if (consume(arg, "--limit-rtd", value)) {
@@ -226,6 +232,7 @@ int run_urcgc(const Options& opt) {
   config.faults.crashes = opt.crashes;
   config.faults.coordinator_crashes = opt.coordinator_crashes;
   config.use_transport = opt.use_transport;
+  config.net.per_copy_payloads = opt.per_copy;
   config.transport.h_all_on_broadcast = true;
   config.seed = opt.seed;
   config.limit_rtd = opt.limit_rtd;
@@ -318,6 +325,13 @@ int run_urcgc(const Options& opt) {
                 report.waiting_max.max_value());
     std::printf("  discarded (orphans)  : %llu\n",
                 static_cast<unsigned long long>(report.discarded));
+    std::printf("  wire buffers         : %llu allocs, %llu B allocated, "
+                "%llu B copied%s\n",
+                static_cast<unsigned long long>(report.buffers.allocations),
+                static_cast<unsigned long long>(
+                    report.buffers.bytes_allocated),
+                static_cast<unsigned long long>(report.buffers.bytes_copied),
+                opt.per_copy ? " (per-copy mode)" : "");
     for (const auto& halt : report.halts) {
       std::printf("  halt: p%d (%s) at tick %lld\n", halt.p,
                   to_string(halt.reason), static_cast<long long>(halt.at));
@@ -349,6 +363,18 @@ int run_baseline(const Options& opt) {
   config.faults.crashes = opt.crashes;
   config.faults.packet_loss = opt.packet_loss;
   config.faults.flush_coordinator_crashes = opt.storm;
+  config.per_copy_payloads = opt.per_copy;
+  if (opt.backend == "threads") {
+    if (opt.tick_ns < 0) {
+      std::fprintf(stderr, "--tick-ns must be >= 0 (0 = free-running)\n");
+      return 2;
+    }
+    config.backend = baselines::Backend::kThreads;
+    config.thread_tick_ns = opt.tick_ns;
+  } else if (opt.backend != "sim") {
+    std::fprintf(stderr, "unknown backend: %s\n", opt.backend.c_str());
+    return 2;
+  }
   config.seed = opt.seed;
   config.limit_rtd = opt.limit_rtd;
 
@@ -373,6 +399,12 @@ int run_baseline(const Options& opt) {
   if (report.view_change_rtd >= 0) {
     std::printf("  view change         : %.1f rtd\n", report.view_change_rtd);
   }
+  std::printf("  wire buffers        : %llu allocs, %llu B allocated, "
+              "%llu B copied%s\n",
+              static_cast<unsigned long long>(report.buffers.allocations),
+              static_cast<unsigned long long>(report.buffers.bytes_allocated),
+              static_cast<unsigned long long>(report.buffers.bytes_copied),
+              opt.per_copy ? " (per-copy mode)" : "");
   std::printf("  causal order        : %s\n",
               report.causal_order_ok ? "OK" : "VIOLATED");
   return report.causal_order_ok ? 0 : 1;
@@ -384,13 +416,6 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
   if (opt.protocol == "urcgc") return run_urcgc(opt);
   if (opt.protocol == "cbcast" || opt.protocol == "psync") {
-    if (opt.backend != "sim") {
-      std::fprintf(stderr,
-                   "--backend=%s is urcgc-only; baselines run on the "
-                   "simulator\n",
-                   opt.backend.c_str());
-      return 2;
-    }
     return run_baseline(opt);
   }
   std::fprintf(stderr, "unknown protocol: %s\n", opt.protocol.c_str());
