@@ -1,0 +1,242 @@
+#include "check/case.hpp"
+
+#include <charconv>
+#include <locale>
+#include <sstream>
+#include <string_view>
+
+namespace urcgc::check {
+
+namespace {
+
+constexpr std::string_view kHeader = "urcgc-check-case-v1";
+
+bool parse_double(std::string_view s, double* out) {
+  // std::from_chars<double> is spotty across standard libraries; stod via
+  // a stream keeps this dependency-free and locale-stable enough for the
+  // "%g"-style numbers we emit.
+  std::istringstream is{std::string(s)};
+  is.imbue(std::locale::classic());
+  double v = 0.0;
+  if (!(is >> v)) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(std::string_view s, std::int64_t* out) {
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+harness::ExperimentConfig CaseConfig::to_experiment() const {
+  harness::ExperimentConfig config;
+  config.protocol.n = n;
+  config.protocol.mutation = mutation;
+  // The explorer's envelope includes network partitions, which the paper's
+  // fail-stop model excludes — partition-capable runs need quorum cuts or
+  // a minority component split-brains the group (see Config::quorum_cuts).
+  config.protocol.quorum_cuts = true;
+  config.workload.total_messages = messages;
+  config.workload.load = load;
+  config.workload.cross_dep_prob = cross_dep_prob;
+  config.faults.omission_prob = omission;
+  config.faults.packet_loss = packet_loss;
+  config.faults.window_start_rtd = window_start_rtd;
+  config.faults.window_end_rtd = window_end_rtd;
+  config.faults.crashes = crashes;
+  config.faults.partitions = partitions;
+  config.backend = backend;
+  config.seed = seed;
+  config.schedule_salt = schedule;
+  config.limit_rtd = limit_rtd;
+  return config;
+}
+
+std::string CaseConfig::serialize() const {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << kHeader << "\n";
+  os << "n=" << n << "\n";
+  os << "messages=" << messages << "\n";
+  os << "load=" << load << "\n";
+  os << "cross_dep=" << cross_dep_prob << "\n";
+  os << "seed=" << seed << "\n";
+  os << "schedule=" << schedule << "\n";
+  os << "backend="
+     << (backend == harness::Backend::kThreads ? "threads" : "sim") << "\n";
+  os << "mutation=" << core::to_string(mutation) << "\n";
+  os << "limit_rtd=" << limit_rtd << "\n";
+  if (omission > 0.0) os << "omission=" << omission << "\n";
+  if (packet_loss > 0.0) os << "packet_loss=" << packet_loss << "\n";
+  if (window_end_rtd >= 0.0) {
+    os << "window=" << window_start_rtd << ":" << window_end_rtd << "\n";
+  }
+  for (const auto& [p, at] : crashes) {
+    os << "crash=" << p << "@" << at << "\n";
+  }
+  for (const harness::PartitionSpec& part : partitions) {
+    os << "partition=";
+    for (std::size_t i = 0; i < part.side_a.size(); ++i) {
+      if (i > 0) os << ",";
+      os << part.side_a[i];
+    }
+    os << "@" << part.start_rtd << ":" << part.end_rtd << "\n";
+  }
+  return os.str();
+}
+
+std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
+                                            std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<CaseConfig> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  CaseConfig out;
+  bool saw_header = false;
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    std::string_view line = raw;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_header) {
+      if (line != kHeader) {
+        return fail("line 1: expected header '" + std::string(kHeader) + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("line " + std::to_string(lineno) + ": expected key=value");
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    const auto bad = [&]() {
+      return fail("line " + std::to_string(lineno) + ": bad value for '" +
+                  std::string(key) + "'");
+    };
+
+    std::int64_t i64 = 0;
+    if (key == "n") {
+      if (!parse_int(value, &i64) || i64 < 2) return bad();
+      out.n = static_cast<int>(i64);
+    } else if (key == "messages") {
+      if (!parse_int(value, &out.messages) || out.messages < 0) return bad();
+    } else if (key == "load") {
+      if (!parse_double(value, &out.load)) return bad();
+    } else if (key == "cross_dep") {
+      if (!parse_double(value, &out.cross_dep_prob)) return bad();
+    } else if (key == "seed") {
+      if (!parse_u64(value, &out.seed)) return bad();
+    } else if (key == "schedule") {
+      if (!parse_u64(value, &out.schedule)) return bad();
+    } else if (key == "backend") {
+      if (value == "sim") {
+        out.backend = harness::Backend::kSim;
+      } else if (value == "threads") {
+        out.backend = harness::Backend::kThreads;
+      } else {
+        return bad();
+      }
+    } else if (key == "mutation") {
+      if (value == "none") {
+        out.mutation = core::ProtocolMutation::kNone;
+      } else if (value == "skip-request-merge") {
+        out.mutation = core::ProtocolMutation::kSkipRequestMerge;
+      } else if (value == "ignore-one-dep") {
+        out.mutation = core::ProtocolMutation::kIgnoreOneDep;
+      } else {
+        return bad();
+      }
+    } else if (key == "limit_rtd") {
+      if (!parse_double(value, &out.limit_rtd)) return bad();
+    } else if (key == "omission") {
+      if (!parse_double(value, &out.omission)) return bad();
+    } else if (key == "packet_loss") {
+      if (!parse_double(value, &out.packet_loss)) return bad();
+    } else if (key == "window") {
+      const auto parts = split(value, ':');
+      if (parts.size() != 2 ||
+          !parse_double(parts[0], &out.window_start_rtd) ||
+          !parse_double(parts[1], &out.window_end_rtd)) {
+        return bad();
+      }
+    } else if (key == "crash") {
+      const std::size_t at_pos = value.find('@');
+      std::int64_t p = 0;
+      std::int64_t at = 0;
+      if (at_pos == std::string_view::npos ||
+          !parse_int(value.substr(0, at_pos), &p) ||
+          !parse_int(value.substr(at_pos + 1), &at)) {
+        return bad();
+      }
+      out.crashes.emplace_back(static_cast<ProcessId>(p), at);
+    } else if (key == "partition") {
+      const std::size_t at_pos = value.find('@');
+      if (at_pos == std::string_view::npos) return bad();
+      harness::PartitionSpec spec;
+      for (std::string_view member : split(value.substr(0, at_pos), ',')) {
+        std::int64_t m = 0;
+        if (!parse_int(member, &m)) return bad();
+        spec.side_a.push_back(static_cast<ProcessId>(m));
+      }
+      const auto range = split(value.substr(at_pos + 1), ':');
+      if (range.size() != 2 || !parse_double(range[0], &spec.start_rtd) ||
+          !parse_double(range[1], &spec.end_rtd)) {
+        return bad();
+      }
+      out.partitions.push_back(std::move(spec));
+    } else {
+      return fail("line " + std::to_string(lineno) + ": unknown key '" +
+                  std::string(key) + "'");
+    }
+  }
+
+  if (!saw_header) return fail("empty case: missing header");
+  for (const auto& [p, at] : out.crashes) {
+    if (p < 0 || p >= out.n) return fail("crash process out of range");
+  }
+  for (const auto& part : out.partitions) {
+    for (ProcessId m : part.side_a) {
+      if (m < 0 || m >= out.n) return fail("partition member out of range");
+    }
+  }
+  return out;
+}
+
+}  // namespace urcgc::check

@@ -1,0 +1,69 @@
+#pragma once
+// Self-contained checker cases: everything needed to reproduce one
+// explored execution — protocol size, workload volume, fault plan, the
+// (seed, schedule) pair and the backend — in a small text format that the
+// shrinker can emit and `urcgc-check --replay` can read back.
+//
+// Format (one key=value per line, '#' comments, order free):
+//
+//   urcgc-check-case-v1
+//   n=4
+//   messages=24
+//   seed=17
+//   schedule=3
+//   backend=sim
+//   mutation=none
+//   omission=0.002
+//   packet_loss=0
+//   window=0:5            # omission window in rtd; absent = open
+//   crash=1@140           # process@tick, repeatable
+//   partition=0,1@2:6     # side-A members@start_rtd:end_rtd (-1 = forever)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace urcgc::check {
+
+struct CaseConfig {
+  int n = 6;
+  std::int64_t messages = 48;
+  double load = 0.5;
+  double cross_dep_prob = 0.3;
+  std::uint64_t seed = 1;
+  std::uint64_t schedule = 0;  // sim event-order salt
+  harness::Backend backend = harness::Backend::kSim;
+  core::ProtocolMutation mutation = core::ProtocolMutation::kNone;
+
+  double omission = 0.0;
+  double packet_loss = 0.0;
+  double window_start_rtd = 0.0;
+  double window_end_rtd = -1.0;
+  std::vector<std::pair<ProcessId, Tick>> crashes;
+  std::vector<harness::PartitionSpec> partitions;
+
+  double limit_rtd = 400.0;
+
+  /// Total faults configured (shrink progress metric).
+  [[nodiscard]] std::size_t fault_count() const {
+    return crashes.size() + partitions.size() +
+           (omission > 0.0 ? 1 : 0) + (packet_loss > 0.0 ? 1 : 0);
+  }
+
+  /// True when no fault of any kind is configured — the explorer enables
+  /// the decision-fork check only then (forks are legitimate under faults).
+  [[nodiscard]] bool fault_free() const { return fault_count() == 0; }
+
+  [[nodiscard]] harness::ExperimentConfig to_experiment() const;
+
+  [[nodiscard]] std::string serialize() const;
+  /// Parses `text`; returns nullopt (with a line message in *error) on
+  /// malformed input.
+  [[nodiscard]] static std::optional<CaseConfig> parse(
+      const std::string& text, std::string* error = nullptr);
+};
+
+}  // namespace urcgc::check

@@ -1,0 +1,67 @@
+#include "check/clauses.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <sstream>
+
+namespace urcgc::check {
+
+EndStateResult validate_end_state(const causal::CausalGraph& graph,
+                                  std::span<const std::span<const Mid>> logs,
+                                  const std::vector<bool>& halted) {
+  EndStateResult result;
+  const auto n = static_cast<ProcessId>(logs.size());
+
+  result.acyclic_ok = graph.acyclic();
+  if (!result.acyclic_ok) {
+    result.violations.push_back("dependency graph contains a cycle");
+  }
+
+  result.ordering_ok = true;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (auto bad = graph.first_order_violation(logs[p])) {
+      result.ordering_ok = false;
+      std::ostringstream os;
+      os << "p" << p << " processed " << to_string(*bad)
+         << " before one of its causal predecessors";
+      result.violations.push_back(os.str());
+    }
+  }
+
+  // Uniform atomicity among survivors: every process alive at the end must
+  // have processed exactly the same message set. (Messages held only by
+  // processes that crashed are allowed to vanish — Theorem 4.1's surviving
+  // interpretation — but no survivor may have a message another survivor
+  // lacks.)
+  result.atomicity_ok = true;
+  std::vector<ProcessId> survivors;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p < static_cast<ProcessId>(halted.size()) && !halted[p]) {
+      survivors.push_back(p);
+    }
+  }
+  if (!survivors.empty()) {
+    std::set<Mid> reference(logs[survivors.front()].begin(),
+                            logs[survivors.front()].end());
+    for (std::size_t i = 1; i < survivors.size(); ++i) {
+      std::set<Mid> mine(logs[survivors[i]].begin(), logs[survivors[i]].end());
+      if (mine != reference) {
+        result.atomicity_ok = false;
+        std::vector<Mid> diff;
+        std::set_symmetric_difference(reference.begin(), reference.end(),
+                                      mine.begin(), mine.end(),
+                                      std::back_inserter(diff));
+        std::ostringstream os;
+        os << "survivors p" << survivors.front() << " and p" << survivors[i]
+           << " disagree on " << diff.size() << " message(s), first "
+           << (diff.empty() ? std::string("?") : to_string(diff.front()));
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace urcgc::check

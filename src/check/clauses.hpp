@@ -1,0 +1,44 @@
+#pragma once
+// End-state URCGC clause validation, shared between the experiment harness
+// (which checks every run it executes) and the trace oracle (src/check's
+// schedule explorer). One implementation of the paper's Section 4
+// obligations over final process state:
+//
+//  * acyclicity   — the declared dependency relation is a DAG
+//                   (Definition 3.1);
+//  * ordering     — every processing log linearizes the DAG
+//                   (Uniform Ordering, Theorem 4.2);
+//  * atomicity    — survivors hold identical processed sets
+//                   (Uniform Atomicity, Theorem 4.1, surviving reading).
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "causal/graph.hpp"
+#include "common/types.hpp"
+
+namespace urcgc::check {
+
+struct EndStateResult {
+  bool acyclic_ok = false;
+  bool ordering_ok = false;
+  bool atomicity_ok = false;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool all_ok() const {
+    return acyclic_ok && ordering_ok && atomicity_ok;
+  }
+};
+
+/// Validates the three end-state clauses. `logs[p]` is process p's
+/// processing log in processing order; `halted[p]` marks processes that
+/// left the group (halted/crashed) — they are exempt from the atomicity
+/// comparison (messages held only by the departed may vanish), but their
+/// logs must still respect causal order for as long as they ran.
+[[nodiscard]] EndStateResult validate_end_state(
+    const causal::CausalGraph& graph,
+    std::span<const std::span<const Mid>> logs,
+    const std::vector<bool>& halted);
+
+}  // namespace urcgc::check

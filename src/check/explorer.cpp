@@ -1,0 +1,183 @@
+#include "check/explorer.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "runtime/clock.hpp"
+#include "trace/trace.hpp"
+
+namespace urcgc::check {
+
+std::string CaseOutcome::first_problem() const {
+  if (!quiescent) {
+    return "liveness: the run never reached quiescence within the limit";
+  }
+  if (const Violation* v = oracle.first()) {
+    std::ostringstream os;
+    os << to_string(v->clause) << ": " << v->message;
+    return os.str();
+  }
+  if (!harness_ok) return "harness end-state validation failed";
+  return {};
+}
+
+CaseConfig generate_case(const ExplorerOptions& options, int index) {
+  // One fork per execution index: scenario #i is a pure function of
+  // (base_seed, i), independent of every other scenario.
+  Rng rng = Rng(options.base_seed).fork(0xCA5E0000ULL +
+                                        static_cast<std::uint64_t>(index));
+
+  CaseConfig config;
+  config.backend = options.backend;
+  config.mutation = options.mutation;
+  config.n = static_cast<int>(rng.uniform_range(3, 8));
+  config.messages = rng.uniform_range(24, 64);
+  config.load = 0.3 + 0.7 * rng.uniform01();
+  config.cross_dep_prob = 0.2 + 0.5 * rng.uniform01();
+  config.seed = options.base_seed + static_cast<std::uint64_t>(index);
+  // Salt 0 would mean "unperturbed FIFO"; always perturb so the explorer
+  // actually explores. Replay uses the recorded value either way.
+  config.schedule = rng() | 1;
+
+  // The paper's resilience bound: at most t = (n-1)/2 processes may fail;
+  // scenarios beyond it are not required to keep guarantees.
+  const int t = (config.n - 1) / 2;
+  const rt::RoundClock clock;  // default round_ticks matches the harness
+
+  switch (rng.uniform(4)) {
+    case 0:  // fault-free: schedule perturbation only
+      break;
+    case 1: {  // omission storm confined to an early window
+      // Rates stay inside the paper's failure-detection envelope: storms
+      // heavy enough to mimic more than t simultaneous failures would
+      // legitimately void the uniformity guarantees (like a >t partition),
+      // and the checker must not report those as protocol defects.
+      config.omission = 0.002 + 0.033 * rng.uniform01();
+      if (rng.bernoulli(0.5)) {
+        config.packet_loss = 0.002 + 0.01 * rng.uniform01();
+      }
+      config.window_start_rtd = 0.0;
+      config.window_end_rtd = 3.0 + 9.0 * rng.uniform01();
+      break;
+    }
+    case 2: {  // crash schedule, up to t victims
+      const int victims =
+          t >= 1 ? static_cast<int>(rng.uniform_range(1, t)) : 0;
+      for (int v = 0; v < victims; ++v) {
+        ProcessId p;
+        bool fresh;
+        do {
+          p = static_cast<ProcessId>(rng.uniform(
+              static_cast<std::uint64_t>(config.n)));
+          fresh = true;
+          for (const auto& [q, _] : config.crashes) fresh &= (q != p);
+        } while (!fresh);
+        const Tick at = rng.uniform_range(1, 12 * clock.ticks_per_rtd());
+        config.crashes.emplace_back(p, at);
+      }
+      break;
+    }
+    case 3: {  // healing partition: minority side <= t, always heals
+      if (t >= 1) {
+        harness::PartitionSpec spec;
+        const int side = static_cast<int>(rng.uniform_range(1, t));
+        while (static_cast<int>(spec.side_a.size()) < side) {
+          const auto p = static_cast<ProcessId>(
+              rng.uniform(static_cast<std::uint64_t>(config.n)));
+          bool fresh = true;
+          for (ProcessId q : spec.side_a) fresh &= (q != p);
+          if (fresh) spec.side_a.push_back(p);
+        }
+        spec.start_rtd = 1.0 + 3.0 * rng.uniform01();
+        spec.end_rtd = spec.start_rtd + 2.0 + 4.0 * rng.uniform01();
+        config.partitions.push_back(std::move(spec));
+      }
+      break;
+    }
+    default: break;
+  }
+  return config;
+}
+
+CaseOutcome run_case(const CaseConfig& config,
+                     trace::TraceRecorder* external) {
+  CaseOutcome outcome;
+  outcome.config = config;
+
+  trace::TraceRecorder internal({trace::EventKind::kGenerated,
+                                 trace::EventKind::kProcessed,
+                                 trace::EventKind::kDecision,
+                                 trace::EventKind::kCleaned,
+                                 trace::EventKind::kHalt,
+                                 trace::EventKind::kDiscarded});
+  trace::TraceRecorder& recorder = external != nullptr ? *external : internal;
+  harness::ExperimentConfig experiment = config.to_experiment();
+  experiment.extra_observer = &recorder;
+
+  harness::ExperimentReport report = harness::Experiment(experiment).run();
+  outcome.quiescent = report.quiescent;
+  outcome.harness_ok = report.all_ok();
+  outcome.trace_events = recorder.size();
+
+  OracleOptions oracle;
+  oracle.n = config.n;
+  // Mid-flight disagreement is legitimate if the run was cut off by the
+  // limit; the liveness verdict (quiescent flag) covers that case instead.
+  oracle.require_final_agreement = report.quiescent;
+  // Transient decision forks are legitimate whenever faults can delay or
+  // hide decisions; only fault-free runs must produce a single sequence.
+  oracle.check_decision_fork = config.fault_free();
+  outcome.oracle = check_trace(recorder.events(), oracle);
+
+  if (!report.quiescent) {
+    Violation v;
+    v.clause = Clause::kLiveness;
+    v.at = report.end_tick;
+    v.message = "run hit the simulation limit before quiescing";
+    outcome.oracle.violations.push_back(std::move(v));
+  }
+  return outcome;
+}
+
+ExplorerReport explore(const ExplorerOptions& options) {
+  ExplorerReport report;
+
+  obs::Metric m_exec{};
+  obs::Metric m_viol{};
+  obs::Metric m_quiet{};
+  obs::Metric m_events{};
+  if (options.metrics != nullptr) {
+    m_exec = options.metrics->counter("check.executions");
+    m_viol = options.metrics->counter("check.violations");
+    m_quiet = options.metrics->counter("check.quiescent");
+    m_events = options.metrics->counter("check.events_checked");
+  }
+
+  for (int i = 0; i < options.executions; ++i) {
+    const CaseConfig config = generate_case(options, i);
+    CaseOutcome outcome = run_case(config);
+    ++report.executions;
+
+    if (options.metrics != nullptr) {
+      options.metrics->add(kNoProcess, m_exec);
+      options.metrics->add(kNoProcess, m_events, outcome.oracle.events);
+      if (outcome.quiescent) options.metrics->add(kNoProcess, m_quiet);
+      if (!outcome.ok()) options.metrics->add(kNoProcess, m_viol);
+    }
+
+    if (!outcome.ok()) {
+      ++report.violations;
+      report.failures.push_back(std::move(outcome));
+    }
+    if (options.on_progress) {
+      options.on_progress(i + 1, options.executions, report.violations);
+    }
+    if (options.max_failures > 0 &&
+        report.violations >= options.max_failures) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace urcgc::check

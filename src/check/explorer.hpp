@@ -1,0 +1,82 @@
+#pragma once
+// Randomized schedule explorer: generates fault/workload scenarios from a
+// replayable (seed, schedule-id) pair, runs each through the experiment
+// harness with a trace recorder attached, and feeds the trace to the
+// invariant oracle. Every execution is identified by its CaseConfig, so a
+// failure is reproducible with `urcgc-check --replay` and shrinkable with
+// shrink_case().
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/oracle.hpp"
+#include "obs/registry.hpp"
+
+namespace urcgc::trace {
+class TraceRecorder;
+}
+
+namespace urcgc::check {
+
+struct ExplorerOptions {
+  /// Number of (seed, schedule) executions to run.
+  int executions = 100;
+  /// First seed; execution i uses seed base_seed + i.
+  std::uint64_t base_seed = 1;
+  harness::Backend backend = harness::Backend::kSim;
+  /// Defect injected into every generated case (checker self-test).
+  core::ProtocolMutation mutation = core::ProtocolMutation::kNone;
+  /// Stop after this many violating cases (0 = never stop early).
+  int max_failures = 1;
+  /// Host-shard progress counters (check.executions, check.violations,
+  /// check.quiescent, check.events_checked) land here when set.
+  obs::Registry* metrics = nullptr;
+  /// Called after every execution (progress reporting).
+  std::function<void(int done, int total, int failures)> on_progress;
+};
+
+struct CaseOutcome {
+  CaseConfig config;
+  OracleReport oracle;
+  bool quiescent = false;
+  bool harness_ok = true;  // end-state clauses, from the harness report
+  std::uint64_t trace_events = 0;
+
+  [[nodiscard]] bool ok() const {
+    return oracle.ok() && harness_ok && quiescent;
+  }
+  /// One-line description of the first problem (empty when ok()).
+  [[nodiscard]] std::string first_problem() const;
+};
+
+struct ExplorerReport {
+  int executions = 0;
+  int violations = 0;
+  std::vector<CaseOutcome> failures;
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Deterministically derives execution #index's scenario from
+/// (options.base_seed, index). Mixes four scenario families: fault-free
+/// (schedule perturbation only), omission storms, crash schedules and
+/// healing partitions — always within the paper's resilience bound
+/// t = (n-1)/2 so a correct protocol must pass.
+[[nodiscard]] CaseConfig generate_case(const ExplorerOptions& options,
+                                       int index);
+
+/// Runs one case end to end: harness run with trace capture, then the
+/// oracle over the trace. When `external` is non-null the caller's
+/// recorder is used instead of a filtered internal one, so the full event
+/// stream of a replayed case can be dumped for inspection.
+[[nodiscard]] CaseOutcome run_case(const CaseConfig& config,
+                                   trace::TraceRecorder* external = nullptr);
+
+/// The main loop: generate, run, check, collect failures.
+[[nodiscard]] ExplorerReport explore(const ExplorerOptions& options);
+
+}  // namespace urcgc::check

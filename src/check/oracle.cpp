@@ -1,0 +1,316 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace urcgc::check {
+
+namespace {
+
+using trace::EventKind;
+using trace::TraceEvent;
+
+/// Contiguous-prefix tracker for one (process, origin) sequence: `prefix`
+/// is the largest s such that seqs 1..s have all been processed.
+struct PrefixTracker {
+  Seq prefix = kNoSeq;
+  std::set<Seq> pending;
+
+  void add(Seq seq) {
+    if (seq == prefix + 1) {
+      ++prefix;
+      auto it = pending.begin();
+      while (it != pending.end() && *it == prefix + 1) {
+        ++prefix;
+        it = pending.erase(it);
+      }
+    } else if (seq > prefix) {
+      pending.insert(seq);
+    }
+  }
+};
+
+struct GeneratedInfo {
+  std::vector<Mid> deps;
+  Tick at = kNoTick;
+  std::int64_t index = -1;
+};
+
+class OracleRun {
+ public:
+  OracleRun(const std::vector<TraceEvent>& events,
+            const OracleOptions& options)
+      : events_(events), options_(options), n_(options.n) {
+    URCGC_ASSERT_MSG(n_ > 0, "OracleOptions::n must be set");
+    processed_.resize(n_);
+    prefixes_.assign(static_cast<std::size_t>(n_),
+                     std::vector<PrefixTracker>(n_));
+    halted_at_.assign(n_, kNoTick);
+    last_subrun_.assign(n_, -1);
+  }
+
+  OracleReport run() {
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(events_.size());
+         ++i) {
+      const TraceEvent& event = events_[i];
+      ++report_.events;
+      switch (event.kind) {
+        case EventKind::kGenerated: on_generated(event, i); break;
+        case EventKind::kProcessed: on_processed(event, i); break;
+        case EventKind::kDecision: on_decision(event, i); break;
+        case EventKind::kHalt:
+          if (event.process >= 0 && event.process < n_ &&
+              halted_at_[event.process] == kNoTick) {
+            halted_at_[event.process] = event.at;
+          }
+          break;
+        default: break;
+      }
+    }
+    finish();
+    return std::move(report_);
+  }
+
+ private:
+  void violate(Clause clause, std::int64_t index, Tick at, ProcessId p,
+               std::string message) {
+    // One violation per clause: the first is the actionable one, the rest
+    // are usually its cascade.
+    for (const Violation& v : report_.violations) {
+      if (v.clause == clause) return;
+    }
+    report_.violations.push_back(
+        Violation{clause, index, at, p, std::move(message)});
+  }
+
+  void on_generated(const TraceEvent& event, std::int64_t index) {
+    ++report_.generated;
+    auto [it, inserted] = generated_.try_emplace(
+        event.mid, GeneratedInfo{event.deps, event.at, index});
+    if (!inserted) {
+      std::ostringstream os;
+      os << to_string(event.mid) << " generated twice (first at tick "
+         << it->second.at << ")";
+      violate(Clause::kAtomicity, index, event.at, event.process, os.str());
+    }
+  }
+
+  void on_processed(const TraceEvent& event, std::int64_t index) {
+    ++report_.processed;
+    const ProcessId p = event.process;
+    if (p < 0 || p >= n_) return;
+
+    const auto gen = generated_.find(event.mid);
+    if (gen == generated_.end()) {
+      std::ostringstream os;
+      os << "p" << p << " processed " << to_string(event.mid)
+         << " which was never generated";
+      violate(Clause::kAtomicity, index, event.at, p, os.str());
+      return;
+    }
+
+    if (!processed_[p].insert(event.mid).second) {
+      std::ostringstream os;
+      os << "p" << p << " processed " << to_string(event.mid) << " twice";
+      violate(Clause::kAtomicity, index, event.at, p, os.str());
+      return;
+    }
+    if (event.mid.origin >= 0 && event.mid.origin < n_) {
+      prefixes_[p][event.mid.origin].add(event.mid.seq);
+    }
+    processed_at_[event.mid].emplace_back(p, event.at);
+
+    // C2: every declared dependency must already be processed here.
+    for (const Mid& dep : gen->second.deps) {
+      if (!processed_[p].contains(dep)) {
+        std::ostringstream os;
+        os << "p" << p << " processed " << to_string(event.mid)
+           << " before its dependency " << to_string(dep);
+        violate(Clause::kOrdering, index, event.at, p, os.str());
+        break;
+      }
+    }
+  }
+
+  void on_decision(const TraceEvent& event, std::int64_t index) {
+    ++report_.decisions;
+    const ProcessId c = event.process;
+
+    // C4a: a coordinator's decisions carry strictly increasing subruns.
+    if (c >= 0 && c < n_) {
+      if (event.subrun <= last_subrun_[c]) {
+        std::ostringstream os;
+        os << "coordinator p" << c << " decided subrun " << event.subrun
+           << " after already deciding subrun " << last_subrun_[c];
+        violate(Clause::kDecisionSequence, index, event.at, c, os.str());
+      }
+      last_subrun_[c] = std::max(last_subrun_[c], event.subrun);
+    }
+
+    // C4b (optional, fault-free runs): all decisions for one subrun agree.
+    if (options_.check_decision_fork) {
+      auto [it, inserted] = decisions_by_subrun_.try_emplace(
+          event.subrun, DecisionSnapshot{event.process, event.full_group,
+                                         event.alive_mask, event.clean_upto});
+      if (!inserted) {
+        const DecisionSnapshot& first = it->second;
+        if (first.alive != event.alive_mask ||
+            first.full_group != event.full_group ||
+            first.clean_upto != event.clean_upto) {
+          std::ostringstream os;
+          os << "subrun " << event.subrun << " decided differently by p"
+             << first.coordinator << " and p" << c
+             << " (forked decision sequence)";
+          violate(Clause::kDecisionSequence, index, event.at, c, os.str());
+        }
+      }
+    }
+
+    // C3: a full-group cleaning point never passes the contiguous prefix
+    // of any process the decision still counts alive. Their stability
+    // reports (and so their kProcessed events) precede this decision in
+    // trace order, so the scan state is a sound lower bound.
+    if (!event.full_group || event.clean_upto.empty()) return;
+    const auto n_mask = static_cast<ProcessId>(event.alive_mask.size());
+    for (ProcessId q = 0; q < n_ && q < n_mask; ++q) {
+      if (!event.alive_mask[q]) continue;
+      if (halted_at_[q] != kNoTick) continue;  // departed: exempt
+      for (ProcessId j = 0;
+           j < n_ && j < static_cast<ProcessId>(event.clean_upto.size());
+           ++j) {
+        const Seq upto = event.clean_upto[j];
+        if (upto == kNoSeq) continue;
+        if (prefixes_[q][j].prefix < upto) {
+          std::ostringstream os;
+          os << "subrun " << event.subrun << " decision by p" << event.process
+             << " cleans p" << j << "'s sequence up to seq " << upto
+             << " but alive p" << q << " has only processed a contiguous"
+             << " prefix of " << prefixes_[q][j].prefix;
+          violate(Clause::kStability, index, event.at, event.process,
+                  os.str());
+          return;
+        }
+      }
+    }
+  }
+
+  void finish() {
+    const Tick end_tick = events_.empty() ? 0 : events_.back().at;
+    std::vector<ProcessId> survivors;
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (halted_at_[p] == kNoTick) survivors.push_back(p);
+    }
+
+    // C1 final agreement: survivors end with identical processed sets.
+    if (options_.require_final_agreement && survivors.size() > 1) {
+      const auto& reference = processed_[survivors.front()];
+      for (std::size_t i = 1; i < survivors.size(); ++i) {
+        const auto& mine = processed_[survivors[i]];
+        if (mine == reference) continue;
+        // Name one concrete divergence for the report.
+        Mid example{};
+        for (const Mid& mid : reference) {
+          if (!mine.contains(mid)) { example = mid; break; }
+        }
+        if (example == Mid{}) {
+          for (const Mid& mid : mine) {
+            if (!reference.contains(mid)) { example = mid; break; }
+          }
+        }
+        std::ostringstream os;
+        os << "survivors p" << survivors.front() << " and p" << survivors[i]
+           << " disagree on their final processed sets ("
+           << reference.size() << " vs " << mine.size() << " messages, e.g. "
+           << to_string(example) << ")";
+        violate(Clause::kAtomicity, -1, end_tick, survivors[i], os.str());
+        break;
+      }
+    }
+
+    // C1 bounded time: messages generated early enough must reach every
+    // survivor within the bound.
+    if (options_.atomicity_bound_ticks > 0) {
+      for (const auto& [mid, info] : generated_) {
+        const Tick deadline = info.at + options_.atomicity_bound_ticks;
+        if (deadline > end_tick) continue;  // bound not yet observable
+        for (ProcessId p : survivors) {
+          Tick processed_tick = kNoTick;
+          auto it = processed_at_.find(mid);
+          if (it != processed_at_.end()) {
+            for (const auto& [q, at] : it->second) {
+              if (q == p) { processed_tick = at; break; }
+            }
+          }
+          if (processed_tick == kNoTick || processed_tick > deadline) {
+            std::ostringstream os;
+            os << to_string(mid) << " generated at tick " << info.at
+               << " was not processed by survivor p" << p << " within "
+               << options_.atomicity_bound_ticks << " ticks";
+            violate(Clause::kAtomicity, info.index, info.at, p, os.str());
+            return;
+          }
+        }
+      }
+    }
+  }
+
+  struct DecisionSnapshot {
+    ProcessId coordinator = kNoProcess;
+    bool full_group = false;
+    std::vector<bool> alive;
+    std::vector<Seq> clean_upto;
+  };
+
+  const std::vector<TraceEvent>& events_;
+  const OracleOptions& options_;
+  const ProcessId n_;
+  OracleReport report_;
+
+  std::unordered_map<Mid, GeneratedInfo> generated_;
+  std::unordered_map<Mid, std::vector<std::pair<ProcessId, Tick>>>
+      processed_at_;
+  std::vector<std::unordered_set<Mid>> processed_;
+  std::vector<std::vector<PrefixTracker>> prefixes_;  // [process][origin]
+  std::vector<Tick> halted_at_;
+  std::vector<SubrunId> last_subrun_;
+  std::unordered_map<SubrunId, DecisionSnapshot> decisions_by_subrun_;
+};
+
+}  // namespace
+
+std::string_view to_string(Clause clause) {
+  switch (clause) {
+    case Clause::kAtomicity: return "atomicity";
+    case Clause::kOrdering: return "ordering";
+    case Clause::kStability: return "stability";
+    case Clause::kDecisionSequence: return "decision-sequence";
+    case Clause::kLiveness: return "liveness";
+  }
+  return "?";
+}
+
+const Violation* OracleReport::first() const {
+  const Violation* best = nullptr;
+  for (const Violation& v : violations) {
+    if (best == nullptr) { best = &v; continue; }
+    const auto key = [](const Violation& x) {
+      return x.event_index < 0 ? std::numeric_limits<std::int64_t>::max()
+                               : x.event_index;
+    };
+    if (key(v) < key(*best)) best = &v;
+  }
+  return best;
+}
+
+OracleReport check_trace(const std::vector<trace::TraceEvent>& events,
+                         const OracleOptions& options) {
+  return OracleRun(events, options).run();
+}
+
+}  // namespace urcgc::check

@@ -1,0 +1,97 @@
+#pragma once
+// Trace-based invariant oracle: consumes a recorded execution (the event
+// stream captured by trace::TraceRecorder) and mechanically checks each
+// URCGC correctness clause, reporting the first violating event with full
+// context. The clauses mirror paper Section 4:
+//
+//  C1 uniform atomicity  — Theorem 4.1: every message is processed at most
+//     once per process; survivors end with identical processed sets (only
+//     enforced when the run reached quiescence); optionally, every message
+//     generated early enough must be processed by every survivor within a
+//     bounded number of ticks (Lemma 4.1's bounded stabilization).
+//  C2 uniform ordering   — Theorem 4.2: a process never processes a message
+//     before all of the message's declared dependencies.
+//  C3 stability          — Lemma 4.2: a full-group decision's clean_upto
+//     never passes the contiguous processed prefix of any process it still
+//     counts as alive (histories are only cleaned below true stability).
+//  C4 decision sequence  — Section 4.1's agreement: each coordinator's
+//     decisions carry strictly increasing subruns; optionally (fault-free
+//     runs only, where transient forks cannot occur) all decisions for one
+//     subrun must agree on membership and cleaning point.
+//
+// The oracle scans the trace in recorded order. On the sim backend that is
+// exact virtual-time order; on the threaded backend the recorder's mutex
+// serializes callbacks, and the protocol's round barriers guarantee the
+// cross-process orderings the clauses rely on (generation precedes
+// processing; reports precede the decisions they feed).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/trace.hpp"
+
+namespace urcgc::check {
+
+enum class Clause : std::uint8_t {
+  kAtomicity,         // C1
+  kOrdering,          // C2
+  kStability,         // C3
+  kDecisionSequence,  // C4
+  kLiveness,          // run never quiesced (explorer-level, no trace event)
+};
+
+[[nodiscard]] std::string_view to_string(Clause clause);
+
+struct Violation {
+  Clause clause = Clause::kAtomicity;
+  /// Index of the violating event in the input trace; -1 when the clause is
+  /// checked over the whole run rather than at one event (e.g. a message a
+  /// survivor never processed, or a liveness failure).
+  std::int64_t event_index = -1;
+  Tick at = kNoTick;
+  ProcessId process = kNoProcess;
+  std::string message;  // human-readable context
+};
+
+struct OracleOptions {
+  /// Group cardinality; the trace does not carry it.
+  int n = 0;
+  /// Enforce survivor set-equality at end of trace (C1). Enable only when
+  /// the run reached quiescence plus grace — mid-flight disagreement is
+  /// legitimate.
+  bool require_final_agreement = true;
+  /// When > 0: every message generated at t with t + bound <= trace end
+  /// must be processed by every survivor no later than t + bound (C1's
+  /// bounded-time half). 0 disables.
+  Tick atomicity_bound_ticks = 0;
+  /// Enforce same-subrun decision equality (C4's fork check). Transient
+  /// forks are legitimate under faults and partitions, so explorers enable
+  /// this for fault-free cases only.
+  bool check_decision_fork = false;
+};
+
+struct OracleReport {
+  std::vector<Violation> violations;
+  /// Stops at the first violation per clause; counts below summarize what
+  /// was actually checked.
+  std::uint64_t events = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t decisions = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// First violation in trace order (by event_index; whole-run violations
+  /// sort last), or nullopt.
+  [[nodiscard]] const Violation* first() const;
+};
+
+/// Runs every clause over `events` (a TraceRecorder's log, in recorded
+/// order, containing at least kGenerated/kProcessed/kDecision/kHalt).
+[[nodiscard]] OracleReport check_trace(
+    const std::vector<trace::TraceEvent>& events,
+    const OracleOptions& options);
+
+}  // namespace urcgc::check

@@ -1,0 +1,42 @@
+#pragma once
+// Automatic repro minimization: given a violating case, greedily shrink n,
+// the offered message count and the fault plan, re-running the oracle after
+// every candidate and keeping any candidate that still fails. The result is
+// a minimal self-contained CaseConfig suitable for --replay and for filing.
+
+#include <functional>
+
+#include "check/explorer.hpp"
+
+namespace urcgc::check {
+
+struct ShrinkOptions {
+  /// Maximum candidate executions the shrinker may spend.
+  int max_evaluations = 200;
+  /// Smallest group size to try (the protocol needs n >= 2).
+  int min_n = 2;
+  /// Structural shrinks perturb the interleaving, so a candidate that
+  /// passes under the inherited schedule salt is retried under this many
+  /// derived salts before the shrink is rejected (0 disables reseeding).
+  int reseed_attempts = 6;
+  /// Called after every evaluation (progress reporting).
+  std::function<void(int evals, const CaseConfig& best)> on_step;
+};
+
+struct ShrinkResult {
+  CaseConfig minimal;
+  CaseOutcome outcome;  // the minimal case's (still failing) outcome
+  int evaluations = 0;
+  /// Where shrinking started, for before/after reporting.
+  int initial_n = 0;
+  std::int64_t initial_messages = 0;
+  std::size_t initial_faults = 0;
+};
+
+/// Shrinks `failing` (whose run_case outcome must be !ok()). Returns the
+/// smallest still-failing case found within the budget; if nothing smaller
+/// still fails, returns `failing` itself.
+[[nodiscard]] ShrinkResult shrink_case(const CaseConfig& failing,
+                                       const ShrinkOptions& options = {});
+
+}  // namespace urcgc::check

@@ -36,6 +36,32 @@ enum class GroupStructure {
   kClientServer,
 };
 
+/// Deliberate protocol defects for checker self-tests (src/check): the
+/// schedule explorer must *catch* these, so each one breaks exactly one
+/// clause of the correctness argument while leaving the rest of the
+/// protocol intact. kNone in all real runs.
+enum class ProtocolMutation : std::uint8_t {
+  kNone,
+  /// Coordinator skips merging the final live REQUEST into the stability
+  /// accumulator (but still marks its sender heard) — clean_upto can pass
+  /// a message that sender never processed, breaking history/stability
+  /// consistency (paper Lemma 4.2).
+  kSkipRequestMerge,
+  /// Receiver drops the last declared dependency of every incoming
+  /// application message — messages can be processed before their causes,
+  /// breaking uniform ordering (paper Theorem 4.2).
+  kIgnoreOneDep,
+};
+
+[[nodiscard]] constexpr const char* to_string(ProtocolMutation m) {
+  switch (m) {
+    case ProtocolMutation::kNone: return "none";
+    case ProtocolMutation::kSkipRequestMerge: return "skip-request-merge";
+    case ProtocolMutation::kIgnoreOneDep: return "ignore-one-dep";
+  }
+  return "?";
+}
+
 struct Config {
   /// Initial group cardinality n.
   int n = 10;
@@ -66,6 +92,18 @@ struct Config {
   /// TotalOrderAdapter (urgc-companion totally ordered delivery). Costs
   /// ~4n bytes per boundary kept in every decision.
   bool track_stability_boundaries = false;
+
+  /// Deliberate defect injected for checker self-tests; kNone otherwise.
+  ProtocolMutation mutation = ProtocolMutation::kNone;
+
+  /// Require a majority quorum (of the original group) among the subrun's
+  /// reporters before a coordinator may cut a silent member. The paper's
+  /// fail-stop model cuts unconditionally after K attempts (and Figure 5
+  /// runs crash storms past the majority line, so that stays the default);
+  /// deployments whose fault envelope includes network partitions need the
+  /// quorum, or a minority component cuts the silent majority and the two
+  /// sides split-brain — each rejecting the other as dead after a heal.
+  bool quorum_cuts = false;
 
   GroupStructure structure = GroupStructure::kPeer;
   /// Number of server processes (ids [0, server_count)) for the

@@ -44,14 +44,25 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
     live_requests.push_back(&rq);
   }
 
-  // Attempts accounting and crash declaration.
+  // Attempts accounting and crash declaration. Under quorum_cuts a member
+  // may only be cut when this subrun's reports span a majority of the
+  // original group: a coordinator that heard fewer may itself sit in a
+  // minority partition, and letting it cut the silent majority produces
+  // two components that have each declared the other dead — a split brain
+  // no heal can merge. Attempts still accumulate, so a quorum-backed
+  // coordinator cuts the moment one exists again. Without the flag cuts
+  // are unconditional after K attempts, the paper's fail-stop behavior
+  // (its Figure 5 crash storms run past the majority line).
+  int heard_count = 0;
+  for (const bool h : heard_now) heard_count += h ? 1 : 0;
+  const bool may_cut = !inputs.quorum_cuts || heard_count >= n / 2 + 1;
   for (ProcessId q = 0; q < n; ++q) {
     if (!d.alive[q]) continue;
     if (heard_now[q]) {
       d.attempts[q] = 0;
     } else {
       if (d.attempts[q] < 255) ++d.attempts[q];
-      if (d.attempts[q] >= inputs.k_attempts) {
+      if (d.attempts[q] >= inputs.k_attempts && may_cut) {
         d.alive[q] = false;  // removed from the group: declared crashed
       }
     }
@@ -62,7 +73,28 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
   // contributor yet, the first one seeds the vector.
   bool window_had_contributor =
       std::any_of(d.heard.begin(), d.heard.end(), [](bool h) { return h; });
+  // kSkipRequestMerge (checker self-test defect): the least-advanced live
+  // request is marked heard without folding its last_processed into the
+  // minimum, so stability can be declared past a point that sender never
+  // reached whenever the group has any processing spread.
+  const Request* skipped = nullptr;
+  if (inputs.mutation == ProtocolMutation::kSkipRequestMerge &&
+      live_requests.size() > 1) {
+    skipped = live_requests.front();
+    auto progress = [n](const Request* rq) {
+      Seq sum = 0;
+      for (ProcessId j = 0; j < n; ++j) sum += rq->last_processed[j];
+      return sum;
+    };
+    for (const Request* rq : live_requests) {
+      if (progress(rq) < progress(skipped)) skipped = rq;
+    }
+  }
   for (const Request* rq : live_requests) {
+    if (rq == skipped) {
+      d.heard[rq->from] = true;
+      continue;
+    }
     if (!window_had_contributor) {
       d.stable_acc = rq->last_processed;
       window_had_contributor = true;

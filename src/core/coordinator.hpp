@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/pdu.hpp"
 
 namespace urcgc::core {
@@ -22,6 +23,9 @@ struct CoordinatorInputs {
   int k_attempts = 3;
   /// Maintain the stability-boundary window (total-order support).
   bool track_boundaries = false;
+  /// Cuts require this subrun's reporters to span a majority of the
+  /// original group (Config::quorum_cuts).
+  bool quorum_cuts = false;
   /// Requests received this subrun, including the coordinator's own.
   /// Requests from processes the base decision marks dead are ignored
   /// (they are expected to commit suicide, not to rejoin).
@@ -29,6 +33,9 @@ struct CoordinatorInputs {
   /// Freshest decision known: the max over the coordinator's own copy and
   /// every request's embedded prev_decision.
   Decision base;
+  /// Checker self-test defect (kSkipRequestMerge applies here); kNone
+  /// in real runs.
+  ProtocolMutation mutation = ProtocolMutation::kNone;
 };
 
 /// Computes the subrun's decision:

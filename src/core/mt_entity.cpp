@@ -99,7 +99,14 @@ std::size_t MtEntity::clean(const std::vector<Seq>& clean_upto) {
   for (ProcessId j = 0; j < config_.n; ++j) {
     if (clean_upto[j] == kNoSeq) continue;
     // Cleaning a message we have not processed would violate the stability
-    // invariant (our own report bounds the group minimum).
+    // invariant (our own report bounds the group minimum). When a deliberate
+    // protocol mutation is active the faulty decision must survive as an
+    // observable trace violation for the checker, so clamp instead of abort.
+    if (config_.mutation != ProtocolMutation::kNone) {
+      purged += history_.purge_upto(j, std::min(clean_upto[j],
+                                                processed_[j].prefix()));
+      continue;
+    }
     URCGC_ASSERT_MSG(clean_upto[j] <= processed_[j].prefix(),
                      "cleaning point beyond local processed prefix");
     purged += history_.purge_upto(j, clean_upto[j]);

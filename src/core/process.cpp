@@ -256,6 +256,8 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
   inputs.coordinator = self_;
   inputs.k_attempts = config_.k_attempts;
   inputs.track_boundaries = config_.track_stability_boundaries;
+  inputs.quorum_cuts = config_.quorum_cuts;
+  inputs.mutation = config_.mutation;
 
   // Freshest decision circulating: our own copy or one embedded in a
   // request (resilience t=(n-1)/2 guarantees at least one fresh copy).
@@ -397,6 +399,19 @@ void UrcgcProcess::issue_recoveries() {
 }
 
 void UrcgcProcess::handle_request(Request rq) {
+  if (!latest_.alive[rq.from]) {
+    // A member the group cut is no longer part of any quorum. Merging a
+    // zombie's request (a partitioned member keeps transmitting until the
+    // heal lets it learn of its own death) would advance max_processed for
+    // dead origins past the decided cut, re-legitimizing orphan messages
+    // that only other zombies can serve — a permanent history split.
+    ++counters_.requests_dropped;
+    bump(m_.requests_dropped);
+    if (observer_ != nullptr) {
+      observer_->on_request_dropped(self_, rq.from, rq.subrun, rt_.now());
+    }
+    return;
+  }
   if (rq.subrun != inbox_subrun_) {
     // Late or early: the inbox window for that subrun is closed (or never
     // opened here). Each drop silently shrinks a decision quorum, so it is
@@ -421,13 +436,35 @@ void UrcgcProcess::handle_recover_rq(const RecoverRq& rq) {
 
 void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
   for (const AppMessage& msg : rsp.messages) {
+    if (drop_if_zombie(msg)) continue;
     mt_.submit(msg, rt_.now());
   }
 }
 
+bool UrcgcProcess::from_zombie(const Mid& mid) const {
+  return !latest_.alive[mid.origin] &&
+         mid.seq > latest_.max_processed[mid.origin];
+}
+
+bool UrcgcProcess::drop_if_zombie(const AppMessage& msg) {
+  // The paper's failure model assumes a dead process sends nothing, so the
+  // orphan cut only handles gaps in the waiting list. A partitioned member
+  // that the majority cut keeps transmitting until it learns of its own
+  // death (heal -> suicide); its post-cut messages arrive gap-free and
+  // would silently extend some survivors' histories past the decided
+  // point — a permanent uniformity split, since decisions never advertise
+  // a dead origin's sequence beyond the cut. Refuse them at the door.
+  if (!from_zombie(msg.mid)) return false;
+  ++counters_.orphans_discarded;
+  bump(m_.orphans_discarded);
+  if (observer_ != nullptr) {
+    observer_->on_discarded(self_, msg.mid, rt_.now());
+  }
+  return true;
+}
+
 void UrcgcProcess::on_datagram(ProcessId src,
                                std::span<const std::uint8_t> bytes) {
-  (void)src;
   if (halted_) return;
   if (faults_.is_crashed(self_, rt_.now())) {
     halt(HaltReason::kCrashFault);
@@ -441,13 +478,27 @@ void UrcgcProcess::on_datagram(ProcessId src,
     return;
   }
   std::visit(
-      [this](auto&& payload) {
+      [this, src](auto&& payload) {
         using T = std::decay_t<decltype(payload)>;
         if constexpr (std::is_same_v<T, AppMessage>) {
-          mt_.submit(payload, rt_.now());
+          // kIgnoreOneDep (checker self-test defect): forget the last
+          // declared dependency, so this copy may be processed before one
+          // of its causes.
+          if (config_.mutation == ProtocolMutation::kIgnoreOneDep &&
+              !payload.deps.empty()) {
+            payload.deps.pop_back();
+          }
+          if (!drop_if_zombie(payload)) mt_.submit(payload, rt_.now());
         } else if constexpr (std::is_same_v<T, Request>) {
           handle_request(std::move(payload));
         } else if constexpr (std::is_same_v<T, Decision>) {
+          // Decisions travel straight from their coordinator, so `src`
+          // names it. A cut member acting on its stale group view (e.g.
+          // a healed minority that has not yet learned of its own death)
+          // can coordinate a higher-numbered subrun that resurrects dead
+          // members and re-advertises their post-cut progress; applying
+          // it would steer recovery toward zombies and fork the history.
+          if (!latest_.alive[src]) return;
           apply_decision(payload);
         } else if constexpr (std::is_same_v<T, RecoverRq>) {
           handle_recover_rq(payload);

@@ -135,6 +135,12 @@ class UrcgcProcess {
   void handle_recover_rq(const RecoverRq& rq);
   void handle_recover_rsp(const RecoverRsp& rsp);
 
+  /// True when `mid` is new traffic from a member the latest decision
+  /// declares dead — a zombie message that must not enter the history.
+  [[nodiscard]] bool from_zombie(const Mid& mid) const;
+  /// Drops a zombie message with accounting; returns true when dropped.
+  bool drop_if_zombie(const AppMessage& msg);
+
   void halt(HaltReason reason);
   void send_pdu(ProcessId dst, wire::SharedBuffer bytes, stats::MsgClass cls);
   /// Serializes once; the endpoint/subnet share `bytes` across the fan-out.

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "causal/graph.hpp"
+#include "check/clauses.hpp"
 #include "common/assert.hpp"
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
@@ -146,6 +147,15 @@ ExperimentReport Experiment::run() {
   plan.uniform_omissions(config_.faults.omission_prob);
   plan.packet_loss(config_.faults.packet_loss);
   for (const auto& [p, at] : config_.faults.crashes) plan.crash(p, at);
+  for (const PartitionSpec& spec : config_.faults.partitions) {
+    const auto start = static_cast<Tick>(
+        spec.start_rtd * static_cast<double>(per_rtd));
+    const Tick end =
+        spec.end_rtd < 0.0
+            ? kNoTick
+            : static_cast<Tick>(spec.end_rtd * static_cast<double>(per_rtd));
+    plan.partition(spec.side_a, start, end);
+  }
   if (config_.faults.window_end_rtd >= 0.0) {
     plan.fault_window(
         static_cast<Tick>(config_.faults.window_start_rtd *
@@ -180,7 +190,9 @@ ExperimentReport Experiment::run() {
     tc.metrics = config_.metrics;
     runtime = std::make_unique<rt::ThreadedRuntime>(tc);
   } else {
-    runtime = std::make_unique<sim::Simulation>(clock);
+    auto sim = std::make_unique<sim::Simulation>(clock);
+    sim->set_schedule_salt(config_.schedule_salt);
+    runtime = std::move(sim);
   }
   rt::Runtime& rt = *runtime;
   net::NetConfig net_config = config_.net;
@@ -363,54 +375,22 @@ ExperimentReport Experiment::run() {
   }
 
   // --- URCGC clause validation ------------------------------------------
-  report.acyclic_ok = recorder.graph_.acyclic();
-  if (!report.acyclic_ok) {
-    report.violations.push_back("dependency graph contains a cycle");
+  // Shared with the trace oracle (src/check): one implementation of the
+  // end-state clauses for every consumer.
+  std::vector<std::span<const Mid>> logs;
+  std::vector<bool> halted;
+  logs.reserve(n);
+  halted.reserve(n);
+  for (const auto& process : processes) {
+    logs.emplace_back(process->mt().processing_log());
+    halted.push_back(process->halted());
   }
-
-  report.ordering_ok = true;
-  for (ProcessId p = 0; p < n; ++p) {
-    const auto& log = processes[p]->mt().processing_log();
-    if (auto bad = recorder.graph_.first_order_violation(log)) {
-      report.ordering_ok = false;
-      std::ostringstream os;
-      os << "p" << p << " processed " << to_string(*bad)
-         << " before one of its causal predecessors";
-      report.violations.push_back(os.str());
-    }
-  }
-
-  // Uniform atomicity among survivors: every process alive at the end must
-  // have processed exactly the same message set. (Messages held only by
-  // processes that crashed are allowed to vanish — Theorem 4.1's surviving
-  // interpretation — but no survivor may have a message another survivor
-  // lacks.)
-  report.atomicity_ok = true;
-  std::vector<ProcessId> survivors;
-  for (ProcessId p = 0; p < n; ++p) {
-    if (!processes[p]->halted()) survivors.push_back(p);
-  }
-  if (!survivors.empty()) {
-    std::set<Mid> reference(
-        processes[survivors.front()]->mt().processing_log().begin(),
-        processes[survivors.front()]->mt().processing_log().end());
-    for (std::size_t i = 1; i < survivors.size(); ++i) {
-      const auto& log = processes[survivors[i]]->mt().processing_log();
-      std::set<Mid> mine(log.begin(), log.end());
-      if (mine != reference) {
-        report.atomicity_ok = false;
-        std::vector<Mid> diff;
-        std::set_symmetric_difference(reference.begin(), reference.end(),
-                                      mine.begin(), mine.end(),
-                                      std::back_inserter(diff));
-        std::ostringstream os;
-        os << "survivors p" << survivors.front() << " and p" << survivors[i]
-           << " disagree on " << diff.size() << " message(s), first "
-           << (diff.empty() ? std::string("?") : to_string(diff.front()));
-        report.violations.push_back(os.str());
-      }
-    }
-  }
+  check::EndStateResult end_state =
+      check::validate_end_state(recorder.graph_, logs, halted);
+  report.acyclic_ok = end_state.acyclic_ok;
+  report.ordering_ok = end_state.ordering_ok;
+  report.atomicity_ok = end_state.atomicity_ok;
+  report.violations = std::move(end_state.violations);
 
   return report;
 }

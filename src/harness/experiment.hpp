@@ -26,10 +26,23 @@
 
 namespace urcgc::harness {
 
+/// Declarative network partition, in rtd units. Processes in `side_a` are
+/// cut off from everyone else during [start_rtd, end_rtd); end_rtd < 0
+/// means the partition never heals.
+struct PartitionSpec {
+  std::vector<ProcessId> side_a;
+  double start_rtd = 0.0;
+  double end_rtd = -1.0;
+};
+
 /// Declarative fault scenario, translated into a fault::FaultPlan.
 struct FaultSpec {
   /// Explicit crash schedule.
   std::vector<std::pair<ProcessId, Tick>> crashes;
+
+  /// Network partitions (checked on both the send and the delivery path,
+  /// so in-flight packets are severed too).
+  std::vector<PartitionSpec> partitions;
 
   /// Uniform send+receive omission probability on every process.
   double omission_prob = 0.0;
@@ -91,6 +104,11 @@ struct ExperimentConfig {
   /// and final cleanings settle.
   int grace_subruns = 8;
   std::uint64_t seed = 1;
+  /// Same-tick event-order perturbation on the sim backend (see
+  /// sim::EventQueue::set_tiebreak_salt); 0 = plain FIFO. Ignored on
+  /// kThreads, whose interleaving is inherently scheduler-driven. The
+  /// schedule explorer sweeps (seed, schedule_salt) pairs.
+  std::uint64_t schedule_salt = 0;
 };
 
 struct DecisionEvent {

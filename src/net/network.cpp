@@ -89,8 +89,13 @@ void Network::send_copy(ProcessId src, ProcessId dst,
   Packet packet{src, dst, sent_at, std::move(payload)};
   rt_.post(dst, latency, [this, p = std::move(packet)]() mutable {
     // A destination that crashed while the packet was in flight never sees
-    // it (the NIC of a fail-stop process is dead).
-    if (faults_.is_crashed(p.dst, rt_.now())) {
+    // it (the NIC of a fail-stop process is dead). Likewise a partition
+    // that activated while the packet was in flight severs it: the paper's
+    // partitions cut links, not just send attempts, and this check is what
+    // makes ThreadedRuntime (whose deliveries run long after the send-time
+    // check) honor Partition::active() at all.
+    if (faults_.is_crashed(p.dst, rt_.now()) ||
+        faults_.partitioned(p.src, p.dst, rt_.now())) {
       {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.packets_dropped;

@@ -6,7 +6,13 @@ namespace urcgc::sim {
 
 void EventQueue::schedule(Tick at, EventFn fn, int priority) {
   URCGC_ASSERT_MSG(at >= last_popped_, "scheduling into the past");
-  heap_.push(Entry{at, priority, next_order_++, std::move(fn)});
+  const std::uint64_t order = next_order_++;
+  std::uint64_t key = order;
+  if (salt_ != 0) {
+    std::uint64_t mix = order ^ salt_;
+    key = splitmix64(mix);
+  }
+  heap_.push(Entry{at, priority, key, order, std::move(fn)});
 }
 
 Tick EventQueue::next_time() const {

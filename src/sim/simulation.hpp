@@ -35,6 +35,16 @@ class Simulation final : public rt::Runtime {
   /// tests and fault scripts use it to pin events to exact virtual times.
   void at(Tick when, EventFn fn) { queue_.schedule(when, std::move(fn)); }
 
+  /// Perturbs same-tick event ordering deterministically (see
+  /// EventQueue::set_tiebreak_salt). 0 = plain FIFO. Call before running;
+  /// the schedule explorer sweeps this to probe interleaving sensitivity.
+  void set_schedule_salt(std::uint64_t salt) {
+    queue_.set_tiebreak_salt(salt);
+  }
+  [[nodiscard]] std::uint64_t schedule_salt() const {
+    return queue_.tiebreak_salt();
+  }
+
   /// Schedules fn `delay` ticks from now; ownership is irrelevant on the
   /// single-threaded kernel.
   using rt::Runtime::after;

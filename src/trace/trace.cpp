@@ -57,7 +57,8 @@ void TraceRecorder::on_generated(ProcessId p, const core::AppMessage& msg,
   event.kind = EventKind::kGenerated;
   event.process = p;
   event.mid = msg.mid;
-  record(event);
+  event.deps = msg.deps;
+  record(std::move(event));
 }
 
 void TraceRecorder::on_processed(ProcessId p, const core::AppMessage& msg,
@@ -90,7 +91,10 @@ void TraceRecorder::on_decision_made(ProcessId coordinator,
   event.subrun = d.decided_at;
   event.full_group = d.full_group;
   event.alive = d.alive_count();
-  record(event);
+  if (d.full_group) event.clean_upto = d.clean_upto;
+  event.max_processed = d.max_processed;
+  event.alive_mask = d.alive;
+  record(std::move(event));
 }
 
 void TraceRecorder::on_history_cleaned(ProcessId p, std::size_t purged,
@@ -169,6 +173,15 @@ void TraceRecorder::write_jsonl(std::ostream& os) const {
       case EventKind::kDiscarded:
         os << ",\"origin\":" << event.mid.origin
            << ",\"seq\":" << event.mid.seq;
+        if (event.kind == EventKind::kGenerated && !event.deps.empty()) {
+          os << ",\"deps\":[";
+          for (std::size_t i = 0; i < event.deps.size(); ++i) {
+            if (i > 0) os << ",";
+            os << "[" << event.deps[i].origin << "," << event.deps[i].seq
+               << "]";
+          }
+          os << "]";
+        }
         break;
       case EventKind::kSent:
         os << ",\"class\":\"" << stats::to_string(event.msg_class)
@@ -178,6 +191,30 @@ void TraceRecorder::write_jsonl(std::ostream& os) const {
         os << ",\"subrun\":" << event.subrun << ",\"full_group\":"
            << (event.full_group ? "true" : "false")
            << ",\"alive\":" << event.alive;
+        if (!event.clean_upto.empty()) {
+          os << ",\"clean_upto\":[";
+          for (std::size_t i = 0; i < event.clean_upto.size(); ++i) {
+            if (i > 0) os << ",";
+            os << event.clean_upto[i];
+          }
+          os << "]";
+        }
+        if (!event.max_processed.empty()) {
+          os << ",\"max_processed\":[";
+          for (std::size_t i = 0; i < event.max_processed.size(); ++i) {
+            if (i > 0) os << ",";
+            os << event.max_processed[i];
+          }
+          os << "]";
+        }
+        if (!event.alive_mask.empty()) {
+          os << ",\"alive_mask\":[";
+          for (std::size_t i = 0; i < event.alive_mask.size(); ++i) {
+            if (i > 0) os << ",";
+            os << (event.alive_mask[i] ? 1 : 0);
+          }
+          os << "]";
+        }
         break;
       case EventKind::kCleaned:
         os << ",\"purged\":" << event.bytes;

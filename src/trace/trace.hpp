@@ -48,6 +48,16 @@ struct TraceEvent {
   SubrunId subrun = -1;                   // decision
   bool full_group = false;                // decision
   int alive = 0;                          // decision
+
+  // Checker payloads (src/check): the declared causal dependencies of a
+  // generated message, and the decision's cleaning point + membership
+  // mask. Empty for every other kind, so the common event stays light.
+  std::vector<Mid> deps;                  // generated
+  std::vector<Seq> clean_upto;            // decision (full_group only)
+  std::vector<Seq> max_processed;         // decision
+  std::vector<bool> alive_mask;           // decision
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 class TraceRecorder final : public core::Observer {

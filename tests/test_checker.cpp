@@ -1,0 +1,479 @@
+// The checker checked: hand-built violating traces prove each oracle
+// clause detector fires (and stays quiet on clean traces), the case format
+// round-trips, the shrinker converges on a seeded known-bad plan, and —
+// the acceptance demonstration — a deliberately mutated protocol is caught
+// by the explorer and shrunk to a small self-contained repro.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/case.hpp"
+#include "check/clauses.hpp"
+#include "check/explorer.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+#include "obs/registry.hpp"
+
+namespace urcgc::check {
+namespace {
+
+using trace::EventKind;
+using trace::TraceEvent;
+
+TraceEvent generated(Tick at, ProcessId p, Mid mid,
+                     std::vector<Mid> deps = {}) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kGenerated;
+  e.process = p;
+  e.mid = mid;
+  e.deps = std::move(deps);
+  return e;
+}
+
+TraceEvent processed(Tick at, ProcessId p, Mid mid) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kProcessed;
+  e.process = p;
+  e.mid = mid;
+  return e;
+}
+
+TraceEvent decision(Tick at, ProcessId coordinator, SubrunId subrun,
+                    std::vector<bool> alive, std::vector<Seq> clean_upto = {},
+                    bool full_group = false) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kDecision;
+  e.process = coordinator;
+  e.subrun = subrun;
+  e.full_group = full_group;
+  e.alive_mask = std::move(alive);
+  e.clean_upto = std::move(clean_upto);
+  return e;
+}
+
+TraceEvent halt(Tick at, ProcessId p) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kHalt;
+  e.process = p;
+  e.reason = core::HaltReason::kCrashFault;
+  return e;
+}
+
+OracleOptions options_for(int n) {
+  OracleOptions o;
+  o.n = n;
+  return o;
+}
+
+// ---- Oracle clause detectors --------------------------------------------
+
+TEST(Oracle, CleanTracePasses) {
+  const Mid m1{0, 1};
+  const Mid m2{1, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),    processed(0, 0, m1),
+      generated(5, 1, m2, {m1}), processed(6, 1, m1),
+      processed(6, 1, m2),    processed(12, 0, m2),
+      decision(20, 0, 1, {true, true}, {1, 1}, true),
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  EXPECT_TRUE(report.ok()) << report.first()->message;
+  EXPECT_EQ(report.generated, 2u);
+  EXPECT_EQ(report.processed, 4u);
+  EXPECT_EQ(report.decisions, 1u);
+}
+
+TEST(Oracle, DroppedDeliveryFiresAtomicity) {
+  // p1 never processes m1 and nobody halted: the survivors' final sets
+  // diverge — exactly what a silently dropped delivery looks like.
+  const Mid m1{0, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      processed(0, 0, m1),
+      processed(50, 1, Mid{1, 1}),  // keep p1 non-empty but divergent
+      generated(49, 1, Mid{1, 1}),
+  };
+  // Fix order: generation precedes processing.
+  std::vector<TraceEvent> ordered = {events[0], events[1], events[3],
+                                     events[2]};
+  const OracleReport report = check_trace(ordered, options_for(2));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().clause, Clause::kAtomicity);
+}
+
+TEST(Oracle, DroppedDeliveryExcusedForHaltedProcess) {
+  const Mid m1{0, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      processed(0, 0, m1),
+      halt(40, 1),  // p1 left the group: its missing m1 is legitimate
+  };
+  EXPECT_TRUE(check_trace(events, options_for(2)).ok());
+}
+
+TEST(Oracle, DuplicateProcessingFiresAtomicity) {
+  const Mid m1{0, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      processed(0, 0, m1),
+      processed(3, 0, m1),
+      processed(5, 1, m1),
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().clause, Clause::kAtomicity);
+  EXPECT_NE(report.violations.front().message.find("twice"),
+            std::string::npos);
+}
+
+TEST(Oracle, ProcessedButNeverGeneratedFiresAtomicity) {
+  const std::vector<TraceEvent> events = {
+      processed(4, 1, Mid{0, 7}),
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().clause, Clause::kAtomicity);
+  EXPECT_NE(report.violations.front().message.find("never generated"),
+            std::string::npos);
+}
+
+TEST(Oracle, InvertedCausalPairFiresOrdering) {
+  const Mid m1{0, 1};
+  const Mid m2{1, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      processed(5, 1, m1),
+      generated(5, 1, m2, {m1}),
+      processed(5, 1, m2),
+      // p0 processes the dependent before its cause: Uniform Ordering hole.
+      processed(11, 0, m2),
+      processed(12, 0, m1),
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  ASSERT_FALSE(report.ok());
+  const Violation& v = report.violations.front();
+  EXPECT_EQ(v.clause, Clause::kOrdering);
+  EXPECT_EQ(v.process, 0);
+  EXPECT_EQ(v.event_index, 4);
+}
+
+TEST(Oracle, PrematureCleaningFiresStability) {
+  const Mid m1{0, 1};
+  const Mid m2{0, 2};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),  processed(0, 0, m1),
+      generated(10, 0, m2), processed(10, 0, m2),
+      processed(15, 1, m1),
+      // p1 has only processed seq 1 of p0's sequence, yet the decision
+      // declares stability (and cleans histories) up to seq 2 while still
+      // counting p1 alive.
+      decision(20, 0, 1, {true, true}, {2, 0}, true),
+      processed(25, 1, m2),
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  ASSERT_FALSE(report.ok());
+  const Violation& v = report.violations.front();
+  EXPECT_EQ(v.clause, Clause::kStability);
+  EXPECT_EQ(v.event_index, 5);
+}
+
+TEST(Oracle, ForkedDecisionSequenceFires) {
+  std::vector<TraceEvent> events = {
+      decision(20, 0, 1, {true, true, false}),
+      decision(22, 1, 1, {true, true, true}),  // same subrun, other view
+  };
+  OracleOptions options = options_for(3);
+  options.check_decision_fork = true;
+  const OracleReport forked = check_trace(events, options);
+  ASSERT_FALSE(forked.ok());
+  EXPECT_EQ(forked.violations.front().clause, Clause::kDecisionSequence);
+
+  // Fork checking is opt-in: under faults transient forks are legitimate.
+  options.check_decision_fork = false;
+  EXPECT_TRUE(check_trace(events, options).ok());
+}
+
+TEST(Oracle, CoordinatorSubrunRegressionFires) {
+  const std::vector<TraceEvent> events = {
+      decision(100, 0, 5, {true, true}),
+      decision(140, 0, 4, {true, true}),  // went backwards
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().clause, Clause::kDecisionSequence);
+}
+
+TEST(Oracle, BoundedAtomicityFires) {
+  const Mid m1{0, 1};
+  std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      processed(0, 0, m1),
+      processed(500, 1, Mid{0, 1}),  // placeholder to extend the trace
+  };
+  // p1 processed m1 only at tick 500; with a bound of 100 ticks that is a
+  // bounded-stabilization violation even though the final sets agree.
+  OracleOptions options = options_for(2);
+  options.atomicity_bound_ticks = 100;
+  const OracleReport report = check_trace(events, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations.front().clause, Clause::kAtomicity);
+  EXPECT_NE(report.violations.front().message.find("within"),
+            std::string::npos);
+
+  options.atomicity_bound_ticks = 1000;  // generous bound: clean
+  EXPECT_TRUE(check_trace(events, options).ok());
+}
+
+TEST(Oracle, FirstReturnsEarliestViolation) {
+  const Mid m1{0, 1};
+  const Mid m2{1, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      generated(2, 1, m2, {m1}),
+      processed(3, 1, m2),  // ordering violation at index 2
+      processed(4, 1, m2),  // duplicate at index 3
+  };
+  const OracleReport report = check_trace(events, options_for(2));
+  ASSERT_FALSE(report.ok());
+  ASSERT_NE(report.first(), nullptr);
+  EXPECT_EQ(report.first()->clause, Clause::kOrdering);
+  EXPECT_EQ(report.first()->event_index, 2);
+}
+
+// ---- Shared end-state clause logic --------------------------------------
+
+TEST(Clauses, ValidateEndStateMatchesSemantics) {
+  causal::CausalGraph graph;
+  const Mid m1{0, 1};
+  const Mid m2{1, 1};
+  graph.add(m1, {});
+  graph.add(m2, std::vector<Mid>{m1});
+
+  const std::vector<Mid> good_log = {m1, m2};
+  const std::vector<Mid> bad_log = {m2, m1};
+  {
+    const std::vector<std::span<const Mid>> logs = {good_log, good_log};
+    const EndStateResult r =
+        validate_end_state(graph, logs, {false, false});
+    EXPECT_TRUE(r.all_ok());
+  }
+  {
+    const std::vector<std::span<const Mid>> logs = {good_log, bad_log};
+    const EndStateResult r =
+        validate_end_state(graph, logs, {false, false});
+    EXPECT_TRUE(r.acyclic_ok);
+    EXPECT_FALSE(r.ordering_ok);
+  }
+  {
+    const std::vector<Mid> partial = {m1};
+    const std::vector<std::span<const Mid>> logs = {good_log, partial};
+    EXPECT_FALSE(
+        validate_end_state(graph, logs, {false, false}).atomicity_ok);
+    // The lagging process halted: its shortfall is excused.
+    EXPECT_TRUE(
+        validate_end_state(graph, logs, {false, true}).atomicity_ok);
+  }
+}
+
+// ---- Case round-trip ----------------------------------------------------
+
+TEST(CaseFormat, RoundTrips) {
+  CaseConfig original;
+  original.n = 5;
+  original.messages = 33;
+  original.load = 0.625;
+  original.cross_dep_prob = 0.25;
+  original.seed = 424242;
+  original.schedule = 977;
+  original.backend = harness::Backend::kSim;
+  original.mutation = core::ProtocolMutation::kSkipRequestMerge;
+  original.omission = 0.015625;
+  original.window_start_rtd = 0.5;
+  original.window_end_rtd = 6.5;
+  original.crashes = {{2, 140}, {4, 310}};
+  original.partitions.push_back({{0, 1}, 2.0, 6.0});
+  original.limit_rtd = 250.0;
+
+  std::string error;
+  const auto parsed = CaseConfig::parse(original.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->serialize(), original.serialize());
+  EXPECT_EQ(parsed->n, original.n);
+  EXPECT_EQ(parsed->messages, original.messages);
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->schedule, original.schedule);
+  EXPECT_EQ(parsed->mutation, original.mutation);
+  EXPECT_EQ(parsed->crashes, original.crashes);
+  ASSERT_EQ(parsed->partitions.size(), 1u);
+  EXPECT_EQ(parsed->partitions[0].side_a, original.partitions[0].side_a);
+}
+
+TEST(CaseFormat, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(CaseConfig::parse("", &error));
+  EXPECT_FALSE(CaseConfig::parse("not-a-case\nn=4\n", &error));
+  EXPECT_FALSE(
+      CaseConfig::parse("urcgc-check-case-v1\nbogus_key=1\n", &error));
+  EXPECT_FALSE(
+      CaseConfig::parse("urcgc-check-case-v1\nn=1\n", &error));  // n < 2
+  EXPECT_FALSE(CaseConfig::parse("urcgc-check-case-v1\nn=4\ncrash=9@10\n",
+                                 &error));  // out of range
+  EXPECT_NE(error.find("range"), std::string::npos);
+}
+
+TEST(CaseFormat, GeneratedCasesAreDeterministic) {
+  ExplorerOptions options;
+  options.base_seed = 7;
+  for (int i = 0; i < 16; ++i) {
+    const CaseConfig a = generate_case(options, i);
+    const CaseConfig b = generate_case(options, i);
+    EXPECT_EQ(a.serialize(), b.serialize()) << "index " << i;
+    EXPECT_GE(a.n, 3);
+    EXPECT_LE(a.n, 8);
+    // Fault budget stays within the paper's resilience bound t=(n-1)/2.
+    EXPECT_LE(a.crashes.size(),
+              static_cast<std::size_t>((a.n - 1) / 2));
+    for (const auto& part : a.partitions) {
+      EXPECT_LE(static_cast<int>(part.side_a.size()), (a.n - 1) / 2);
+      EXPECT_GE(part.end_rtd, part.start_rtd);  // partitions always heal
+    }
+  }
+}
+
+// ---- Explorer on the real protocol --------------------------------------
+
+TEST(Explorer, CleanProtocolPassesWithMetrics) {
+  obs::Registry metrics(0);
+  ExplorerOptions options;
+  options.executions = 12;
+  options.base_seed = 3001;
+  options.metrics = &metrics;
+  int progress_calls = 0;
+  options.on_progress = [&](int, int, int) { ++progress_calls; };
+
+  const ExplorerReport report = explore(options);
+  EXPECT_EQ(report.executions, 12);
+  EXPECT_EQ(report.violations, 0)
+      << report.failures.front().first_problem();
+  EXPECT_EQ(progress_calls, 12);
+
+  std::ostringstream os;
+  metrics.write_jsonl(os);
+  EXPECT_NE(os.str().find("check.executions"), std::string::npos);
+  EXPECT_NE(os.str().find("check.violations"), std::string::npos);
+}
+
+TEST(Explorer, ReplaySameCaseIsDeterministic) {
+  ExplorerOptions options;
+  options.base_seed = 88;
+  const CaseConfig config = generate_case(options, 4);
+  const CaseOutcome first = run_case(config);
+  const CaseOutcome second = run_case(config);
+  EXPECT_EQ(first.ok(), second.ok());
+  EXPECT_EQ(first.trace_events, second.trace_events);
+  EXPECT_EQ(first.oracle.events, second.oracle.events);
+  EXPECT_EQ(first.oracle.processed, second.oracle.processed);
+}
+
+// ---- Shrinker -----------------------------------------------------------
+
+/// A known-bad plan: the seeded kSkipRequestMerge defect plus omission
+/// noise reliably produces a stability violation the shrinker can chew on.
+CaseConfig known_bad_case() {
+  CaseConfig config;
+  config.n = 7;
+  config.messages = 56;
+  config.load = 0.8;
+  config.cross_dep_prob = 0.4;
+  config.seed = 11;
+  config.schedule = 5;
+  config.mutation = core::ProtocolMutation::kSkipRequestMerge;
+  config.omission = 0.02;
+  config.window_end_rtd = 10.0;
+  config.limit_rtd = 400.0;
+  return config;
+}
+
+TEST(Shrinker, ConvergesOnSeededKnownBadPlan) {
+  CaseConfig bad = known_bad_case();
+  // Hunt a failing (seed, schedule) near the starting point: the defect is
+  // timing-dependent, and the explorer normally does this hunting.
+  CaseOutcome outcome = run_case(bad);
+  int probes = 0;
+  while (outcome.ok() && probes < 40) {
+    ++probes;
+    bad.seed = 11 + static_cast<std::uint64_t>(probes);
+    bad.schedule = 5 + 13 * static_cast<std::uint64_t>(probes);
+    outcome = run_case(bad);
+  }
+  ASSERT_FALSE(outcome.ok())
+      << "seeded defect never fired within 40 probes";
+
+  ShrinkOptions options;
+  options.max_evaluations = 120;
+  const ShrinkResult result = shrink_case(bad, options);
+
+  // The minimal case still fails, and shrinking made real progress.
+  EXPECT_FALSE(result.outcome.ok());
+  EXPECT_LE(result.minimal.n, result.initial_n);
+  EXPECT_LE(result.minimal.messages, result.initial_messages);
+  EXPECT_LE(result.minimal.fault_count(), result.initial_faults + 1);
+  EXPECT_GT(result.evaluations, 1);
+
+  // And it replays from its serialized form to the same verdict.
+  std::string error;
+  const auto parsed = CaseConfig::parse(result.minimal.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_FALSE(run_case(*parsed).ok());
+}
+
+TEST(Shrinker, PassingCaseIsReturnedUnchanged) {
+  CaseConfig clean;
+  clean.n = 4;
+  clean.messages = 24;
+  clean.seed = 5;
+  const ShrinkResult result = shrink_case(clean);
+  EXPECT_TRUE(result.outcome.ok());
+  EXPECT_EQ(result.minimal.serialize(), clean.serialize());
+  EXPECT_EQ(result.evaluations, 1);
+}
+
+// ---- Acceptance demonstration -------------------------------------------
+
+/// ISSUE 4 acceptance: an intentionally seeded protocol mutation is caught
+/// by the explorer and shrunk to a repro with n <= 4 and <= 10 messages.
+TEST(Acceptance, MutationCaughtAndShrunkToSmallRepro) {
+  ExplorerOptions options;
+  options.executions = 48;
+  options.base_seed = 42;
+  options.mutation = core::ProtocolMutation::kSkipRequestMerge;
+  options.max_failures = 1;
+
+  const ExplorerReport report = explore(options);
+  ASSERT_GT(report.violations, 0)
+      << "explorer failed to catch the seeded mutation";
+  ASSERT_FALSE(report.failures.empty());
+
+  ShrinkOptions shrink_options;
+  shrink_options.max_evaluations = 160;
+  const ShrinkResult result =
+      shrink_case(report.failures.front().config, shrink_options);
+
+  EXPECT_FALSE(result.outcome.ok());
+  EXPECT_LE(result.minimal.n, 4);
+  EXPECT_LE(result.minimal.messages, 10);
+
+  // The emitted repro is self-contained: parse + replay reproduces it.
+  std::string error;
+  const auto parsed = CaseConfig::parse(result.minimal.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_FALSE(run_case(*parsed).ok());
+}
+
+}  // namespace
+}  // namespace urcgc::check

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <vector>
 
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
+#include "runtime/threaded.hpp"
 #include "sim/simulation.hpp"
 
 namespace urcgc::core {
@@ -147,6 +150,60 @@ TEST(PartitionProtocol, HealedPartitionMinorityLearnsItsFate) {
     EXPECT_EQ(g.processes[p]->mt().processing_log().size(), reference)
         << "p" << p;
   }
+}
+
+TEST(PartitionProtocol, InFlightPacketsAreSeveredAtDelivery) {
+  // Regression: partitions used to be consulted on the send path only, so
+  // a packet launched one tick before the split would still land inside it
+  // — and the threaded backend, whose deliveries run long after the
+  // send-time check, ignored partitions entirely. The delivery-time check
+  // must drop a packet whose partition activated while it was in flight.
+  fault::FaultPlan plan(2);
+  plan.partition({0}, /*start=*/105, kNoTick);
+  fault::FaultInjector injector(std::move(plan), Rng(7));
+  sim::Simulation sim;
+  net::Network network(sim, injector, {.min_latency = 5, .max_latency = 9},
+                       Rng(8));
+
+  int delivered = 0;
+  network.attach(0, [&](const net::Packet&) { FAIL() << "p0 unreachable"; });
+  network.attach(1, [&](const net::Packet&) { ++delivered; });
+
+  // Sent at t=100, latency in [5,9]: every copy arrives at t in
+  // [105, 109], strictly inside the partition. The send-time check at
+  // t=100 passes; only the delivery-time check can sever these.
+  sim.at(100, [&] {
+    for (int i = 0; i < 8; ++i) {
+      network.unicast(0, 1, std::vector<std::uint8_t>{0x42});
+    }
+  });
+  sim.run_until(500);
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(network.stats().packets_dropped, 8u);
+
+  // Same shape on the threaded runtime: the satellite fix is what makes
+  // ThreadedRuntime honor Partition::active() at all.
+  fault::FaultPlan plan2(2);
+  plan2.partition({0}, 105, kNoTick);
+  fault::FaultInjector injector2(std::move(plan2), Rng(7));
+  rt::ThreadedConfig tc;
+  tc.n = 2;
+  tc.tick_duration = std::chrono::nanoseconds(20'000);
+  rt::ThreadedRuntime threads(tc);
+  net::Network network2(threads, injector2,
+                        {.min_latency = 5, .max_latency = 9}, Rng(8));
+  std::atomic<int> delivered2{0};
+  network2.attach(0, [&](const net::Packet&) { ++delivered2; });
+  network2.attach(1, [&](const net::Packet&) { ++delivered2; });
+  threads.post(0, 100, [&] {
+    for (int i = 0; i < 8; ++i) {
+      network2.unicast(0, 1, std::vector<std::uint8_t>{0x42});
+    }
+  });
+  threads.run_until(500);
+  EXPECT_EQ(delivered2.load(), 0);
+  EXPECT_EQ(network2.stats().packets_dropped, 8u);
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 #include <string>
 #include <tuple>
 
+#include "check/oracle.hpp"
 #include "harness/experiment.hpp"
+#include "trace/trace.hpp"
 
 namespace urcgc::harness {
 namespace {
@@ -53,6 +55,13 @@ TEST_P(UrcgcSweep, ClausesHold) {
         {static_cast<ProcessId>(p.n - 1 - c), 150 + 130 * c});
   }
 
+  // Every sweep point routes through the trace oracle too: the same run
+  // must satisfy the event-by-event clauses, not just the end state.
+  trace::TraceRecorder recorder(
+      {trace::EventKind::kGenerated, trace::EventKind::kProcessed,
+       trace::EventKind::kDecision, trace::EventKind::kHalt});
+  config.extra_observer = &recorder;
+
   ExperimentReport report = Experiment(config).run();
 
   EXPECT_TRUE(report.quiescent) << "did not reach quiescence";
@@ -62,6 +71,15 @@ TEST_P(UrcgcSweep, ClausesHold) {
   for (const auto& violation : report.violations) {
     ADD_FAILURE() << violation;
   }
+
+  check::OracleOptions oracle;
+  oracle.n = p.n;
+  oracle.require_final_agreement = report.quiescent;
+  const check::OracleReport trace_verdict =
+      check::check_trace(recorder.events(), oracle);
+  EXPECT_TRUE(trace_verdict.ok())
+      << (trace_verdict.first() != nullptr ? trace_verdict.first()->message
+                                           : std::string{});
 
   // No survivor processed anything twice (log sizes match set sizes is
   // enforced inside; here: every survivor's processed count equals the
@@ -172,6 +190,11 @@ TEST_P(FeatureSweep, ClausesHold) {
   config.seed = 77;
   config.limit_rtd = 4000;
 
+  trace::TraceRecorder recorder(
+      {trace::EventKind::kGenerated, trace::EventKind::kProcessed,
+       trace::EventKind::kDecision, trace::EventKind::kHalt});
+  config.extra_observer = &recorder;
+
   ExperimentReport report = Experiment(config).run();
   EXPECT_TRUE(report.quiescent);
   EXPECT_TRUE(report.atomicity_ok);
@@ -180,6 +203,15 @@ TEST_P(FeatureSweep, ClausesHold) {
   for (const auto& violation : report.violations) {
     ADD_FAILURE() << violation;
   }
+
+  check::OracleOptions oracle;
+  oracle.n = config.protocol.n;
+  oracle.require_final_agreement = report.quiescent;
+  const check::OracleReport trace_verdict =
+      check::check_trace(recorder.events(), oracle);
+  EXPECT_TRUE(trace_verdict.ok())
+      << (trace_verdict.first() != nullptr ? trace_verdict.first()->message
+                                           : std::string{});
 }
 
 INSTANTIATE_TEST_SUITE_P(
