@@ -72,6 +72,10 @@ harness::ExperimentConfig CaseConfig::to_experiment() const {
   config.faults.window_end_rtd = window_end_rtd;
   config.faults.crashes = crashes;
   config.faults.partitions = partitions;
+  config.protocol.waiting_cap = waiting_cap;
+  config.protocol.inbox_cap = inbox_cap;
+  config.protocol.history_threshold = history_threshold;
+  config.protocol.recovery_backoff_base = backoff;
   config.backend = backend;
   config.seed = seed;
   config.schedule_salt = schedule;
@@ -95,6 +99,12 @@ std::string CaseConfig::serialize() const {
   os << "limit_rtd=" << limit_rtd << "\n";
   if (omission > 0.0) os << "omission=" << omission << "\n";
   if (packet_loss > 0.0) os << "packet_loss=" << packet_loss << "\n";
+  if (waiting_cap > 0) os << "waiting_cap=" << waiting_cap << "\n";
+  if (inbox_cap > 0) os << "inbox_cap=" << inbox_cap << "\n";
+  if (history_threshold > 0) {
+    os << "history_threshold=" << history_threshold << "\n";
+  }
+  if (backoff > 0) os << "backoff=" << backoff << "\n";
   if (window_end_rtd >= 0.0) {
     os << "window=" << window_start_rtd << ":" << window_end_rtd << "\n";
   }
@@ -187,6 +197,21 @@ std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
       if (!parse_double(value, &out.limit_rtd)) return bad();
     } else if (key == "omission") {
       if (!parse_double(value, &out.omission)) return bad();
+    } else if (key == "waiting_cap") {
+      std::uint64_t u = 0;
+      if (!parse_u64(value, &u)) return bad();
+      out.waiting_cap = static_cast<std::size_t>(u);
+    } else if (key == "inbox_cap") {
+      std::uint64_t u = 0;
+      if (!parse_u64(value, &u)) return bad();
+      out.inbox_cap = static_cast<std::size_t>(u);
+    } else if (key == "history_threshold") {
+      std::uint64_t u = 0;
+      if (!parse_u64(value, &u)) return bad();
+      out.history_threshold = static_cast<std::size_t>(u);
+    } else if (key == "backoff") {
+      if (!parse_int(value, &i64) || i64 < 0) return bad();
+      out.backoff = static_cast<int>(i64);
     } else if (key == "packet_loss") {
       if (!parse_double(value, &out.packet_loss)) return bad();
     } else if (key == "window") {

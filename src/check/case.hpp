@@ -45,6 +45,14 @@ struct CaseConfig {
   std::vector<std::pair<ProcessId, Tick>> crashes;
   std::vector<harness::PartitionSpec> partitions;
 
+  /// Bounded-buffer / flow-control knobs (0 = off, the protocol default).
+  /// The sustained-omission family sets all of them so the buffer-bounds
+  /// clause has caps to check and the budgets/backoff paths run.
+  std::size_t waiting_cap = 0;
+  std::size_t inbox_cap = 0;
+  std::size_t history_threshold = 0;
+  int backoff = 0;  ///< Config::recovery_backoff_base
+
   double limit_rtd = 400.0;
 
   /// Total faults configured (shrink progress metric).

@@ -44,7 +44,21 @@ CaseConfig generate_case(const ExplorerOptions& options, int index) {
   const int t = (config.n - 1) / 2;
   const rt::RoundClock clock;  // default round_ticks matches the harness
 
-  switch (rng.uniform(4)) {
+  // kAny keeps drawing from the four classic families (uniform(4), so the
+  // calibrated default mix and every seeded expectation stay put); the
+  // sustained-omission soak family runs in its own sweeps (the nightly's
+  // --family=sustained-omission pass), like mutations do.
+  std::uint64_t family = 0;
+  switch (options.family) {
+    case Family::kAny: family = rng.uniform(4); break;
+    case Family::kFaultFree: family = 0; break;
+    case Family::kOmissionWindow: family = 1; break;
+    case Family::kCrashes: family = 2; break;
+    case Family::kPartition: family = 3; break;
+    case Family::kSustainedOmission: family = 4; break;
+  }
+
+  switch (family) {
     case 0:  // fault-free: schedule perturbation only
       break;
     case 1: {  // omission storm confined to an early window
@@ -94,6 +108,21 @@ CaseConfig generate_case(const ExplorerOptions& options, int index) {
       }
       break;
     }
+    case 4: {  // sustained omission: open-ended storm, caps + budgets on
+      // The soak envelope: omission never stops (no window), the workload
+      // runs 2-4x longer than the classic families, and every bounded-
+      // buffer knob is engaged so the buffer-bounds clause has real caps
+      // to check while budgets, rotation and backoff carry recovery.
+      config.messages = rng.uniform_range(96, 160);
+      config.omission = 0.005 + 0.03 * rng.uniform01();
+      config.window_end_rtd = -1.0;  // sustained: the storm never closes
+      const auto n = static_cast<std::size_t>(config.n);
+      config.waiting_cap = static_cast<std::size_t>(rng.uniform_range(4, 8)) * n;
+      config.inbox_cap = n;
+      config.history_threshold = 8 * n;  // Figure 6 b)'s operating point
+      config.backoff = 1;
+      break;
+    }
     default: break;
   }
   return config;
@@ -135,6 +164,31 @@ CaseOutcome run_case(const CaseConfig& config,
     v.at = report.end_tick;
     v.message = "run hit the simulation limit before quiescing";
     outcome.oracle.violations.push_back(std::move(v));
+  }
+
+  // Buffer-bounds clause: the hard caps are enforced at the mutation
+  // sites, so any peak past a configured cap is an enforcement regression.
+  // Checked against the exact high-water marks, not round samples.
+  for (std::size_t p = 0; p < report.processes.size(); ++p) {
+    const harness::ProcessEndState& state = report.processes[p];
+    const auto breach = [&](const char* what, std::size_t peak,
+                            std::size_t cap) {
+      Violation v;
+      v.clause = Clause::kBufferBounds;
+      v.at = report.end_tick;
+      v.process = static_cast<ProcessId>(p);
+      std::ostringstream os;
+      os << "p" << p << " " << what << " peak " << peak
+         << " exceeded its cap " << cap;
+      v.message = os.str();
+      outcome.oracle.violations.push_back(std::move(v));
+    };
+    if (config.waiting_cap > 0 && state.waiting_peak > config.waiting_cap) {
+      breach("waiting-list", state.waiting_peak, config.waiting_cap);
+    }
+    if (config.inbox_cap > 0 && state.inbox_peak > config.inbox_cap) {
+      breach("REQUEST-inbox", state.inbox_peak, config.inbox_cap);
+    }
   }
   return outcome;
 }

@@ -22,12 +22,28 @@ class TraceRecorder;
 
 namespace urcgc::check {
 
+/// Scenario family a generated case belongs to. kAny draws one of the
+/// four classic families per case (the calibrated default mix);
+/// kSustainedOmission is opt-in — an open-ended omission storm with the
+/// bounded-buffer caps and recovery budgets/backoff engaged, the soak
+/// envelope the nightly checker sweeps separately.
+enum class Family : std::uint8_t {
+  kAny,
+  kFaultFree,
+  kOmissionWindow,
+  kCrashes,
+  kPartition,
+  kSustainedOmission,
+};
+
 struct ExplorerOptions {
   /// Number of (seed, schedule) executions to run.
   int executions = 100;
   /// First seed; execution i uses seed base_seed + i.
   std::uint64_t base_seed = 1;
   harness::Backend backend = harness::Backend::kSim;
+  /// Restrict generation to one scenario family (default: the mix).
+  Family family = Family::kAny;
   /// Defect injected into every generated case (checker self-test).
   core::ProtocolMutation mutation = core::ProtocolMutation::kNone;
   /// Stop after this many violating cases (0 = never stop early).

@@ -291,6 +291,7 @@ std::string_view to_string(Clause clause) {
     case Clause::kStability: return "stability";
     case Clause::kDecisionSequence: return "decision-sequence";
     case Clause::kLiveness: return "liveness";
+    case Clause::kBufferBounds: return "buffer-bounds";
   }
   return "?";
 }

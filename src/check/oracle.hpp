@@ -41,6 +41,10 @@ enum class Clause : std::uint8_t {
   kStability,         // C3
   kDecisionSequence,  // C4
   kLiveness,          // run never quiesced (explorer-level, no trace event)
+  /// C6: a hard buffer cap (Config::waiting_cap / inbox_cap) was exceeded
+  /// at some instant of the run — checked against the exact occupancy
+  /// peaks the harness tracks, not round samples (explorer-level).
+  kBufferBounds,
 };
 
 [[nodiscard]] std::string_view to_string(Clause clause);

@@ -79,6 +79,30 @@ struct Config {
   /// disables flow control; the paper's Figure 6 b) uses 8n.
   std::size_t history_threshold = 0;
 
+  /// Hard cap on waiting-list occupancy (messages parked on unmet causal
+  /// dependencies). 0 disables the cap. When full, a message that would
+  /// have to park is rejected instead — safe, because stability cleaning
+  /// never passes the rejecting member's processed prefix, so the span
+  /// stays recoverable from some peer's history and is re-fetched in
+  /// batches that start at the first gap and process immediately.
+  std::size_t waiting_cap = 0;
+
+  /// Hard cap on the coordinator REQUEST inbox. 0 disables the cap.
+  /// Duplicate REQUESTs (same sender, same subrun) are always merged away,
+  /// so a cap of n is lossless.
+  std::size_t inbox_cap = 0;
+
+  /// Recovery attempts charged to one target peer (for one origin) before
+  /// rotating to the next candidate that may cover the gap.
+  int recovery_budget_per_peer = 3;
+
+  /// Exponential backoff between fruitless recovery attempts at the same
+  /// origin, in subruns: the wait starts at `base` and doubles per miss up
+  /// to `max`. base = 0 disables backoff (one attempt per subrun, the
+  /// paper's cadence); progress resets the wait to `base`.
+  int recovery_backoff_base = 0;
+  int recovery_backoff_max = 8;
+
   /// Bytes of user payload carried by each application message (the paper's
   /// simulations assume messages fit one subnetwork packet).
   std::size_t payload_bytes = 32;

@@ -9,7 +9,10 @@ bool History::store(const AppMessage& msg) {
   URCGC_ASSERT(msg.mid.origin >= 0 && msg.mid.origin < n());
   auto [it, inserted] =
       per_origin_[msg.mid.origin].emplace(msg.mid.seq, msg);
-  if (inserted) ++total_;
+  if (inserted) {
+    ++total_;
+    ++version_;
+  }
   return inserted;
 }
 
@@ -45,16 +48,19 @@ std::size_t History::purge_upto(ProcessId origin, Seq upto) {
     ++purged;
   }
   total_ -= purged;
+  if (purged > 0) ++version_;
   return purged;
 }
 
 Seq History::max_stored(ProcessId origin) const {
-  const auto& entry = per_origin_.at(origin);
+  if (origin < 0 || origin >= n()) return kNoSeq;
+  const auto& entry = per_origin_[origin];
   return entry.empty() ? kNoSeq : entry.rbegin()->first;
 }
 
 Seq History::min_stored(ProcessId origin) const {
-  const auto& entry = per_origin_.at(origin);
+  if (origin < 0 || origin >= n()) return kNoSeq;
+  const auto& entry = per_origin_[origin];
   return entry.empty() ? kNoSeq : entry.begin()->first;
 }
 

@@ -20,11 +20,11 @@ bool MtEntity::processed(const Mid& mid) const {
   return processed_[mid.origin].contains(mid.seq);
 }
 
-void MtEntity::submit(const AppMessage& msg, Tick now) {
+MtEntity::SubmitResult MtEntity::submit(const AppMessage& msg, Tick now) {
   URCGC_ASSERT(msg.mid.valid());
   if (processed(msg.mid) || waiting_.contains(msg.mid)) {
     ++duplicates_;
-    return;
+    return SubmitResult::kDuplicate;
   }
 
   std::vector<Mid> missing;
@@ -32,13 +32,19 @@ void MtEntity::submit(const AppMessage& msg, Tick now) {
     if (!processed(dep)) missing.push_back(dep);
   }
   if (!missing.empty()) {
+    if (config_.waiting_cap > 0 && waiting_.size() >= config_.waiting_cap) {
+      ++waiting_rejected_;
+      return SubmitResult::kRejected;
+    }
     causal::PendingMessage pending{msg.mid, msg.deps, msg.generated_at, now,
                                    msg.payload};
     waiting_.add(std::move(pending), missing);
-    return;
+    waiting_peak_ = std::max(waiting_peak_, waiting_.size());
+    return SubmitResult::kParked;
   }
 
   process_now(msg, now);
+  return SubmitResult::kProcessed;
 }
 
 void MtEntity::process_now(AppMessage msg, Tick now) {
@@ -50,6 +56,7 @@ void MtEntity::process_now(AppMessage msg, Tick now) {
     URCGC_ASSERT_MSG(!processed(current.mid), "double processing");
 
     history_.store(current);
+    history_peak_ = std::max(history_peak_, history_.total_size());
     processed_[current.mid.origin].insert(current.mid.seq);
     log_.push_back(current.mid);
     if (observer_ != nullptr) observer_->on_processed(self_, current, now);
@@ -87,9 +94,16 @@ RecoverRsp MtEntity::serve_recovery(const RecoverRq& rq) const {
   RecoverRsp rsp;
   rsp.from = self_;
   rsp.origin = rq.origin;
-  rsp.messages =
-      history_.range(rq.origin, rq.from_seq, rq.to_seq,
-                     static_cast<std::size_t>(config_.max_recover_batch));
+  rsp.to_seq = rq.to_seq;
+  // Fetch one past the batch cap: an over-full result proves the range
+  // holds more than one batch, and the requester must keep pulling rather
+  // than treat the truncated batch as "gap satisfied".
+  const auto cap = static_cast<std::size_t>(config_.max_recover_batch);
+  rsp.messages = history_.range(rq.origin, rq.from_seq, rq.to_seq, cap + 1);
+  if (rsp.messages.size() > cap) {
+    rsp.messages.pop_back();
+    rsp.truncated = true;
+  }
   return rsp;
 }
 

@@ -33,11 +33,22 @@ class MtEntity {
 
   void set_on_processed(ProcessedFn fn) { on_processed_ = std::move(fn); }
 
+  /// What submit() did with a message.
+  enum class SubmitResult : std::uint8_t {
+    kProcessed,  ///< every dependency satisfied; processed immediately
+    kParked,     ///< missing dependencies; parked in the waiting list
+    kDuplicate,  ///< already processed or already waiting; ignored
+    kRejected,   ///< would park but the waiting list is at its hard cap
+  };
+
   /// Feeds a message (from the network, local generation, or a recovery
   /// response). Processes it immediately when every dependency has been
   /// processed — releasing any waiters that become satisfied — or parks it
-  /// in the waiting list. Duplicates are ignored.
-  void submit(const AppMessage& msg, Tick now);
+  /// in the waiting list. Duplicates are ignored. When Config::waiting_cap
+  /// is set and the waiting list is full, a message that would park is
+  /// rejected instead (backpressure): the span stays recoverable because
+  /// stability cleaning cannot pass this member's processed prefix.
+  SubmitResult submit(const AppMessage& msg, Tick now);
 
   [[nodiscard]] bool processed(const Mid& mid) const;
   /// Contiguous processed prefix of origin's sequence (last_processed[j]).
@@ -81,6 +92,15 @@ class MtEntity {
   [[nodiscard]] std::uint64_t duplicates_ignored() const {
     return duplicates_;
   }
+  /// Messages refused at the waiting cap (see SubmitResult::kRejected).
+  [[nodiscard]] std::uint64_t waiting_rejected() const {
+    return waiting_rejected_;
+  }
+  /// Exact occupancy high-water marks (tracked at every mutation, not
+  /// sampled — the checker's buffer-bounds clause compares these against
+  /// the configured caps).
+  [[nodiscard]] std::size_t waiting_peak() const { return waiting_peak_; }
+  [[nodiscard]] std::size_t history_peak() const { return history_peak_; }
 
  private:
   void process_now(AppMessage msg, Tick now);
@@ -95,6 +115,9 @@ class MtEntity {
   std::vector<causal::PrefixSet> processed_;
   std::vector<Mid> log_;  // local processing order, for validation
   std::uint64_t duplicates_ = 0;
+  std::uint64_t waiting_rejected_ = 0;
+  std::size_t waiting_peak_ = 0;
+  std::size_t history_peak_ = 0;
 };
 
 }  // namespace urcgc::core

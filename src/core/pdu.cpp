@@ -198,6 +198,8 @@ std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp) {
   w.u8(static_cast<std::uint8_t>(PduType::kRecoverRsp));
   w.i32(rsp.from);
   w.i32(rsp.origin);
+  w.i64(rsp.to_seq);
+  w.u8(rsp.truncated ? 1 : 0);
   w.u32(static_cast<std::uint32_t>(rsp.messages.size()));
   for (const AppMessage& msg : rsp.messages) encode(w, msg);
   return std::move(w).take();
@@ -267,6 +269,12 @@ Result<Pdu, wire::DecodeError> decode_pdu(
       auto origin = r.i32();
       if (!origin) return Unexpected(origin.error());
       rsp.origin = origin.value();
+      auto to_seq = r.i64();
+      if (!to_seq) return Unexpected(to_seq.error());
+      rsp.to_seq = to_seq.value();
+      auto truncated = r.u8();
+      if (!truncated) return Unexpected(truncated.error());
+      rsp.truncated = truncated.value() != 0;
       auto count = r.u32();
       if (!count) return Unexpected(count.error());
       for (std::uint32_t i = 0; i < count.value(); ++i) {

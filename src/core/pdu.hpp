@@ -125,6 +125,12 @@ struct RecoverRq {
 struct RecoverRsp {
   ProcessId from = kNoProcess;
   ProcessId origin = kNoProcess;
+  /// Upper bound of the request being answered, echoed back so the
+  /// requester can continue a truncated batch without re-deriving the gap.
+  Seq to_seq = kNoSeq;
+  /// True when the server held more stored messages in the requested range
+  /// than the batch cap allowed — "more available", not "gap satisfied".
+  bool truncated = false;
   std::vector<AppMessage> messages;
 
   friend bool operator==(const RecoverRsp&, const RecoverRsp&) = default;

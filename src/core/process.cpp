@@ -21,8 +21,7 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
       metrics_(metrics),
       mt_(config, self, observer),
       latest_(Decision::initial(config.n)),
-      recovery_attempts_(config.n, 0),
-      recovery_baseline_(config.n, kNoSeq) {
+      recovery_(config.n) {
   URCGC_ASSERT(self >= 0 && self < config.n);
   URCGC_ASSERT(config.k_attempts >= 1);
   URCGC_ASSERT(config.r_recovery >= 1);
@@ -41,6 +40,23 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
     m_.cleanings = metrics_->counter("urcgc.cleanings");
     m_.requests_dropped = metrics_->counter("urcgc.requests_dropped");
     m_.halts = metrics_->counter("urcgc.halts");
+    m_.recovery_batches = metrics_->counter("core.recovery_batches");
+    m_.recovery_msgs = metrics_->counter("core.recovery_msgs");
+    m_.recovery_continuations =
+        metrics_->counter("core.recovery_continuations");
+    m_.recovery_budget_exhausted =
+        metrics_->counter("core.recovery_budget_exhausted");
+    m_.recovery_cache_hits = metrics_->counter("core.recovery_cache_hits");
+    m_.recovery_latency_rtd = metrics_->histogram(
+        "core.recovery_latency_rtd", {.lo = 0.0, .hi = 40.0, .buckets = 40});
+    m_.bp_waiting_rejected =
+        metrics_->counter("core.backpressure_waiting_rejected");
+    m_.bp_paused_rounds =
+        metrics_->counter("core.backpressure_paused_rounds");
+    m_.bp_inbox_duplicates =
+        metrics_->counter("core.backpressure_inbox_duplicates");
+    m_.bp_inbox_overflow =
+        metrics_->counter("core.backpressure_inbox_overflow");
   }
 }
 
@@ -93,6 +109,11 @@ Mid UrcgcProcess::last_processed_mid_of(ProcessId origin) const {
 bool UrcgcProcess::flow_blocked() const {
   return config_.history_threshold > 0 &&
          mt_.history_size() >= config_.history_threshold;
+}
+
+bool UrcgcProcess::backpressured() const {
+  return config_.waiting_cap > 0 &&
+         mt_.waiting_size() >= config_.waiting_cap;
 }
 
 ProcessId UrcgcProcess::coordinator_of(SubrunId s) const {
@@ -154,7 +175,7 @@ void UrcgcProcess::request_round(SubrunId subrun) {
     inbox_subrun_ = subrun;
   }
 
-  issue_recoveries();
+  issue_recoveries(subrun);
   if (halted_) return;  // recovery exhaustion may have made us leave
 
   generate_one(rt_.now());
@@ -166,6 +187,15 @@ void UrcgcProcess::generate_one(Tick now) {
   if (flow_blocked()) {
     ++counters_.flow_blocked_rounds;
     bump(m_.flow_blocked_rounds);
+    if (observer_ != nullptr) observer_->on_flow_blocked(self_, now);
+    return;
+  }
+  if (backpressured()) {
+    // Admission pause: our waiting list is at its hard cap, so the causal
+    // front is stalled on recovery; new traffic would pile more unmet
+    // dependencies onto every peer. Pause like flow control does.
+    ++counters_.backpressure_paused_rounds;
+    bump(m_.bp_paused_rounds);
     if (observer_ != nullptr) observer_->on_flow_blocked(self_, now);
     return;
   }
@@ -326,7 +356,30 @@ void UrcgcProcess::apply_decision(const Decision& d) {
   }
 }
 
-void UrcgcProcess::issue_recoveries() {
+std::vector<ProcessId> UrcgcProcess::recovery_candidates(
+    ProcessId origin, Seq from_seq) const {
+  std::vector<ProcessId> ring;
+  const auto push = [&](ProcessId p) {
+    if (p == kNoProcess || p == self_ || !latest_.alive[p]) return;
+    for (ProcessId q : ring) {
+      if (q == p) return;
+    }
+    ring.push_back(p);
+  };
+  // The advertised most-updated holder is the only peer the decision
+  // *proves* covers the gap; the originator is the next-best bet. The rest
+  // of the live membership follows: any member that processed the span
+  // still holds it (stability cleaning cannot pass our own prefix), and a
+  // member that has not replies with an empty batch, spending one budget.
+  if (latest_.max_processed[origin] >= from_seq) {
+    push(latest_.most_updated[origin]);
+  }
+  push(origin);
+  for (ProcessId q = 0; q < config_.n; ++q) push(q);
+  return ring;
+}
+
+void UrcgcProcess::issue_recoveries(SubrunId subrun) {
   auto ranges = mt_.missing_ranges();
 
   // The waiting list only reveals gaps that block received messages. The
@@ -350,43 +403,73 @@ void UrcgcProcess::issue_recoveries() {
     if (!merged) ranges.push_back({q, prefix + 1, advertised});
   }
 
-  // Reset the attempt counter for origins that are no longer missing.
+  // Close the books on origins that are no longer missing: record the
+  // gap-open -> gap-closed latency and reset every budget.
   std::vector<bool> missing_now(config_.n, false);
   for (const auto& range : ranges) missing_now[range.origin] = true;
+  const Tick per_rtd = rt_.clock().ticks_per_rtd();
   for (ProcessId q = 0; q < config_.n; ++q) {
-    if (!missing_now[q]) {
-      recovery_attempts_[q] = 0;
-      recovery_baseline_[q] = mt_.prefix(q);
+    if (missing_now[q]) continue;
+    RecoveryState& state = recovery_[q];
+    if (state.gap_since != kNoTick && metrics_ != nullptr) {
+      metrics_->observe(self_, m_.recovery_latency_rtd,
+                        static_cast<double>(rt_.now() - state.gap_since) /
+                            static_cast<double>(per_rtd));
     }
+    state = RecoveryState{};
+    state.baseline = mt_.prefix(q);
   }
 
   for (const auto& range : ranges) {
     const ProcessId origin = range.origin;
-    // Progress since the last attempt resets the counter: R counts
-    // *unsuccessful* attempts.
-    if (mt_.prefix(origin) > recovery_baseline_[origin]) {
-      recovery_attempts_[origin] = 0;
-    }
-    recovery_baseline_[origin] = mt_.prefix(origin);
+    RecoveryState& state = recovery_[origin];
+    if (state.gap_since == kNoTick) state.gap_since = rt_.now();
 
-    ++recovery_attempts_[origin];
-    if (recovery_attempts_[origin] > config_.r_recovery) {
+    // Progress since the last attempt resets the counters: R counts
+    // *unsuccessful* attempts, and a target that delivered keeps its
+    // budget and its backoff at the base.
+    if (mt_.prefix(origin) > state.baseline) {
+      state.attempts = 0;
+      state.target_attempts = 0;
+      state.next_attempt = subrun;
+    }
+    state.baseline = mt_.prefix(origin);
+
+    // Exponential backoff: wait out the window a fruitless attempt opened
+    // (skipped subruns are not charged against R).
+    if (subrun < state.next_attempt) continue;
+
+    ++state.attempts;
+    if (state.attempts > config_.r_recovery) {
       // R fruitless attempts: leave the group autonomously.
       halt(HaltReason::kRecoveryExhausted);
       return;
     }
-
-    // Target: the most updated process per the circulating decision; when
-    // no decision names one yet, fall back to the originator.
-    ProcessId target = latest_.max_processed[origin] >= range.from_seq
-                           ? latest_.most_updated[origin]
-                           : kNoProcess;
-    if (target == self_ || target == kNoProcess ||
-        !latest_.alive[target]) {
-      target = (origin != self_ && latest_.alive[origin]) ? origin
-                                                          : kNoProcess;
+    if (config_.recovery_backoff_base > 0) {
+      const int shift = std::min(state.attempts - 1, 16);
+      const auto wait = std::min<std::int64_t>(
+          static_cast<std::int64_t>(config_.recovery_backoff_base) << shift,
+          config_.recovery_backoff_max);
+      state.next_attempt = subrun + std::max<std::int64_t>(wait, 1);
     }
-    if (target == kNoProcess) continue;  // wait for the orphan cut
+
+    const std::vector<ProcessId> ring =
+        recovery_candidates(origin, range.from_seq);
+    if (ring.empty()) continue;  // wait for the orphan cut
+
+    // Per-target retry budget: after budget fruitless attempts against one
+    // peer, rotate to the next candidate — a crashed or partitioned target
+    // must not absorb unbounded attempts.
+    if (config_.recovery_budget_per_peer > 0 &&
+        state.target_attempts >= config_.recovery_budget_per_peer) {
+      ++state.rotation;
+      state.target_attempts = 0;
+      ++counters_.recovery_budget_exhausted;
+      bump(m_.recovery_budget_exhausted);
+    }
+    const ProcessId target =
+        ring[static_cast<std::size_t>(state.rotation) % ring.size()];
+    ++state.target_attempts;
 
     RecoverRq rq{self_, origin, range.from_seq, range.to_seq};
     ++counters_.recoveries_issued;
@@ -423,21 +506,101 @@ void UrcgcProcess::handle_request(Request rq) {
     }
     return;
   }
+  for (const Request& held : inbox_) {
+    if (held.from == rq.from) {
+      // Duplicate REQUEST (same sender, same subrun — the window check
+      // above pinned the subrun): merging it would change nothing, and
+      // accumulating it would let a retransmitting peer grow the inbox
+      // without bound. Drop and count.
+      ++counters_.inbox_duplicates;
+      bump(m_.bp_inbox_duplicates);
+      return;
+    }
+  }
+  if (config_.inbox_cap > 0 && inbox_.size() >= config_.inbox_cap) {
+    ++counters_.inbox_overflow;
+    bump(m_.bp_inbox_overflow);
+    if (observer_ != nullptr) {
+      observer_->on_request_dropped(self_, rq.from, rq.subrun, rt_.now());
+    }
+    return;
+  }
   inbox_.push_back(std::move(rq));
+  inbox_peak_ = std::max(inbox_peak_, inbox_.size());
 }
 
 void UrcgcProcess::handle_recover_rq(const RecoverRq& rq) {
+  // Serve cache: during an omission storm several peers miss the *same*
+  // broadcast and ask for the same range back-to-back. One integer compare
+  // against History::version() revalidates the last encoded batch, so the
+  // frame is serialized once and shared across requesters by refcount.
+  if (serve_cache_.origin == rq.origin &&
+      serve_cache_.from_seq == rq.from_seq &&
+      serve_cache_.to_seq == rq.to_seq &&
+      serve_cache_.version == mt_.history().version()) {
+    if (serve_cache_.empty) return;  // nothing to offer (still)
+    ++counters_.recoveries_served;
+    bump(m_.recoveries_served);
+    ++counters_.recovery_cache_hits;
+    bump(m_.recovery_cache_hits);
+    send_pdu(rq.from, serve_cache_.frame, stats::MsgClass::kRecoverRsp);
+    return;
+  }
+
   RecoverRsp rsp = mt_.serve_recovery(rq);
-  if (rsp.messages.empty()) return;  // nothing to offer
+  serve_cache_.origin = rq.origin;
+  serve_cache_.from_seq = rq.from_seq;
+  serve_cache_.to_seq = rq.to_seq;
+  serve_cache_.version = mt_.history().version();
+  serve_cache_.empty = rsp.messages.empty();
+  if (rsp.messages.empty()) {
+    serve_cache_.frame = wire::SharedBuffer{};
+    return;  // nothing to offer
+  }
+  serve_cache_.frame = wire::SharedBuffer::take(encode_pdu(rsp));
   ++counters_.recoveries_served;
   bump(m_.recoveries_served);
-  send_pdu(rq.from, encode_pdu(rsp), stats::MsgClass::kRecoverRsp);
+  send_pdu(rq.from, serve_cache_.frame, stats::MsgClass::kRecoverRsp);
 }
 
 void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
+  Seq max_seq = kNoSeq;
+  std::uint64_t recovered = 0;
   for (const AppMessage& msg : rsp.messages) {
+    max_seq = std::max(max_seq, msg.mid.seq);
     if (drop_if_zombie(msg)) continue;
-    mt_.submit(msg, rt_.now());
+    const auto result = mt_.submit(msg, rt_.now());
+    if (result == MtEntity::SubmitResult::kProcessed ||
+        result == MtEntity::SubmitResult::kParked) {
+      ++recovered;
+    } else if (result == MtEntity::SubmitResult::kRejected) {
+      ++counters_.waiting_rejected;
+      bump(m_.bp_waiting_rejected);
+    }
+  }
+  if (!rsp.messages.empty()) {
+    ++counters_.recovery_batches;
+    bump(m_.recovery_batches);
+    counters_.recovery_msgs += recovered;
+    bump(m_.recovery_msgs, recovered);
+  }
+
+  // A truncated batch means "more available", not "gap satisfied": pull
+  // the continuation from the same server right away instead of burning a
+  // whole subrun (and another attempt against R) to re-ask from scratch.
+  // from_seq strictly increases each hop, so the chain terminates.
+  if (rsp.truncated && max_seq != kNoSeq && rsp.to_seq != kNoSeq &&
+      max_seq < rsp.to_seq && !halted_ &&
+      !from_zombie(Mid{rsp.origin, max_seq + 1})) {
+    RecoverRq next{self_, rsp.origin, max_seq + 1, rsp.to_seq};
+    ++counters_.recoveries_issued;
+    bump(m_.recoveries_issued);
+    ++counters_.recovery_continuations;
+    bump(m_.recovery_continuations);
+    if (observer_ != nullptr) {
+      observer_->on_recovery_attempt(self_, rsp.from, rsp.origin, rt_.now());
+    }
+    send_pdu(rsp.from, encode_pdu(next), stats::MsgClass::kRecoverRq);
   }
 }
 
@@ -488,7 +651,12 @@ void UrcgcProcess::on_datagram(ProcessId src,
               !payload.deps.empty()) {
             payload.deps.pop_back();
           }
-          if (!drop_if_zombie(payload)) mt_.submit(payload, rt_.now());
+          if (!drop_if_zombie(payload) &&
+              mt_.submit(payload, rt_.now()) ==
+                  MtEntity::SubmitResult::kRejected) {
+            ++counters_.waiting_rejected;
+            bump(m_.bp_waiting_rejected);
+          }
         } else if constexpr (std::is_same_v<T, Request>) {
           handle_request(std::move(payload));
         } else if constexpr (std::is_same_v<T, Decision>) {

@@ -103,6 +103,13 @@ class UrcgcProcess {
   /// Requests currently parked in the coordinator inbox (the open subrun's
   /// collection window) — a per-round observability gauge.
   [[nodiscard]] std::size_t inbox_size() const { return inbox_.size(); }
+  /// Exact inbox occupancy high-water mark over the whole run.
+  [[nodiscard]] std::size_t inbox_peak() const { return inbox_peak_; }
+
+  /// True while the waiting list sits at its hard cap — the sender-side
+  /// admission pause: generating more traffic would only be rejected again
+  /// downstream, so generation stalls like flow control does.
+  [[nodiscard]] bool backpressured() const;
 
   struct Counters {
     std::uint64_t generated = 0;
@@ -116,6 +123,25 @@ class UrcgcProcess {
     /// REQUESTs that reached us outside the open inbox window (late or
     /// early) and were discarded — each one shrinks a decision quorum.
     std::uint64_t requests_dropped = 0;
+    /// Non-empty recovery batches absorbed, and messages actually
+    /// recovered out of them (duplicates excluded).
+    std::uint64_t recovery_batches = 0;
+    std::uint64_t recovery_msgs = 0;
+    /// Follow-on RecoverRqs issued immediately after a truncated batch
+    /// (also counted in recoveries_issued).
+    std::uint64_t recovery_continuations = 0;
+    /// Per-target retry budgets spent, each rotating to the next peer.
+    std::uint64_t recovery_budget_exhausted = 0;
+    /// Recovery batches served from the encoded-frame cache (identical
+    /// range, unchanged history) instead of re-serializing.
+    std::uint64_t recovery_cache_hits = 0;
+    /// Backpressure family: messages refused at the waiting cap, rounds
+    /// generation paused while backpressured, duplicate REQUESTs merged
+    /// away, REQUESTs dropped at the inbox cap.
+    std::uint64_t waiting_rejected = 0;
+    std::uint64_t backpressure_paused_rounds = 0;
+    std::uint64_t inbox_duplicates = 0;
+    std::uint64_t inbox_overflow = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -129,7 +155,13 @@ class UrcgcProcess {
   void send_request(SubrunId subrun);
   void act_as_coordinator(SubrunId subrun);
   void apply_decision(const Decision& d);
-  void issue_recoveries();
+  void issue_recoveries(SubrunId subrun);
+  /// Candidate servers for origin's gap starting at from_seq, in rotation
+  /// order: the advertised most-updated holder, then the originator, then
+  /// every other live member (anyone who processed the span still holds it
+  /// — cleaning cannot pass our own prefix).
+  [[nodiscard]] std::vector<ProcessId> recovery_candidates(
+      ProcessId origin, Seq from_seq) const;
 
   void handle_request(Request rq);
   void handle_recover_rq(const RecoverRq& rq);
@@ -176,6 +208,16 @@ class UrcgcProcess {
     obs::Metric cleanings;
     obs::Metric requests_dropped;
     obs::Metric halts;
+    obs::Metric recovery_batches;
+    obs::Metric recovery_msgs;
+    obs::Metric recovery_continuations;
+    obs::Metric recovery_budget_exhausted;
+    obs::Metric recovery_cache_hits;
+    obs::Metric recovery_latency_rtd;  // histogram: gap-open -> gap-closed
+    obs::Metric bp_waiting_rejected;
+    obs::Metric bp_paused_rounds;
+    obs::Metric bp_inbox_duplicates;
+    obs::Metric bp_inbox_overflow;
   } m_;
   MtEntity mt_;
 
@@ -195,9 +237,35 @@ class UrcgcProcess {
   int missed_decisions_ = 0;
   Tick last_datagram_at_ = -1;
 
-  // Recovery bookkeeping (per origin).
-  std::vector<int> recovery_attempts_;
-  std::vector<Seq> recovery_baseline_;
+  // Recovery bookkeeping (per origin): fruitless-attempt count toward R,
+  // retry budget against the current target, rotation through candidate
+  // servers, exponential backoff, and gap-open timestamp for the latency
+  // histogram.
+  struct RecoveryState {
+    int attempts = 0;        ///< fruitless attempts since last progress
+    Seq baseline = kNoSeq;   ///< processed prefix at the last attempt
+    int target_attempts = 0; ///< attempts charged to the current target
+    int rotation = 0;        ///< index into the candidate ring
+    SubrunId next_attempt = 0;  ///< backoff: earliest subrun to retry
+    Tick gap_since = kNoTick;   ///< when this origin first went missing
+  };
+  std::vector<RecoveryState> recovery_;
+
+  // Single-entry recovery serve cache: the last batch encoded, revalidated
+  // by History::version(). Identical requests from several peers (the
+  // common storm shape: everyone misses the same broadcast) share one
+  // serialization and one refcounted frame.
+  struct ServeCache {
+    ProcessId origin = kNoProcess;
+    Seq from_seq = kNoSeq;
+    Seq to_seq = kNoSeq;
+    std::uint64_t version = 0;
+    bool empty = true;
+    wire::SharedBuffer frame;
+  };
+  ServeCache serve_cache_;
+
+  std::size_t inbox_peak_ = 0;
 
   bool halted_ = false;
   HaltReason halt_reason_ = HaltReason::kNone;

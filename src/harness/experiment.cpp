@@ -371,6 +371,20 @@ ExperimentReport Experiment::run() {
     state.waiting = process->mt().waiting_size();
     state.flow_blocked_rounds = process->counters().flow_blocked_rounds;
     state.requests_dropped = process->counters().requests_dropped;
+    state.waiting_peak = process->mt().waiting_peak();
+    state.history_peak = process->mt().history_peak();
+    state.inbox_peak = process->inbox_peak();
+    const core::UrcgcProcess::Counters& c = process->counters();
+    state.waiting_rejected = c.waiting_rejected;
+    state.inbox_duplicates = c.inbox_duplicates;
+    state.inbox_overflow = c.inbox_overflow;
+    state.backpressure_paused_rounds = c.backpressure_paused_rounds;
+    state.recoveries_issued = c.recoveries_issued;
+    state.recovery_batches = c.recovery_batches;
+    state.recovery_msgs = c.recovery_msgs;
+    state.recovery_continuations = c.recovery_continuations;
+    state.recovery_budget_exhausted = c.recovery_budget_exhausted;
+    state.recovery_cache_hits = c.recovery_cache_hits;
     report.processes.push_back(state);
   }
 

@@ -134,6 +134,23 @@ struct ProcessEndState {
   std::size_t waiting = 0;
   std::uint64_t flow_blocked_rounds = 0;
   std::uint64_t requests_dropped = 0;
+  /// Exact occupancy high-water marks over the whole run — what the
+  /// checker's buffer-bounds clause compares against the configured caps.
+  std::size_t waiting_peak = 0;
+  std::size_t history_peak = 0;
+  std::size_t inbox_peak = 0;
+  /// Backpressure accounting (see core::UrcgcProcess::Counters).
+  std::uint64_t waiting_rejected = 0;
+  std::uint64_t inbox_duplicates = 0;
+  std::uint64_t inbox_overflow = 0;
+  std::uint64_t backpressure_paused_rounds = 0;
+  /// Recovery accounting.
+  std::uint64_t recoveries_issued = 0;
+  std::uint64_t recovery_batches = 0;
+  std::uint64_t recovery_msgs = 0;
+  std::uint64_t recovery_continuations = 0;
+  std::uint64_t recovery_budget_exhausted = 0;
+  std::uint64_t recovery_cache_hits = 0;
 };
 
 struct ExperimentReport {

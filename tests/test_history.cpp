@@ -111,6 +111,58 @@ TEST(History, MaxMinStored) {
   EXPECT_EQ(h.min_stored(1), 2);
 }
 
+TEST(History, OutOfRangeOriginQueriesDegradeGracefully) {
+  // After a view shrink, callers may still query about cut members (or,
+  // defensively, about ids that never existed). Every accessor degrades
+  // like find/range/purge_upto do instead of throwing std::out_of_range.
+  History h(3);
+  h.store(make(1, 1));
+  for (const ProcessId bad : {ProcessId{-1}, ProcessId{3}, ProcessId{99}}) {
+    EXPECT_EQ(h.max_stored(bad), kNoSeq) << "origin " << bad;
+    EXPECT_EQ(h.min_stored(bad), kNoSeq) << "origin " << bad;
+    EXPECT_EQ(h.size_of(bad), 0u) << "origin " << bad;
+    EXPECT_EQ(h.find({bad, 1}), nullptr) << "origin " << bad;
+    EXPECT_TRUE(h.range(bad, 1, 5, 10).empty()) << "origin " << bad;
+    EXPECT_EQ(h.purge_upto(bad, 5), 0u) << "origin " << bad;
+  }
+  EXPECT_EQ(h.total_size(), 1u);  // the in-range entry is untouched
+}
+
+TEST(History, RangeMaxCountZeroReturnsNothing) {
+  History h(1);
+  for (Seq s = 1; s <= 5; ++s) h.store(make(0, s));
+  EXPECT_TRUE(h.range(0, 1, 5, 0).empty());
+}
+
+TEST(History, RangeExactlyAtCapReturnsWholeSpan) {
+  // Stored count == max_count: the batch is complete, not truncated — the
+  // recovery server distinguishes the two by fetching one past the cap.
+  History h(1);
+  for (Seq s = 1; s <= 8; ++s) h.store(make(0, s));
+  auto at_cap = h.range(0, 1, 8, 8);
+  ASSERT_EQ(at_cap.size(), 8u);
+  EXPECT_EQ(at_cap.back().mid.seq, 8);
+  // One past the cap proves there was nothing more to fetch.
+  EXPECT_EQ(h.range(0, 1, 8, 9).size(), 8u);
+}
+
+TEST(History, VersionBumpsOnStoreAndPurgeOnly) {
+  History h(2);
+  const std::uint64_t v0 = h.version();
+  h.store(make(0, 1));
+  const std::uint64_t v1 = h.version();
+  EXPECT_GT(v1, v0);
+  h.store(make(0, 1));  // duplicate: ignored, no bump
+  EXPECT_EQ(h.version(), v1);
+  EXPECT_EQ(h.purge_upto(0, 5), 1u);
+  const std::uint64_t v2 = h.version();
+  EXPECT_GT(v2, v1);
+  EXPECT_EQ(h.purge_upto(0, 5), 0u);  // nothing purged, no bump
+  EXPECT_EQ(h.version(), v2);
+  (void)h.range(0, 1, 5, 10);  // reads never bump
+  EXPECT_EQ(h.version(), v2);
+}
+
 TEST(History, PerOriginIsolation) {
   History h(3);
   h.store(make(0, 1));

@@ -1,0 +1,333 @@
+// Hardened-recovery suite: batched recovery with continuations, per-target
+// retry budgets with peer rotation, exponential backoff, bounded buffers
+// with backpressure accounting, and the recovery serve cache — exercised at
+// the process level (hand-assembled simulations, like test_process.cpp),
+// at the harness level on both backends, and through the src/check oracle
+// via the sustained-omission scenario family.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/explorer.hpp"
+#include "check/oracle.hpp"
+#include "core/observer.hpp"
+#include "core/pdu.hpp"
+#include "core/process.hpp"
+#include "harness/experiment.hpp"
+#include "net/endpoint.hpp"
+#include "sim/simulation.hpp"
+
+namespace urcgc::core {
+namespace {
+
+struct Group {
+  explicit Group(Config config, fault::FaultPlan plan = fault::FaultPlan(0),
+                 Observer* observer = nullptr)
+      : injector(plan.per_process.empty() ? fault::FaultPlan(config.n)
+                                          : std::move(plan),
+                 Rng(51)),
+        network(sim, injector, {.min_latency = 5, .max_latency = 9},
+                Rng(52)) {
+    for (ProcessId p = 0; p < config.n; ++p) {
+      endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
+      processes.push_back(std::make_unique<UrcgcProcess>(
+          config, p, sim, *endpoints.back(), injector, observer));
+    }
+    for (auto& process : processes) process->start();
+  }
+
+  UrcgcProcess& at(ProcessId p) { return *processes[p]; }
+  void run_subruns(int count) {
+    sim.run_until(sim.now() + count * sim.clock().ticks_per_subrun());
+  }
+
+  sim::Simulation sim;
+  fault::FaultInjector injector;
+  net::Network network;
+  std::vector<std::unique_ptr<net::DatagramEndpoint>> endpoints;
+  std::vector<std::unique_ptr<UrcgcProcess>> processes;
+};
+
+// --- Batched recovery --------------------------------------------------
+
+TEST(Recovery, MultiBatchGapDrainsThroughContinuations) {
+  // p2 receives nothing for the first 10 subruns while p0 broadcasts six
+  // messages. Once the storm lifts, the circulating decision reveals the
+  // six-message gap; with a batch cap of 2 the gap needs three batches, so
+  // the truncated-batch continuation path must fire.
+  Config config;
+  config.n = 3;
+  config.max_recover_batch = 2;
+  config.k_attempts = 100;  // p2 must survive the silent window
+  fault::FaultPlan plan(3);
+  plan.recv_omissions(2, 1.0);
+  plan.fault_window(0, 200);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 6; ++i) g.at(0).data_rq({static_cast<uint8_t>(i)});
+  g.run_subruns(30);
+
+  EXPECT_FALSE(g.at(2).halted());
+  EXPECT_EQ(g.at(2).mt().prefix(0), 6);
+  const auto& c = g.at(2).counters();
+  EXPECT_GE(c.recovery_batches, 3u);
+  EXPECT_GE(c.recovery_continuations, 2u);
+  EXPECT_EQ(c.recovery_msgs, 6u);  // duplicates are never double-counted
+}
+
+TEST(Recovery, BackoffKeepsLivenessOnTheSameGap) {
+  // Same scenario with exponential backoff engaged: retries thin out but
+  // the gap still closes well inside the run.
+  Config config;
+  config.n = 3;
+  config.max_recover_batch = 2;
+  config.k_attempts = 100;
+  config.recovery_backoff_base = 2;
+  config.recovery_backoff_max = 8;
+  fault::FaultPlan plan(3);
+  plan.recv_omissions(2, 1.0);
+  plan.fault_window(0, 200);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 6; ++i) g.at(0).data_rq({static_cast<uint8_t>(i)});
+  g.run_subruns(40);
+
+  EXPECT_FALSE(g.at(2).halted());
+  EXPECT_EQ(g.at(2).mt().prefix(0), 6);
+  EXPECT_GT(g.at(2).counters().recoveries_issued, 0u);
+}
+
+TEST(Recovery, BudgetExhaustionRotatesToAnotherPeer) {
+  // Sustained 20% omission everywhere: RecoverRq/Rsp datagrams themselves
+  // get lost, so some target fails to deliver within its one-attempt
+  // budget and the requester must rotate — and the workload still drains.
+  Config config;
+  config.n = 4;
+  config.k_attempts = 1000;   // nobody deserts over missed decisions
+  config.r_recovery = 1000;   // nor over fruitless recovery
+  config.recovery_budget_per_peer = 1;
+  fault::FaultPlan plan(4);
+  plan.uniform_omissions(0.2);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 10; ++i) g.at(0).data_rq({static_cast<uint8_t>(i)});
+  g.run_subruns(150);
+
+  std::uint64_t exhausted = 0;
+  for (ProcessId p = 0; p < 4; ++p) {
+    exhausted += g.at(p).counters().recovery_budget_exhausted;
+  }
+  EXPECT_GT(exhausted, 0u);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_FALSE(g.at(p).halted()) << "p" << p;
+    EXPECT_EQ(g.at(p).mt().prefix(0), 10) << "p" << p;
+  }
+}
+
+// --- Recovery serving and the encoded-frame cache ----------------------
+
+TEST(Recovery, ServeCacheAnswersIdenticalRangeWithoutReencoding) {
+  // p2 is crashed from tick 0 but never cut (huge K), so stability never
+  // covers the group and p0's history is never cleaned — the served range
+  // stays put and the second identical request must hit the cache.
+  Config config;
+  config.n = 3;
+  config.k_attempts = 1000;
+  fault::FaultPlan plan(3);
+  plan.crash(2, 0);
+  Group g(config, std::move(plan));
+  for (int i = 0; i < 3; ++i) g.at(0).data_rq({static_cast<uint8_t>(i)});
+  g.run_subruns(6);
+  ASSERT_EQ(g.at(1).mt().prefix(0), 3);
+
+  const RecoverRq rq{1, 0, 1, 3};
+  g.endpoints[1]->send(0, encode_pdu(rq));
+  g.endpoints[1]->send(0, encode_pdu(rq));
+  g.run_subruns(2);
+
+  EXPECT_EQ(g.at(0).counters().recoveries_served, 2u);
+  EXPECT_EQ(g.at(0).counters().recovery_cache_hits, 1u);
+
+  // An empty range is remembered too: neither copy produces a response or
+  // counts as served.
+  const RecoverRq beyond{1, 0, 7, 9};
+  g.endpoints[1]->send(0, encode_pdu(beyond));
+  g.endpoints[1]->send(0, encode_pdu(beyond));
+  g.run_subruns(2);
+  EXPECT_EQ(g.at(0).counters().recoveries_served, 2u);
+  EXPECT_EQ(g.at(0).counters().recovery_cache_hits, 1u);
+}
+
+// --- Bounded coordinator inbox -----------------------------------------
+
+TEST(Recovery, DuplicateRequestsAreDroppedAndCounted) {
+  Group g([] {
+    Config config;
+    config.n = 2;
+    return config;
+  }());
+  // Two extra copies of p1's subrun-0 REQUEST, injected straight onto the
+  // wire: whatever order they interleave with the genuine one, exactly one
+  // from=1 request survives in p0's inbox and two are counted away.
+  Request rq;
+  rq.subrun = 0;
+  rq.from = 1;
+  rq.last_processed.assign(2, kNoSeq);
+  rq.oldest_waiting.assign(2, kNoSeq);
+  rq.prev_decision = Decision::initial(2);
+  g.endpoints[1]->send(0, encode_pdu(rq));
+  g.endpoints[1]->send(0, encode_pdu(rq));
+  g.run_subruns(2);
+
+  EXPECT_EQ(g.at(0).counters().inbox_duplicates, 2u);
+  EXPECT_EQ(g.at(0).counters().inbox_overflow, 0u);
+  EXPECT_EQ(g.at(0).inbox_peak(), 2u);  // self + p1, duplicates excluded
+  EXPECT_GE(g.at(0).counters().decisions_made, 1u);
+}
+
+TEST(Recovery, InboxCapDropsOverflowWithAccounting) {
+  Config config;
+  config.n = 3;
+  config.inbox_cap = 1;  // deliberately lossy, to force the overflow path
+  Group g(config);
+  g.run_subruns(2);
+
+  // p0 coordinates subrun 0: its own request fills the capped inbox before
+  // p1's and p2's arrive over the network.
+  EXPECT_GE(g.at(0).counters().inbox_overflow, 2u);
+  EXPECT_EQ(g.at(0).inbox_peak(), 1u);
+  EXPECT_EQ(g.at(0).counters().inbox_duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace urcgc::core
+
+namespace urcgc::check {
+namespace {
+
+// --- Bounded buffers at the harness level, on both backends -------------
+
+TEST(RecoveryHarness, BoundedBuffersHoldOnBothBackends) {
+  harness::ExperimentConfig config;
+  config.protocol.n = 5;
+  config.protocol.waiting_cap = 20;       // 4n
+  config.protocol.inbox_cap = 5;          // n: lossless (duplicates merge)
+  config.protocol.history_threshold = 40; // 8n, Figure 6 b)
+  config.protocol.recovery_backoff_base = 1;
+  config.workload.total_messages = 80;
+  config.workload.load = 0.5;
+  config.workload.cross_dep_prob = 0.3;
+  config.faults.omission_prob = 0.01;
+  config.faults.window_end_rtd = -1.0;  // sustained
+  config.seed = 9;
+  config.limit_rtd = 2000;
+
+  const auto sim_report = harness::Experiment(config).run();
+  config.backend = harness::Backend::kThreads;
+  config.thread_tick_ns = 0;
+  const auto thr_report = harness::Experiment(config).run();
+
+  for (const auto* report : {&sim_report, &thr_report}) {
+    EXPECT_TRUE(report->quiescent);
+    EXPECT_TRUE(report->all_ok()) << (report->violations.empty()
+                                          ? ""
+                                          : report->violations.front());
+    for (std::size_t p = 0; p < report->processes.size(); ++p) {
+      const auto& state = report->processes[p];
+      EXPECT_LE(state.waiting_peak, 20u) << "p" << p;
+      EXPECT_LE(state.inbox_peak, 5u) << "p" << p;
+    }
+  }
+}
+
+// --- The sustained-omission family through the checker -------------------
+
+TEST(RecoveryChecker, SustainedOmissionFamilySetsTheSoakKnobs) {
+  ExplorerOptions options;
+  options.base_seed = 7;
+  options.family = Family::kSustainedOmission;
+  for (int i = 0; i < 8; ++i) {
+    const CaseConfig config = generate_case(options, i);
+    EXPECT_GE(config.messages, 96) << "case " << i;
+    EXPECT_GT(config.omission, 0.0) << "case " << i;
+    EXPECT_LT(config.window_end_rtd, 0.0) << "case " << i;  // never closes
+    EXPECT_GT(config.waiting_cap, 0u) << "case " << i;
+    EXPECT_EQ(config.inbox_cap, static_cast<std::size_t>(config.n))
+        << "case " << i;
+    EXPECT_EQ(config.history_threshold, 8u * static_cast<std::size_t>(config.n))
+        << "case " << i;
+    EXPECT_EQ(config.backoff, 1) << "case " << i;
+  }
+}
+
+TEST(RecoveryChecker, SustainedOmissionCasesPassOracleOnSim) {
+  ExplorerOptions options;
+  options.base_seed = 1;
+  options.family = Family::kSustainedOmission;
+  for (int i = 0; i < 3; ++i) {
+    const CaseConfig config = generate_case(options, i);
+    const CaseOutcome outcome = run_case(config);
+    EXPECT_TRUE(outcome.ok())
+        << "case " << i << ": " << outcome.first_problem();
+    for (const Violation& v : outcome.oracle.violations) {
+      EXPECT_NE(v.clause, Clause::kBufferBounds) << v.message;
+    }
+  }
+}
+
+TEST(RecoveryChecker, SustainedOmissionCasePassesOnThreads) {
+  ExplorerOptions options;
+  options.base_seed = 3;
+  options.family = Family::kSustainedOmission;
+  CaseConfig config = generate_case(options, 0);
+  config.backend = harness::Backend::kThreads;
+  const CaseOutcome outcome = run_case(config);
+  EXPECT_TRUE(outcome.ok()) << outcome.first_problem();
+}
+
+TEST(RecoveryChecker, BufferBoundsClauseHasAName) {
+  EXPECT_EQ(to_string(Clause::kBufferBounds), "buffer-bounds");
+}
+
+// --- Case roundtrip with the flow-control knobs --------------------------
+
+TEST(RecoveryChecker, CaseRoundtripPreservesFlowControlKnobs) {
+  CaseConfig config;
+  config.n = 5;
+  config.messages = 120;
+  config.omission = 0.01;
+  config.window_end_rtd = -1.0;
+  config.waiting_cap = 25;
+  config.inbox_cap = 5;
+  config.history_threshold = 40;
+  config.backoff = 2;
+
+  std::string error;
+  const auto parsed = CaseConfig::parse(config.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->waiting_cap, 25u);
+  EXPECT_EQ(parsed->inbox_cap, 5u);
+  EXPECT_EQ(parsed->history_threshold, 40u);
+  EXPECT_EQ(parsed->backoff, 2);
+
+  const harness::ExperimentConfig experiment = parsed->to_experiment();
+  EXPECT_EQ(experiment.protocol.waiting_cap, 25u);
+  EXPECT_EQ(experiment.protocol.inbox_cap, 5u);
+  EXPECT_EQ(experiment.protocol.history_threshold, 40u);
+  EXPECT_EQ(experiment.protocol.recovery_backoff_base, 2);
+}
+
+TEST(RecoveryChecker, CaseWithoutKnobsParsesToDisabled) {
+  CaseConfig config;  // all knobs at their off defaults
+  std::string error;
+  const auto parsed = CaseConfig::parse(config.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->waiting_cap, 0u);
+  EXPECT_EQ(parsed->inbox_cap, 0u);
+  EXPECT_EQ(parsed->history_threshold, 0u);
+  EXPECT_EQ(parsed->backoff, 0);
+}
+
+}  // namespace
+}  // namespace urcgc::check

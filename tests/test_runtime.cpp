@@ -200,9 +200,13 @@ TEST(CrossBackend, SeededWorkloadPassesOnBothBackends) {
     EXPECT_TRUE(report->all_ok()) << report->violations.size()
                                   << " violations";
     // Max network latency (9) is below the round length, so no REQUEST can
-    // ever arrive outside its inbox window on either backend.
+    // ever arrive outside its inbox window on either backend — and on the
+    // datagram substrate nothing duplicates frames, so the coordinator
+    // inbox must never see (let alone merge away) a duplicate REQUEST.
     for (const auto& process : report->processes) {
       EXPECT_EQ(process.requests_dropped, 0u);
+      EXPECT_EQ(process.inbox_duplicates, 0u);
+      EXPECT_EQ(process.inbox_overflow, 0u);
     }
   }
   // Fault-free: the full offered load is generated and processed

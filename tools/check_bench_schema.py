@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_throughput.json document against the documented schema.
+"""Validate a bench JSON document against its documented schema.
 
-Stdlib-only, used by the CI bench-smoke job and by hand after regenerating
-the baseline (see PERFORMANCE.md for the field-by-field schema). Exits 0 on
-success, 1 with a list of violations otherwise.
+Dispatches on the document's "bench" field: BENCH_throughput.json
+(bench_throughput) and BENCH_recovery.json (bench_recovery) are both
+supported. Stdlib-only, used by the CI bench-smoke job and by hand after
+regenerating a baseline (see PERFORMANCE.md for the field-by-field
+schemas). Exits 0 on success, 1 with a list of violations otherwise.
 
-Usage: check_bench_schema.py BENCH_throughput.json
+Usage: check_bench_schema.py BENCH_file.json
 """
 
 import json
@@ -23,7 +25,7 @@ TOP_LEVEL = {
     "runs": list,
 }
 
-RUN_FIELDS = {
+THROUGHPUT_RUN_FIELDS = {
     "protocol": str,
     "backend": str,
     "payload_mode": str,
@@ -45,9 +47,83 @@ RUN_FIELDS = {
     "ok": bool,
 }
 
+RECOVERY_RUN_FIELDS = {
+    "backend": str,
+    "n": int,
+    "omission": (int, float),
+    "max_recover_batch": int,
+    "seed": int,
+    "messages_generated": int,
+    "recoveries_issued": int,
+    "recovery_batches": int,
+    "recovered_messages": int,
+    "recovery_continuations": int,
+    "recovery_budget_exhausted": int,
+    "recovery_cache_hits": int,
+    "recover_rsp_bytes": int,
+    "roundtrips_per_recovered": (int, float),
+    "bytes_per_recovered": (int, float),
+    "recovery_latency_rtd_p50": (int, float),
+    "recovery_latency_rtd_p99": (int, float),
+    "waiting_peak": int,
+    "inbox_peak": int,
+    "history_peak": int,
+    "wall_seconds": (int, float),
+    "ok": bool,
+}
+
 PROTOCOLS = {"urcgc", "cbcast", "psync"}
 BACKENDS = {"sim", "threads"}
 PAYLOAD_MODES = {"shared", "per_copy"}
+
+
+def check_common_run(run, where, run_fields, err):
+    """Field presence/type checks shared by every bench flavour."""
+    bad = False
+    for field, kind in run_fields.items():
+        if field not in run:
+            err(f"{where} missing field {field!r}")
+            bad = True
+        elif not isinstance(run[field], kind) or isinstance(
+                run[field], bool) != (kind is bool):
+            err(f"{where}.{field} has wrong type")
+            bad = True
+    for field in run:
+        if field not in run_fields:
+            err(f"{where} has unknown field {field!r}")
+            bad = True
+    return not bad
+
+
+def check_throughput_run(run, where, err):
+    if run["protocol"] not in PROTOCOLS:
+        err(f"{where}.protocol {run['protocol']!r} not in "
+            f"{sorted(PROTOCOLS)}")
+    if run["payload_mode"] not in PAYLOAD_MODES:
+        err(f"{where}.payload_mode {run['payload_mode']!r} not in "
+            f"{sorted(PAYLOAD_MODES)}")
+    if run["payload_bytes"] <= 0:
+        err(f"{where}.payload_bytes must be positive")
+    if run["messages_delivered"] < run["messages_generated"]:
+        # Every generated message is delivered at least at its origin.
+        err(f"{where}: delivered {run['messages_delivered']} < "
+            f"generated {run['messages_generated']}")
+    if run["payload_mode"] == "shared" and run["buffer_bytes_copied"]:
+        err(f"{where}: shared-mode run copied "
+            f"{run['buffer_bytes_copied']} bytes (zero-copy regression)")
+
+
+def check_recovery_run(run, where, err):
+    if not 0.0 <= run["omission"] <= 1.0:
+        err(f"{where}.omission {run['omission']} outside [0, 1]")
+    if run["max_recover_batch"] < 1:
+        err(f"{where}.max_recover_batch must be >= 1")
+    if run["recovered_messages"] > 0 and run["recoveries_issued"] == 0:
+        err(f"{where}: recovered messages without any recovery request")
+    if run["recovery_continuations"] > run["recoveries_issued"]:
+        err(f"{where}: continuations exceed recoveries issued")
+    if run["recovered_messages"] and not run["recover_rsp_bytes"]:
+        err(f"{where}: recovered messages but zero RecoverRsp bytes")
 
 
 def check(doc):
@@ -70,8 +146,15 @@ def check(doc):
     if doc["schema_version"] != EXPECTED_SCHEMA_VERSION:
         err(f"schema_version {doc['schema_version']} != "
             f"{EXPECTED_SCHEMA_VERSION}")
-    if doc["bench"] != "bench_throughput":
-        err(f"bench is {doc['bench']!r}, expected 'bench_throughput'")
+    flavours = {
+        "bench_throughput": (THROUGHPUT_RUN_FIELDS, check_throughput_run),
+        "bench_recovery": (RECOVERY_RUN_FIELDS, check_recovery_run),
+    }
+    if doc["bench"] not in flavours:
+        err(f"bench is {doc['bench']!r}, expected one of "
+            f"{sorted(flavours)}")
+        return errors
+    run_fields, check_specific = flavours[doc["bench"]]
     if not doc["runs"]:
         err("runs is empty")
 
@@ -80,41 +163,18 @@ def check(doc):
         if not isinstance(run, dict):
             err(f"{where} is not an object")
             continue
-        for field, kind in RUN_FIELDS.items():
-            if field not in run:
-                err(f"{where} missing field {field!r}")
-            elif not isinstance(run[field], kind) or isinstance(
-                    run[field], bool) != (kind is bool):
-                err(f"{where}.{field} has wrong type")
-        for field in run:
-            if field not in RUN_FIELDS:
-                err(f"{where} has unknown field {field!r}")
-        if errors:
+        if not check_common_run(run, where, run_fields, err):
             continue
-        if run["protocol"] not in PROTOCOLS:
-            err(f"{where}.protocol {run['protocol']!r} not in "
-                f"{sorted(PROTOCOLS)}")
         if run["backend"] not in BACKENDS:
             err(f"{where}.backend {run['backend']!r} not in "
                 f"{sorted(BACKENDS)}")
-        if run["payload_mode"] not in PAYLOAD_MODES:
-            err(f"{where}.payload_mode {run['payload_mode']!r} not in "
-                f"{sorted(PAYLOAD_MODES)}")
         if run["n"] < 2:
             err(f"{where}.n = {run['n']} < 2")
-        if run["payload_bytes"] <= 0:
-            err(f"{where}.payload_bytes must be positive")
-        if run["messages_delivered"] < run["messages_generated"]:
-            # Every generated message is delivered at least at its origin.
-            err(f"{where}: delivered {run['messages_delivered']} < "
-                f"generated {run['messages_generated']}")
         if run["wall_seconds"] < 0:
             err(f"{where}.wall_seconds negative")
-        if run["payload_mode"] == "shared" and run["buffer_bytes_copied"]:
-            err(f"{where}: shared-mode run copied "
-                f"{run['buffer_bytes_copied']} bytes (zero-copy regression)")
         if not run["ok"]:
             err(f"{where}: run reported validation failure (ok=false)")
+        check_specific(run, where, err)
     return errors
 
 

@@ -39,6 +39,7 @@ struct Options {
   int seeds = 100;
   std::uint64_t base_seed = 1;
   std::string backend = "sim";  // sim | threads | both
+  std::string family = "any";
   std::string mutation = "none";
   bool shrink = false;
   int max_failures = 1;
@@ -58,6 +59,9 @@ struct Options {
       "  --seeds=N              executions per backend (default 100)\n"
       "  --base-seed=S          first seed; execution i uses S+i (1)\n"
       "  --backend=sim|threads|both   runtime backend(s) to explore (sim)\n"
+      "  --family=NAME          restrict generation to one scenario\n"
+      "                         family: any | fault-free | omission-window\n"
+      "                         | crashes | partition | sustained-omission\n"
       "  --mutation=NAME        inject a protocol defect (checker\n"
       "                         self-test): none | skip-request-merge |\n"
       "                         ignore-one-dep\n"
@@ -98,6 +102,8 @@ Options parse(int argc, char** argv) {
       opt.base_seed = std::strtoull(value.data(), nullptr, 10);
     } else if (consume(arg, "--backend", value)) {
       opt.backend = value;
+    } else if (consume(arg, "--family", value)) {
+      opt.family = value;
     } else if (consume(arg, "--mutation", value)) {
       opt.mutation = value;
     } else if (arg == "--shrink") {
@@ -128,6 +134,16 @@ Options parse(int argc, char** argv) {
     usage(argv[0]);
   }
   return opt;
+}
+
+check::Family parse_family(const std::string& name, const char* argv0) {
+  if (name == "any") return check::Family::kAny;
+  if (name == "fault-free") return check::Family::kFaultFree;
+  if (name == "omission-window") return check::Family::kOmissionWindow;
+  if (name == "crashes") return check::Family::kCrashes;
+  if (name == "partition") return check::Family::kPartition;
+  if (name == "sustained-omission") return check::Family::kSustainedOmission;
+  usage(argv0);
 }
 
 core::ProtocolMutation parse_mutation(const std::string& name,
@@ -243,6 +259,7 @@ int main(int argc, char** argv) {
     explorer.backend = backend_name == "threads"
                            ? harness::Backend::kThreads
                            : harness::Backend::kSim;
+    explorer.family = parse_family(opt.family, argv[0]);
     explorer.mutation = mutation;
     explorer.max_failures = opt.max_failures;
     explorer.metrics = &metrics;
