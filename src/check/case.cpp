@@ -66,6 +66,8 @@ harness::ExperimentConfig CaseConfig::to_experiment() const {
   config.workload.total_messages = messages;
   config.workload.load = load;
   config.workload.cross_dep_prob = cross_dep_prob;
+  config.protocol.max_subruns_in_flight = pipeline_k;
+  config.workload.burst = pipeline_k;
   config.faults.omission_prob = omission;
   config.faults.packet_loss = packet_loss;
   config.faults.window_start_rtd = window_start_rtd;
@@ -96,6 +98,7 @@ std::string CaseConfig::serialize() const {
   os << "backend="
      << (backend == harness::Backend::kThreads ? "threads" : "sim") << "\n";
   os << "mutation=" << core::to_string(mutation) << "\n";
+  if (pipeline_k > 1) os << "pipeline_k=" << pipeline_k << "\n";
   os << "limit_rtd=" << limit_rtd << "\n";
   if (omission > 0.0) os << "omission=" << omission << "\n";
   if (packet_loss > 0.0) os << "packet_loss=" << packet_loss << "\n";
@@ -193,6 +196,9 @@ std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
       } else {
         return bad();
       }
+    } else if (key == "pipeline_k") {
+      if (!parse_int(value, &i64) || i64 < 1) return bad();
+      out.pipeline_k = static_cast<int>(i64);
     } else if (key == "limit_rtd") {
       if (!parse_double(value, &out.limit_rtd)) return bad();
     } else if (key == "omission") {

@@ -13,6 +13,7 @@
 //   schedule=3
 //   backend=sim
 //   mutation=none
+//   pipeline_k=4          # subruns in flight; absent = 1 (paced seed path)
 //   omission=0.002
 //   packet_loss=0
 //   window=0:5            # omission window in rtd; absent = open
@@ -37,6 +38,11 @@ struct CaseConfig {
   std::uint64_t schedule = 0;  // sim event-order salt
   harness::Backend backend = harness::Backend::kSim;
   core::ProtocolMutation mutation = core::ProtocolMutation::kNone;
+
+  /// Delivery pipelining depth (Config::max_subruns_in_flight); the
+  /// workload burst is raised to match so generation can actually use the
+  /// budget. 1 = the paced seed path.
+  int pipeline_k = 1;
 
   double omission = 0.0;
   double packet_loss = 0.0;

@@ -125,6 +125,16 @@ CaseConfig generate_case(const ExplorerOptions& options, int index) {
     }
     default: break;
   }
+
+  // Pipelining depth: drawn last, and only when there is a real choice, so
+  // the default {1} leaves every draw above (and thus every seeded
+  // expectation, including the shrinker's pinned repros) untouched.
+  if (options.pipeline_k_choices.size() > 1) {
+    config.pipeline_k = options.pipeline_k_choices[static_cast<std::size_t>(
+        rng.uniform(options.pipeline_k_choices.size()))];
+  } else if (!options.pipeline_k_choices.empty()) {
+    config.pipeline_k = options.pipeline_k_choices.front();
+  }
   return config;
 }
 
@@ -156,6 +166,10 @@ CaseOutcome run_case(const CaseConfig& config,
   // Transient decision forks are legitimate whenever faults can delay or
   // hide decisions; only fault-free runs must produce a single sequence.
   oracle.check_decision_fork = config.fault_free();
+  // Same envelope for the continuity half: only crashes/partitions may
+  // legitimately void coordinator turns, so fault-free traces — pipelined
+  // or paced — must decide every subrun they touch.
+  oracle.check_decision_continuity = config.fault_free();
   outcome.oracle = check_trace(recorder.events(), oracle);
 
   if (!report.quiescent) {

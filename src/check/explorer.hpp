@@ -46,6 +46,10 @@ struct ExplorerOptions {
   Family family = Family::kAny;
   /// Defect injected into every generated case (checker self-test).
   core::ProtocolMutation mutation = core::ProtocolMutation::kNone;
+  /// Pipelining depths to sweep; each case draws one uniformly. The
+  /// default {1} performs no rng draw at all, so classic sweeps and their
+  /// seeded expectations are byte-identical to pre-pipelining explorers.
+  std::vector<int> pipeline_k_choices = {1};
   /// Stop after this many violating cases (0 = never stop early).
   int max_failures = 1;
   /// Host-shard progress counters (check.executions, check.violations,

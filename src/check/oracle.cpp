@@ -152,6 +152,9 @@ class OracleRun {
       }
       last_subrun_[c] = std::max(last_subrun_[c], event.subrun);
     }
+    if (options_.check_decision_continuity) {
+      decided_subruns_.insert(event.subrun);
+    }
 
     // C4b (optional, fault-free runs): all decisions for one subrun agree.
     if (options_.check_decision_fork) {
@@ -233,6 +236,27 @@ class OracleRun {
       }
     }
 
+    // C4c continuity: the decided-subrun set has no hole. Order-insensitive
+    // (a set scan), so the threaded backend's recorder interleaving cannot
+    // produce false positives; eager delivery at k > 1 legitimately lets
+    // decisions trail, but never skip.
+    if (options_.check_decision_continuity && !decided_subruns_.empty()) {
+      SubrunId expect = *decided_subruns_.begin();
+      for (const SubrunId s : decided_subruns_) {
+        if (s != expect) {
+          std::ostringstream os;
+          os << "decision sequence has a hole: subrun " << expect
+             << " was never decided (decisions cover "
+             << *decided_subruns_.begin() << ".."
+             << *decided_subruns_.rbegin() << ")";
+          violate(Clause::kDecisionSequence, -1, end_tick, kNoProcess,
+                  os.str());
+          break;
+        }
+        ++expect;
+      }
+    }
+
     // C1 bounded time: messages generated early enough must reach every
     // survivor within the bound.
     if (options_.atomicity_bound_ticks > 0) {
@@ -279,6 +303,7 @@ class OracleRun {
   std::vector<std::vector<PrefixTracker>> prefixes_;  // [process][origin]
   std::vector<Tick> halted_at_;
   std::vector<SubrunId> last_subrun_;
+  std::set<SubrunId> decided_subruns_;
   std::unordered_map<SubrunId, DecisionSnapshot> decisions_by_subrun_;
 };
 

@@ -75,6 +75,14 @@ struct OracleOptions {
   /// forks are legitimate under faults and partitions, so explorers enable
   /// this for fault-free cases only.
   bool check_decision_fork = false;
+  /// Enforce gap-free decision coverage (C4's continuity half): every
+  /// subrun between the first and the last decided subrun must carry at
+  /// least one decision. With pipelined generation (max_subruns_in_flight
+  /// k > 1) the commitment trail runs k subruns behind the data plane, but
+  /// it must never skip a subrun — a hole means a coordinator turn was
+  /// dropped, not merely delayed. Fault-free runs only: crashes
+  /// legitimately void the victim coordinator's turns.
+  bool check_decision_continuity = false;
 };
 
 struct OracleReport {

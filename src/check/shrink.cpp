@@ -152,6 +152,14 @@ ShrinkResult shrink_case(const CaseConfig& failing,
       candidate.cross_dep_prob = 0.0;
       if (try_candidate(std::move(candidate))) progressed = true;
     }
+
+    // 5. Depipeline: a repro that still fails at k=1 removes the whole
+    //    in-flight dimension from the diagnosis.
+    if (best.pipeline_k > 1) {
+      CaseConfig candidate = best;
+      candidate.pipeline_k = 1;
+      if (try_candidate(std::move(candidate))) progressed = true;
+    }
   }
 
   result.minimal = std::move(best);

@@ -112,6 +112,21 @@ struct Config {
   /// Maximum application messages a recovery response PDU may carry.
   int max_recover_batch = 8;
 
+  /// k — DECISION pipelining depth: how many subruns may have their
+  /// decision outstanding before the data plane throttles back to the
+  /// paper's paced rate. 1 (the default) is the paper's cadence — the
+  /// decision of subrun s-1 is awaited at the entry of subrun s, one
+  /// coordinator inbox window is open at a time, and at most one message
+  /// is generated per round — and is bit-identical to the pre-pipelining
+  /// behavior. k>1 lets generation run at k messages per round while the
+  /// decision lag stays under k, keeps the last k inbox windows open so
+  /// late REQUESTs still join their subrun's quorum, and waits the
+  /// failure detector on the decision of subrun s-k (so K misses take up
+  /// to k-1 extra subruns to accumulate — the price of the pipeline).
+  /// Eager causal delivery itself is unconditional: messages are
+  /// processed the moment their dependency labels are satisfied, at any k.
+  int max_subruns_in_flight = 1;
+
   /// Maintain the stability-boundary window inside decisions, enabling the
   /// TotalOrderAdapter (urgc-companion totally ordered delivery). Costs
   /// ~4n bytes per boundary kept in every decision.

@@ -21,10 +21,12 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
       metrics_(metrics),
       mt_(config, self, observer),
       latest_(Decision::initial(config.n)),
+      pipeline_(config.max_subruns_in_flight, config.inbox_cap),
       recovery_(config.n) {
   URCGC_ASSERT(self >= 0 && self < config.n);
   URCGC_ASSERT(config.k_attempts >= 1);
   URCGC_ASSERT(config.r_recovery >= 1);
+  URCGC_ASSERT(config.max_subruns_in_flight >= 1);
   URCGC_ASSERT_MSG(config.structure == GroupStructure::kPeer ||
                        (config.server_count >= 1 &&
                         config.server_count <= config.n),
@@ -57,6 +59,12 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
         metrics_->counter("core.backpressure_inbox_duplicates");
     m_.bp_inbox_overflow =
         metrics_->counter("core.backpressure_inbox_overflow");
+    m_.pipeline_eager_deliveries =
+        metrics_->counter("core.pipeline_eager_deliveries");
+    m_.pipeline_stall_rounds =
+        metrics_->counter("core.pipeline_stall_rounds");
+    m_.pipeline_subruns_in_flight =
+        metrics_->counter("core.pipeline_subruns_in_flight");
   }
 }
 
@@ -141,25 +149,28 @@ void UrcgcProcess::on_round(RoundId round) {
 }
 
 void UrcgcProcess::request_round(SubrunId subrun) {
-  // Close the books on the previous subrun: did any decision reach us?
-  // "A process that fails to receive from K consecutive coordinators
+  // Close the books on the oldest in-flight subrun: did its decision reach
+  // us? "A process that fails to receive from K consecutive coordinators
   // autonomously leaves the group" — but a subrun without a decision is
   // only evidence of *our* receive failure when nothing else reached us
   // either. When app messages or requests still flow, the missing decision
   // is the coordinator's crash, which the algorithm absorbs by resuming the
   // decision activity at the next subrun; counting those subruns would make
   // the whole group desert after f >= K consecutive coordinator crashes.
-  // Misses are counted against the subrun actually being awaited: only a
-  // decision at least as fresh as subrun-1 proves that subrun's
-  // coordinator reached us. A *delayed* decision from an earlier subrun
-  // arriving during subrun-1 must not zero the accumulated count — it says
-  // nothing about the coordinator we were waiting for — though, as any
-  // received datagram, it does keep the silence guard below from charging
-  // the subrun as a receive failure.
-  if (subrun > 0) {
-    if (latest_.decided_at >= subrun - 1) {
+  // Misses are counted against the subrun actually being awaited — with a
+  // pipeline of depth k, that is subrun-k (s-1 at the paper's k=1): only a
+  // decision at least as fresh as it proves that subrun's coordinator
+  // reached us; the decisions of the younger in-flight subruns are not due
+  // yet. A *delayed* decision from an earlier subrun arriving meanwhile
+  // must not zero the accumulated count — it says nothing about the
+  // coordinator we were waiting for — though, as any received datagram, it
+  // does keep the silence guard below from charging the subrun as a
+  // receive failure.
+  const SubrunId awaited = pipeline_.awaited(subrun);
+  if (awaited >= 0) {
+    if (latest_.decided_at >= awaited) {
       missed_decisions_ = 0;
-    } else if (last_datagram_at_ < rt_.clock().subrun_start(subrun - 1)) {
+    } else if (last_datagram_at_ < rt_.clock().subrun_start(awaited)) {
       ++missed_decisions_;
       if (missed_decisions_ >= config_.k_attempts) {
         halt(HaltReason::kNoCoordinator);
@@ -168,27 +179,48 @@ void UrcgcProcess::request_round(SubrunId subrun) {
     }
   }
 
-  // Reset the coordinator inbox for the subrun we are entering; stale
-  // requests from a previous subrun must not leak into this decision.
-  if (inbox_subrun_ != subrun) {
-    inbox_.clear();
-    inbox_subrun_ = subrun;
-  }
+  // Open the collection window for the subrun we are entering; windows
+  // that fell out of the k-deep span are evicted — stale requests from a
+  // closed subrun must not leak into a younger decision.
+  pipeline_.open_window(subrun);
 
   issue_recoveries(subrun);
   if (halted_) return;  // recovery exhaustion may have made us leave
 
-  generate_one(rt_.now());
+  const auto in_flight = static_cast<std::uint64_t>(
+      pipeline_.decisions_in_flight(subrun, latest_.decided_at));
+  if (in_flight > 0) {
+    counters_.pipeline_subruns_in_flight += in_flight;
+    bump(m_.pipeline_subruns_in_flight, in_flight);
+  }
+
+  generate_burst(subrun);
   send_request(subrun);
 }
 
-void UrcgcProcess::generate_one(Tick now) {
-  if (user_queue_.empty()) return;
+void UrcgcProcess::generate_burst(SubrunId subrun) {
+  if (pipeline_.stalled(subrun, latest_.decided_at) &&
+      !user_queue_.empty()) {
+    // The decision lag reached the pipeline depth with traffic queued:
+    // the data plane throttles back to the paced rate until the control
+    // plane catches up.
+    ++counters_.pipeline_stall_rounds;
+    bump(m_.pipeline_stall_rounds);
+  }
+  const int budget =
+      pipeline_.generation_budget(subrun, latest_.decided_at);
+  for (int i = 0; i < budget; ++i) {
+    if (!generate_one(rt_.now())) break;
+  }
+}
+
+bool UrcgcProcess::generate_one(Tick now) {
+  if (user_queue_.empty()) return false;
   if (flow_blocked()) {
     ++counters_.flow_blocked_rounds;
     bump(m_.flow_blocked_rounds);
     if (observer_ != nullptr) observer_->on_flow_blocked(self_, now);
-    return;
+    return false;
   }
   if (backpressured()) {
     // Admission pause: our waiting list is at its hard cap, so the causal
@@ -197,7 +229,7 @@ void UrcgcProcess::generate_one(Tick now) {
     ++counters_.backpressure_paused_rounds;
     bump(m_.bp_paused_rounds);
     if (observer_ != nullptr) observer_->on_flow_blocked(self_, now);
-    return;
+    return false;
   }
   auto [payload, user_deps] = std::move(user_queue_.front());
   user_queue_.pop_front();
@@ -214,7 +246,26 @@ void UrcgcProcess::generate_one(Tick now) {
   if (observer_ != nullptr) observer_->on_generated(self_, msg, now);
 
   broadcast_pdu(encode_pdu(msg), stats::MsgClass::kAppData);
-  mt_.submit(msg, now);  // the sender processes its own message at once
+  submit_tracked(msg, now);  // the sender processes its own message at once
+  return true;
+}
+
+MtEntity::SubmitResult UrcgcProcess::submit_tracked(const AppMessage& msg,
+                                                    Tick now) {
+  const std::size_t before = mt_.processing_log().size();
+  const auto result = mt_.submit(msg, now);
+  const std::size_t delta = mt_.processing_log().size() - before;
+  // Eager deliveries: everything processed while the local decision lags
+  // the current subrun beyond the paced lag of one — the data plane
+  // running ahead of a control plane that has not yet caught up. At k=1
+  // this only happens when decisions are genuinely delayed (faults); with
+  // k>1 it is the pipeline's normal operating mode.
+  if (delta > 0 &&
+      latest_.decided_at < rt_.clock().subrun_of(now) - 1) {
+    counters_.pipeline_eager_deliveries += delta;
+    bump(m_.pipeline_eager_deliveries, delta);
+  }
+  return result;
 }
 
 std::vector<Mid> UrcgcProcess::build_deps(std::vector<Mid> user_deps,
@@ -267,19 +318,19 @@ void UrcgcProcess::send_request(SubrunId subrun) {
 
 void UrcgcProcess::decision_round(SubrunId subrun) {
   // "At each round ... [a process] can broadcast a new message": the
-  // service's maximum rate is one message per round, so decision rounds
-  // carry user traffic too.
-  generate_one(rt_.now());
+  // service's per-round rate applies to decision rounds too, so they
+  // carry user traffic as well.
+  generate_burst(subrun);
   if (coordinator_of(subrun) == self_) {
     act_as_coordinator(subrun);
   }
 }
 
 void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
-  if (inbox_subrun_ != subrun) {
-    inbox_.clear();
-    inbox_subrun_ = subrun;
-  }
+  // Consume and close this subrun's collection window; REQUESTs arriving
+  // after this point are late and dropped with accounting. The younger
+  // in-flight windows (k>1) stay open for their own decision rounds.
+  std::vector<Request> inbox = pipeline_.take_window(subrun);
 
   CoordinatorInputs inputs;
   inputs.subrun = subrun;
@@ -292,13 +343,11 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
   // Freshest decision circulating: our own copy or one embedded in a
   // request (resilience t=(n-1)/2 guarantees at least one fresh copy).
   std::vector<const Decision*> candidates{&latest_};
-  for (const Request& rq : inbox_) {
+  for (const Request& rq : inbox) {
     candidates.push_back(&rq.prev_decision);
   }
   inputs.base = freshest(candidates);
-  inputs.requests = std::move(inbox_);
-  inbox_.clear();
-  inbox_subrun_ = -1;
+  inputs.requests = std::move(inbox);
 
   Decision d = compute_decision(inputs);
   ++counters_.decisions_made;
@@ -495,38 +544,36 @@ void UrcgcProcess::handle_request(Request rq) {
     }
     return;
   }
-  if (rq.subrun != inbox_subrun_) {
-    // Late or early: the inbox window for that subrun is closed (or never
-    // opened here). Each drop silently shrinks a decision quorum, so it is
-    // accounted and surfaced rather than vanishing.
-    ++counters_.requests_dropped;
-    bump(m_.requests_dropped);
-    if (observer_ != nullptr) {
-      observer_->on_request_dropped(self_, rq.from, rq.subrun, rt_.now());
-    }
-    return;
-  }
-  for (const Request& held : inbox_) {
-    if (held.from == rq.from) {
-      // Duplicate REQUEST (same sender, same subrun — the window check
-      // above pinned the subrun): merging it would change nothing, and
-      // accumulating it would let a retransmitting peer grow the inbox
-      // without bound. Drop and count.
+  const ProcessId from = rq.from;
+  const SubrunId rq_subrun = rq.subrun;
+  switch (pipeline_.admit(std::move(rq))) {
+    case SubrunPipeline::Admit::kAccepted:
+      return;
+    case SubrunPipeline::Admit::kClosed:
+      // Late or early: no window is open for that subrun here (consumed,
+      // evicted, or never opened). Each drop silently shrinks a decision
+      // quorum, so it is accounted and surfaced rather than vanishing.
+      ++counters_.requests_dropped;
+      bump(m_.requests_dropped);
+      if (observer_ != nullptr) {
+        observer_->on_request_dropped(self_, from, rq_subrun, rt_.now());
+      }
+      return;
+    case SubrunPipeline::Admit::kDuplicate:
+      // Duplicate REQUEST (same sender, same subrun): merging it would
+      // change nothing, and accumulating it would let a retransmitting
+      // peer grow the inbox without bound. Drop and count.
       ++counters_.inbox_duplicates;
       bump(m_.bp_inbox_duplicates);
       return;
-    }
+    case SubrunPipeline::Admit::kOverflow:
+      ++counters_.inbox_overflow;
+      bump(m_.bp_inbox_overflow);
+      if (observer_ != nullptr) {
+        observer_->on_request_dropped(self_, from, rq_subrun, rt_.now());
+      }
+      return;
   }
-  if (config_.inbox_cap > 0 && inbox_.size() >= config_.inbox_cap) {
-    ++counters_.inbox_overflow;
-    bump(m_.bp_inbox_overflow);
-    if (observer_ != nullptr) {
-      observer_->on_request_dropped(self_, rq.from, rq.subrun, rt_.now());
-    }
-    return;
-  }
-  inbox_.push_back(std::move(rq));
-  inbox_peak_ = std::max(inbox_peak_, inbox_.size());
 }
 
 void UrcgcProcess::handle_recover_rq(const RecoverRq& rq) {
@@ -569,7 +616,7 @@ void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
   for (const AppMessage& msg : rsp.messages) {
     max_seq = std::max(max_seq, msg.mid.seq);
     if (drop_if_zombie(msg)) continue;
-    const auto result = mt_.submit(msg, rt_.now());
+    const auto result = submit_tracked(msg, rt_.now());
     if (result == MtEntity::SubmitResult::kProcessed ||
         result == MtEntity::SubmitResult::kParked) {
       ++recovered;
@@ -652,7 +699,7 @@ void UrcgcProcess::on_datagram(ProcessId src,
             payload.deps.pop_back();
           }
           if (!drop_if_zombie(payload) &&
-              mt_.submit(payload, rt_.now()) ==
+              submit_tracked(payload, rt_.now()) ==
                   MtEntity::SubmitResult::kRejected) {
             ++counters_.waiting_rejected;
             bump(m_.bp_waiting_rejected);

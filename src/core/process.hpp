@@ -8,14 +8,23 @@
 //
 //   request round (2s):   poll fail-stop faults; account missed decisions
 //                         (K misses => leave); issue history recovery
-//                         (R fruitless attempts => leave); generate at most
-//                         one user message (unless flow-controlled);
-//                         send REQUEST to the subrun's rotating coordinator.
+//                         (R fruitless attempts => leave); generate up to
+//                         the pipeline's budget of user messages (unless
+//                         flow-controlled); send REQUEST to the subrun's
+//                         rotating coordinator.
 //   decision round (2s+1): the coordinator merges the requests it heard
 //                         with the freshest circulating decision, applies
 //                         and broadcasts the result.
 //   any time:             datagrams arrive — app messages, requests,
 //                         decisions, recovery PDUs.
+//
+// The data plane (eager causal delivery through MtEntity's waiting list)
+// is decoupled from the subrun cadence: the cadence-coupled control state
+// — the failure detector's awaited decision, the coordinator inbox
+// windows, the per-round generation budget — lives in SubrunPipeline,
+// parameterized by Config::max_subruns_in_flight (k). k=1 reproduces the
+// paper's paced behavior bit for bit; k>1 lets up to k DECISIONs trail in
+// flight while generation and delivery run ahead.
 //
 // The user-facing SAP is data_rq(): payload plus optional explicit causal
 // dependencies, confirmed locally when the message is generated, with the
@@ -32,6 +41,7 @@
 #include "core/mt_entity.hpp"
 #include "core/observer.hpp"
 #include "core/pdu.hpp"
+#include "core/pipeline.hpp"
 #include "fault/injector.hpp"
 #include "net/endpoint.hpp"
 #include "obs/registry.hpp"
@@ -58,8 +68,9 @@ class UrcgcProcess {
 
   // ---- Service access point (urcgc_data_Rq) ----
 
-  /// Queues a payload for multicast. At most one queued message is
-  /// generated per round (the paper's maximum service rate). `deps` are the
+  /// Queues a payload for multicast. At most the pipeline budget's worth
+  /// of queued messages is generated per round (one at k=1, the paper's
+  /// maximum service rate). `deps` are the
   /// user-declared causal predecessors; the causality mode may add implicit
   /// ones (own predecessor under kIntermediate, everyone's last message
   /// under kTemporal). Returns false if the process has halted.
@@ -100,11 +111,21 @@ class UrcgcProcess {
   /// the first process at or cyclically after (s mod n) it believes alive.
   [[nodiscard]] ProcessId coordinator_of(SubrunId s) const;
 
-  /// Requests currently parked in the coordinator inbox (the open subrun's
-  /// collection window) — a per-round observability gauge.
-  [[nodiscard]] std::size_t inbox_size() const { return inbox_.size(); }
-  /// Exact inbox occupancy high-water mark over the whole run.
-  [[nodiscard]] std::size_t inbox_peak() const { return inbox_peak_; }
+  /// Requests currently parked across the open coordinator inbox windows
+  /// — a per-round observability gauge.
+  [[nodiscard]] std::size_t inbox_size() const { return pipeline_.parked(); }
+  /// Exact high-water mark of a single window's occupancy over the whole
+  /// run — the buffer-bounds clause compares this against inbox_cap.
+  [[nodiscard]] std::size_t inbox_peak() const {
+    return pipeline_.window_peak();
+  }
+
+  /// Decisions outstanding at the entry of `subrun` under this process's
+  /// freshest decision (0 when fully caught up) — the per-round
+  /// decisions-in-flight gauge.
+  [[nodiscard]] int decisions_in_flight(SubrunId subrun) const {
+    return pipeline_.decisions_in_flight(subrun, latest_.decided_at);
+  }
 
   /// True while the waiting list sits at its hard cap — the sender-side
   /// admission pause: generating more traffic would only be rejected again
@@ -142,6 +163,15 @@ class UrcgcProcess {
     std::uint64_t backpressure_paused_rounds = 0;
     std::uint64_t inbox_duplicates = 0;
     std::uint64_t inbox_overflow = 0;
+    /// Pipelining family: messages delivered while the local decision
+    /// trailed the current subrun by more than the paced lag (the data
+    /// plane running ahead of the control plane); request rounds entered
+    /// with the generation budget collapsed because the decision lag
+    /// reached the pipeline depth; and the sum of decisions-in-flight
+    /// over request rounds (divide by subruns for the mean depth).
+    std::uint64_t pipeline_eager_deliveries = 0;
+    std::uint64_t pipeline_stall_rounds = 0;
+    std::uint64_t pipeline_subruns_in_flight = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -151,7 +181,17 @@ class UrcgcProcess {
 
   void request_round(SubrunId subrun);
   void decision_round(SubrunId subrun);
-  void generate_one(Tick now);
+  /// Generates up to the pipeline's budget for this round; each round of
+  /// a subrun gets its own budget, so one subrun moves at most 2k user
+  /// messages (2 at k=1, the paper's maximum service rate).
+  void generate_burst(SubrunId subrun);
+  /// Generates at most one queued message; false when the queue is empty
+  /// or generation is paused (flow control / backpressure).
+  bool generate_one(Tick now);
+  /// mt_.submit plus eager-delivery accounting: every message processed
+  /// by the submission (cascaded releases included) while the decision
+  /// lag exceeds the paced one counts as an eager delivery.
+  MtEntity::SubmitResult submit_tracked(const AppMessage& msg, Tick now);
   void send_request(SubrunId subrun);
   void act_as_coordinator(SubrunId subrun);
   void apply_decision(const Decision& d);
@@ -218,6 +258,9 @@ class UrcgcProcess {
     obs::Metric bp_paused_rounds;
     obs::Metric bp_inbox_duplicates;
     obs::Metric bp_inbox_overflow;
+    obs::Metric pipeline_eager_deliveries;
+    obs::Metric pipeline_stall_rounds;
+    obs::Metric pipeline_subruns_in_flight;
   } m_;
   MtEntity mt_;
 
@@ -226,14 +269,15 @@ class UrcgcProcess {
   std::deque<std::pair<std::vector<std::uint8_t>, std::vector<Mid>>>
       user_queue_;
 
-  // Coordinator inbox for the subrun currently being collected.
-  std::vector<Request> inbox_;
-  SubrunId inbox_subrun_ = -1;
+  // Control-plane cadence state: the coordinator inbox windows (k deep),
+  // the awaited-decision rule and the per-round generation budget.
+  SubrunPipeline pipeline_;
 
   // Failure-detection bookkeeping. The decision awaited at the start of
-  // subrun s is the one of subrun s-1; it counts as received only when
-  // latest_.decided_at has reached s-1 (a delayed decision from an older
-  // subrun must not mask a dead coordinator).
+  // subrun s is the one of subrun s-k (k = pipeline depth; s-1 at the
+  // paper's k=1); it counts as received only when latest_.decided_at has
+  // reached it (a delayed decision from an older subrun must not mask a
+  // dead coordinator).
   int missed_decisions_ = 0;
   Tick last_datagram_at_ = -1;
 
@@ -264,8 +308,6 @@ class UrcgcProcess {
     wire::SharedBuffer frame;
   };
   ServeCache serve_cache_;
-
-  std::size_t inbox_peak_ = 0;
 
   bool halted_ = false;
   HaltReason halt_reason_ = HaltReason::kNone;

@@ -187,6 +187,7 @@ ExperimentReport Experiment::run() {
     tc.n = n;
     tc.clock = clock;
     tc.tick_duration = std::chrono::nanoseconds(config_.thread_tick_ns);
+    tc.lockfree_mailboxes = config_.lockfree_mailboxes;
     tc.metrics = config_.metrics;
     runtime = std::make_unique<rt::ThreadedRuntime>(tc);
   } else {
@@ -272,8 +273,9 @@ ExperimentReport Experiment::run() {
     const obs::Metric g_wait = reg.gauge("proc.waiting_depth");
     const obs::Metric g_inbox = reg.gauge("proc.inbox_size");
     const obs::Metric g_age = reg.gauge("proc.decision_age_subruns");
-    rt.on_round([&reg, &processes, clock, g_hist, g_wait, g_inbox,
-                 g_age](RoundId round) {
+    const obs::Metric g_inflight = reg.gauge("proc.decisions_in_flight");
+    rt.on_round([&reg, &processes, clock, g_hist, g_wait, g_inbox, g_age,
+                 g_inflight](RoundId round) {
       const Tick at = clock.round_start(round);
       const SubrunId subrun = rt::RoundClock::subrun_of_round(round);
       for (const auto& process : processes) {
@@ -290,6 +292,8 @@ ExperimentReport Experiment::run() {
         const SubrunId decided_at =
             std::max<SubrunId>(process->latest_decision().decided_at, 0);
         reg.sample(at, p, g_age, static_cast<double>(subrun - decided_at));
+        reg.sample(at, p, g_inflight,
+                   static_cast<double>(process->decisions_in_flight(subrun)));
       }
     });
   }
@@ -385,6 +389,9 @@ ExperimentReport Experiment::run() {
     state.recovery_continuations = c.recovery_continuations;
     state.recovery_budget_exhausted = c.recovery_budget_exhausted;
     state.recovery_cache_hits = c.recovery_cache_hits;
+    state.pipeline_eager_deliveries = c.pipeline_eager_deliveries;
+    state.pipeline_stall_rounds = c.pipeline_stall_rounds;
+    state.pipeline_subruns_in_flight = c.pipeline_subruns_in_flight;
     report.processes.push_back(state);
   }
 

@@ -100,6 +100,10 @@ struct ExperimentConfig {
   Backend backend = Backend::kSim;
   /// Real duration of one tick on the threaded backend (0 = free-running).
   std::int64_t thread_tick_ns = 50'000;
+  /// SPSC-ring mailboxes on the threaded backend (the default); false
+  /// restores the mutex-guarded path — the A/B baseline and equivalence
+  /// oracle for the lock-free hot path. Ignored on kSim.
+  bool lockfree_mailboxes = true;
   /// Extra subruns executed after first quiescence so stability decisions
   /// and final cleanings settle.
   int grace_subruns = 8;
@@ -151,6 +155,10 @@ struct ProcessEndState {
   std::uint64_t recovery_continuations = 0;
   std::uint64_t recovery_budget_exhausted = 0;
   std::uint64_t recovery_cache_hits = 0;
+  /// Pipelining accounting (see core::UrcgcProcess::Counters).
+  std::uint64_t pipeline_eager_deliveries = 0;
+  std::uint64_t pipeline_stall_rounds = 0;
+  std::uint64_t pipeline_subruns_in_flight = 0;
 };
 
 struct ExperimentReport {

@@ -1,0 +1,84 @@
+#pragma once
+// SpscRing: fixed-capacity lock-free single-producer single-consumer ring.
+//
+// The ThreadedRuntime keeps one ring per (producer, consumer) context pair
+// so the datagram hot path (worker posting into another worker's mailbox)
+// never takes a mutex; the consumer coalesces every ring into its private
+// pending list once per round. The classic one-slot-sentinel layout keeps
+// the invariants simple:
+//
+//   - `head_` is written only by the consumer, `tail_` only by the
+//     producer; each side reads the other's index with acquire ordering
+//     and publishes its own with release ordering, so the slot contents a
+//     push wrote happen-before the pop that reads them.
+//   - the ring holds at most `capacity` elements; it is full when
+//     advancing `tail_` would collide with `head_` (one slot stays empty
+//     to distinguish full from empty), at which point try_push refuses and
+//     the caller falls back to its overflow path.
+//
+// No spurious failure: try_push fails only when the ring is really full at
+// the linearization point, try_pop only when it is really empty.
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace urcgc::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(capacity + 1), mask_size_(capacity + 1) {
+    URCGC_ASSERT(capacity >= 1);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (without consuming `value`) when the
+  /// ring is full.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = advance(tail);
+    if (next == head_.load(std::memory_order_acquire)) return false;  // full
+    slots_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;  // empty
+    out = std::move(slots_[head]);
+    head_.store(advance(head), std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy: exact when no push/pop is concurrent (e.g.
+  /// after the runtime's threads are joined), a snapshot otherwise.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : tail + mask_size_ - head;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_size_ - 1; }
+
+ private:
+  [[nodiscard]] std::size_t advance(std::size_t i) const {
+    return i + 1 == mask_size_ ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_size_;  // slots_.size() == capacity + 1 (sentinel slot)
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace urcgc::rt

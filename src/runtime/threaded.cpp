@@ -7,18 +7,39 @@
 
 namespace urcgc::rt {
 
+namespace {
+// Producer identity for the lock-free post path: worker threads register
+// themselves on entry to worker_loop. A thread that is not a worker of
+// *this* runtime (the driver, tests, workers of another runtime) takes the
+// mutex spill path — that keeps every ring strictly single-producer.
+thread_local const void* t_ring_owner = nullptr;
+thread_local int t_ring_producer = -1;
+}  // namespace
+
 ThreadedRuntime::ThreadedRuntime(ThreadedConfig config)
     : config_(config), clock_(config.clock) {
   URCGC_ASSERT(config_.n >= 1);
   URCGC_ASSERT(config_.tick_duration.count() >= 0);
+  URCGC_ASSERT(config_.ring_capacity >= 1);
   if (config_.metrics != nullptr) {
     m_rounds_ = config_.metrics->counter("runtime.rounds");
     m_release_lag_ = config_.metrics->histogram(
         "runtime.release_lag_us", obs::HistogramSpec{0.0, 500.0, 25});
+    m_discarded_ = config_.metrics->counter("runtime.mailbox_discarded");
+    m_ring_overflow_ =
+        config_.metrics->counter("runtime.mailbox_ring_overflow");
   }
   mailboxes_.reserve(static_cast<std::size_t>(config_.n) + 1);
   for (int i = 0; i <= config_.n; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
+    auto mailbox = std::make_unique<Mailbox>();
+    if (config_.lockfree_mailboxes) {
+      mailbox->rings.reserve(static_cast<std::size_t>(config_.n));
+      for (int p = 0; p < config_.n; ++p) {
+        mailbox->rings.push_back(
+            std::make_unique<SpscRing<Task>>(config_.ring_capacity));
+      }
+    }
+    mailboxes_.push_back(std::move(mailbox));
   }
   threads_.reserve(config_.n);
   for (int i = 0; i < config_.n; ++i) {
@@ -38,6 +59,30 @@ void ThreadedRuntime::shutdown() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Workers are joined: every mailbox is quiescent, so the count below is
+  // exact. Nothing here is executed — a task that survived to shutdown
+  // belongs to a round that never opened.
+  std::uint64_t discarded = 0;
+  for (auto& mailbox : mailboxes_) {
+    discarded += mailbox->spill.size() + mailbox->pending.size();
+    for (auto& ring : mailbox->rings) {
+      Task task;
+      while (ring->try_pop(task)) ++discarded;
+    }
+  }
+  discarded_on_shutdown_ = discarded;
+  if (config_.metrics != nullptr) {
+    if (discarded > 0) {
+      config_.metrics->add(kNoProcess, m_discarded_, discarded);
+    }
+    const std::uint64_t overflows =
+        ring_overflows_.load(std::memory_order_relaxed);
+    if (overflows > 0) {
+      config_.metrics->add(kNoProcess, m_ring_overflow_, overflows);
+    }
+  }
 }
 
 void ThreadedRuntime::post(ProcessId owner, Tick delay, EventFn fn) {
@@ -46,8 +91,16 @@ void ThreadedRuntime::post(ProcessId owner, Tick delay, EventFn fn) {
   const int idx = owner == kNoProcess ? config_.n : owner;
   Task task{now() + delay, post_order_.fetch_add(1, std::memory_order_relaxed),
             std::move(fn)};
+  if (config_.lockfree_mailboxes && t_ring_owner == this) {
+    auto& ring = *mailboxes_[idx]->rings[t_ring_producer];
+    if (ring.try_push(std::move(task))) return;
+    // Ring full: spill to the mutex path below. Correctness is unchanged
+    // (the consumer merges both sources before sorting); only the counter
+    // records that the capacity was undersized for this burst.
+    ring_overflows_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lk(mailboxes_[idx]->mu);
-  mailboxes_[idx]->tasks.push_back(std::move(task));
+  mailboxes_[idx]->spill.push_back(std::move(task));
 }
 
 void ThreadedRuntime::on_round(ProcessId owner, RoundHandler handler) {
@@ -59,16 +112,40 @@ void ThreadedRuntime::on_round(ProcessId owner, RoundHandler handler) {
 }
 
 void ThreadedRuntime::drain(int idx, Tick cutoff) {
+  Mailbox& mailbox = *mailboxes_[idx];
   std::vector<Task> due;
-  {
-    std::lock_guard<std::mutex> lk(mailboxes_[idx]->mu);
-    auto& tasks = mailboxes_[idx]->tasks;
+  if (config_.lockfree_mailboxes) {
+    // Coalesce: pull everything the producers published, then the spill,
+    // into the consumer-private pending list. Rings are FIFO per producer
+    // but task due-times are not monotone (a transport retry outlives the
+    // round), so due/not-yet-due is decided on the merged list.
+    for (auto& ring : mailbox.rings) {
+      Task task;
+      while (ring->try_pop(task)) mailbox.pending.push_back(std::move(task));
+    }
+    {
+      std::lock_guard<std::mutex> lk(mailbox.mu);
+      if (!mailbox.spill.empty()) {
+        mailbox.pending.insert(mailbox.pending.end(),
+                               std::make_move_iterator(mailbox.spill.begin()),
+                               std::make_move_iterator(mailbox.spill.end()));
+        mailbox.spill.clear();
+      }
+    }
     auto split = std::stable_partition(
-        tasks.begin(), tasks.end(),
+        mailbox.pending.begin(), mailbox.pending.end(),
         [cutoff](const Task& t) { return t.due > cutoff; });
     due.assign(std::make_move_iterator(split),
-               std::make_move_iterator(tasks.end()));
-    tasks.erase(split, tasks.end());
+               std::make_move_iterator(mailbox.pending.end()));
+    mailbox.pending.erase(split, mailbox.pending.end());
+  } else {
+    std::lock_guard<std::mutex> lk(mailbox.mu);
+    auto split = std::stable_partition(
+        mailbox.spill.begin(), mailbox.spill.end(),
+        [cutoff](const Task& t) { return t.due > cutoff; });
+    due.assign(std::make_move_iterator(split),
+               std::make_move_iterator(mailbox.spill.end()));
+    mailbox.spill.erase(split, mailbox.spill.end());
   }
   std::stable_sort(due.begin(), due.end(), [](const Task& a, const Task& b) {
     return a.due != b.due ? a.due < b.due : a.order < b.order;
@@ -77,13 +154,15 @@ void ThreadedRuntime::drain(int idx, Tick cutoff) {
 }
 
 void ThreadedRuntime::worker_loop(int idx) {
+  t_ring_owner = this;
+  t_ring_producer = idx;
   RoundId done_round = -1;
   for (;;) {
     RoundId r;
     {
       std::unique_lock<std::mutex> lk(barrier_mu_);
       cv_open_.wait(lk, [&] { return stop_ || open_round_ > done_round; });
-      if (stop_) return;
+      if (stop_) break;
       r = open_round_;
     }
     const Tick start = clock_.round_start(r);
@@ -101,6 +180,8 @@ void ThreadedRuntime::worker_loop(int idx) {
     }
     cv_done_.notify_one();
   }
+  t_ring_owner = nullptr;
+  t_ring_producer = -1;
 }
 
 Tick ThreadedRuntime::run_rounds(Tick limit,

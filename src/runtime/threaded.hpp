@@ -1,11 +1,24 @@
 #pragma once
 // ThreadedRuntime: real-time, really-concurrent Runtime backend.
 //
-// One OS thread per process; per-process mutex-guarded mailboxes play the
-// role of the datagram subnet (the Network still decides loss, omission
-// and latency — a dropped copy is simply never posted). Rounds are paced
-// off std::chrono::steady_clock: round r opens no earlier than
+// One OS thread per process; per-process mailboxes play the role of the
+// datagram subnet (the Network still decides loss, omission and latency —
+// a dropped copy is simply never posted). Rounds are paced off
+// std::chrono::steady_clock: round r opens no earlier than
 // epoch + round_start(r) * tick_duration.
+//
+// Mailbox structure (ThreadedConfig::lockfree_mailboxes, the default):
+// each consumer context owns one fixed-capacity SPSC ring per worker
+// producer, so the hot path — a worker posting a datagram into another
+// worker's mailbox — is a single lock-free push. The consumer coalesces
+// all of its rings into a private pending list once per round, then
+// executes the due tasks in (due, post-order) order; not-yet-due tasks
+// (e.g. transport retries) stay in the pending list, which only the
+// consumer touches. Posts from threads that are not workers (the driver's
+// workload submissions, tests) and pushes that find a ring full overflow
+// into the mutex-guarded spill vector, preserving the old semantics
+// exactly. The mutex-only path is kept behind the flag as the A/B and
+// equivalence oracle for the ring path.
 //
 // Execution model per round r (driver thread = the caller of run_until*):
 //   1. driver waits for the steady-clock round boundary, advances now()
@@ -25,7 +38,10 @@
 // concurrency between the barriers.
 //
 // Shutdown: shutdown() (also run by the destructor) stops and joins every
-// worker; pending mailbox tasks are discarded unexecuted.
+// worker; pending mailbox tasks are never executed, but they are counted —
+// discarded_on_shutdown() reports the loss and, when a registry is
+// attached, the count lands in the host-shard `runtime.mailbox_discarded`
+// counter, so silent shutdown loss is visible.
 
 #include <atomic>
 #include <chrono>
@@ -40,6 +56,7 @@
 #include "common/types.hpp"
 #include "obs/registry.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/spsc_ring.hpp"
 
 namespace urcgc::rt {
 
@@ -51,6 +68,15 @@ struct ThreadedConfig {
   /// steady_clock at this rate. Zero = free-running (rounds proceed as
   /// fast as the barrier allows; ordering guarantees are unchanged).
   std::chrono::nanoseconds tick_duration = std::chrono::microseconds(50);
+  /// Per-(producer, consumer) SPSC rings on the worker post path (see the
+  /// header comment). false = every post takes the mailbox mutex, the
+  /// pre-ring behavior — kept as the A/B baseline and equivalence oracle.
+  bool lockfree_mailboxes = true;
+  /// Capacity of each SPSC ring. A worker posts a handful of tasks per
+  /// destination per round (datagram copies, retries), so a small ring
+  /// absorbs the hot path; overflow falls back to the mutex spill vector,
+  /// counted in `runtime.mailbox_ring_overflow`.
+  std::size_t ring_capacity = 16;
   /// Optional observability registry: the runtime records rounds run and
   /// the release lag (how late each round opened versus its steady-clock
   /// target) on the host shard — driver-context only, per the registry's
@@ -81,14 +107,25 @@ class ThreadedRuntime final : public Runtime {
   Tick run_until_quiescent(Tick limit,
                            const std::function<bool()>& predicate) override;
 
-  /// Stops and joins the worker threads; pending tasks are discarded.
-  /// Idempotent; also called by the destructor. After shutdown the
-  /// runtime cannot run again.
+  /// Stops and joins the worker threads; pending tasks are counted into
+  /// discarded_on_shutdown() (and `runtime.mailbox_discarded`), never
+  /// executed. Idempotent; also called by the destructor. After shutdown
+  /// the runtime cannot run again.
   void shutdown();
 
   [[nodiscard]] int contexts() const { return config_.n; }
   /// Rounds completed so far (diagnostics).
   [[nodiscard]] RoundId rounds_run() const { return next_round_; }
+  /// Tasks that were still pending when shutdown() joined the workers.
+  /// Valid after shutdown; 0 before.
+  [[nodiscard]] std::uint64_t discarded_on_shutdown() const {
+    return discarded_on_shutdown_;
+  }
+  /// Lock-free posts that found their ring full and spilled to the mutex
+  /// path (diagnostics; approximate while workers run).
+  [[nodiscard]] std::uint64_t ring_overflows() const {
+    return ring_overflows_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Task {
@@ -98,18 +135,23 @@ class ThreadedRuntime final : public Runtime {
   };
 
   /// One mailbox per execution context; index n is the driver context.
-  /// The mutex guards `tasks` only — `handlers` is written before the
-  /// first round and read-only afterwards.
+  /// The mutex guards `spill` only — `handlers` is written before the
+  /// first round and read-only afterwards; `rings[i]` is SPSC between
+  /// worker i (producer) and this context's thread (consumer); `pending`
+  /// is touched only by the consumer.
   struct Mailbox {
     std::mutex mu;
-    std::vector<Task> tasks;
+    std::vector<Task> spill;
     std::vector<RoundHandler> handlers;
+    std::vector<std::unique_ptr<SpscRing<Task>>> rings;  // [worker producer]
+    std::vector<Task> pending;  // consumer-owned carry-over (due > cutoff)
   };
 
   void worker_loop(int idx);
   /// Extracts and executes every task of context `idx` due at or before
   /// `cutoff`, in (due, post-order) order. Runs the tasks outside the
-  /// mailbox lock so they may post into other mailboxes.
+  /// mailbox lock so they may post into other mailboxes. Must only be
+  /// called from the context's consumer thread.
   void drain(int idx, Tick cutoff);
   Tick run_rounds(Tick limit, const std::function<bool()>* predicate);
 
@@ -120,6 +162,7 @@ class ThreadedRuntime final : public Runtime {
 
   std::atomic<Tick> now_{0};
   std::atomic<std::uint64_t> post_order_{0};
+  std::atomic<std::uint64_t> ring_overflows_{0};
 
   // Round-barrier state, guarded by barrier_mu_.
   std::mutex barrier_mu_;
@@ -136,8 +179,13 @@ class ThreadedRuntime final : public Runtime {
   // "overdue" rounds would burst through with no pacing at all.
   std::chrono::steady_clock::time_point epoch_{};
 
+  bool shut_down_ = false;
+  std::uint64_t discarded_on_shutdown_ = 0;
+
   obs::Metric m_rounds_{};
   obs::Metric m_release_lag_{};
+  obs::Metric m_discarded_{};
+  obs::Metric m_ring_overflow_{};
 };
 
 }  // namespace urcgc::rt

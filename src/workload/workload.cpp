@@ -13,24 +13,30 @@ LoadGenerator::LoadGenerator(int n, WorkloadConfig config, Hooks hooks,
 
 void LoadGenerator::on_round(RoundId round) {
   if (exhausted()) return;
+  const int burst = config_.burst > 0 ? config_.burst : 1;
   for (ProcessId p = 0; p < n_; ++p) {
     if (exhausted()) break;
     if (!hooks_.active(p)) continue;
-    if (hooks_.pending && hooks_.pending(p) >= config_.max_pending_per_process)
-      continue;
-    if (!rng_.bernoulli(config_.load)) continue;
+    for (int b = 0; b < burst; ++b) {
+      if (exhausted()) break;
+      if (hooks_.pending &&
+          hooks_.pending(p) >= config_.max_pending_per_process) {
+        break;
+      }
+      if (!rng_.bernoulli(config_.load)) continue;
 
-    std::vector<Mid> deps;
-    if (n_ > 1 && hooks_.last_processed &&
-        rng_.bernoulli(config_.cross_dep_prob)) {
-      auto other = static_cast<ProcessId>(rng_.uniform(n_ - 1));
-      if (other >= p) ++other;
-      const Mid last = hooks_.last_processed(p, other);
-      if (last.valid()) deps.push_back(last);
-    }
-    if (hooks_.submit(p, make_payload(config_.payload_bytes, p, round),
-                      std::move(deps))) {
-      ++submitted_;
+      std::vector<Mid> deps;
+      if (n_ > 1 && hooks_.last_processed &&
+          rng_.bernoulli(config_.cross_dep_prob)) {
+        auto other = static_cast<ProcessId>(rng_.uniform(n_ - 1));
+        if (other >= p) ++other;
+        const Mid last = hooks_.last_processed(p, other);
+        if (last.valid()) deps.push_back(last);
+      }
+      if (hooks_.submit(p, make_payload(config_.payload_bytes, p, round),
+                        std::move(deps))) {
+        ++submitted_;
+      }
     }
   }
 }

@@ -38,6 +38,13 @@ struct WorkloadConfig {
   /// pending unconfirmed (models a blocking urcgc_data_Rq user).
   std::int64_t max_pending_per_process = 4;
 
+  /// Submission attempts per process per round, each an independent
+  /// `load` draw. 1 = the paper's offered-load model (at most one message
+  /// per round per process); pipelined runs (Config::max_subruns_in_flight
+  /// > 1) raise it to match the service's burst budget, or generation
+  /// would stay workload-bound at the paced rate.
+  int burst = 1;
+
   std::size_t payload_bytes = 32;
 };
 

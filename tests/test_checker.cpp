@@ -313,6 +313,43 @@ TEST(CaseFormat, RoundTrips) {
   EXPECT_EQ(parsed->partitions[0].side_a, original.partitions[0].side_a);
 }
 
+TEST(CaseFormat, PipelineKnobRoundTrips) {
+  CaseConfig original;
+  original.n = 4;
+  original.messages = 20;
+  original.pipeline_k = 4;
+
+  std::string error;
+  const auto parsed = CaseConfig::parse(original.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->pipeline_k, 4);
+  EXPECT_EQ(parsed->serialize(), original.serialize());
+
+  // The knob drives both the protocol depth and the workload burst, or a
+  // pipelined replay would stay generation-bound at the paced rate.
+  const harness::ExperimentConfig experiment = parsed->to_experiment();
+  EXPECT_EQ(experiment.protocol.max_subruns_in_flight, 4);
+  EXPECT_EQ(experiment.workload.burst, 4);
+
+  // The default depth is left implicit, so pre-pipelining case files and
+  // their byte-exact serializations stay valid.
+  CaseConfig paced;
+  EXPECT_EQ(paced.serialize().find("pipeline_k"), std::string::npos);
+  const auto reparsed = CaseConfig::parse(paced.serialize(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->pipeline_k, 1);
+}
+
+TEST(CaseFormat, RejectsBadPipelineK) {
+  std::string error;
+  EXPECT_FALSE(
+      CaseConfig::parse("urcgc-check-case-v1\npipeline_k=0\n", &error));
+  EXPECT_FALSE(
+      CaseConfig::parse("urcgc-check-case-v1\npipeline_k=-2\n", &error));
+  EXPECT_FALSE(
+      CaseConfig::parse("urcgc-check-case-v1\npipeline_k=x\n", &error));
+}
+
 TEST(CaseFormat, RejectsMalformedInput) {
   std::string error;
   EXPECT_FALSE(CaseConfig::parse("", &error));
@@ -345,6 +382,68 @@ TEST(CaseFormat, GeneratedCasesAreDeterministic) {
   }
 }
 
+TEST(CaseFormat, PipelineChoicesDrawLastAndPreserveScenarios) {
+  // The depth is drawn after every scenario draw — and not at all for the
+  // default singleton — so sweeping k must not perturb the generated
+  // scenarios themselves (the pinned mutation-catch expectations depend on
+  // them).
+  ExplorerOptions paced;
+  paced.base_seed = 7;
+  ExplorerOptions swept = paced;
+  swept.pipeline_k_choices = {1, 2, 4};
+  ExplorerOptions fixed = paced;
+  fixed.pipeline_k_choices = {4};
+  for (int i = 0; i < 16; ++i) {
+    CaseConfig a = generate_case(paced, i);
+    CaseConfig b = generate_case(swept, i);
+    CaseConfig c = generate_case(fixed, i);
+    EXPECT_EQ(c.pipeline_k, 4) << "index " << i;
+    EXPECT_TRUE(b.pipeline_k == 1 || b.pipeline_k == 2 || b.pipeline_k == 4)
+        << "index " << i;
+    // Neutralize the one intended difference; everything else must match.
+    b.pipeline_k = a.pipeline_k;
+    c.pipeline_k = a.pipeline_k;
+    EXPECT_EQ(a.serialize(), b.serialize()) << "index " << i;
+    EXPECT_EQ(a.serialize(), c.serialize()) << "index " << i;
+  }
+}
+
+// ---- Decision continuity (C4c) ------------------------------------------
+
+TEST(Oracle, DecisionGapFiresContinuity) {
+  const Mid m{0, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m),    processed(1, 0, m),
+      processed(2, 1, m),    decision(10, 0, 0, {true, true}),
+      decision(30, 1, 1, {true, true}),
+      // subrun 2's decision is missing entirely.
+      decision(70, 1, 3, {true, true}),
+  };
+  OracleOptions options = options_for(2);
+  options.check_decision_continuity = true;
+  const OracleReport report = check_trace(events, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].clause, Clause::kDecisionSequence);
+  EXPECT_NE(report.violations[0].message.find("hole"), std::string::npos);
+
+  // Off by default: the same trace passes without the option (faulty runs
+  // legitimately skip a crashed coordinator's turns).
+  EXPECT_TRUE(check_trace(events, options_for(2)).ok());
+}
+
+TEST(Oracle, ContiguousDecisionsPassContinuity) {
+  const Mid m{0, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m),    processed(1, 0, m),
+      processed(2, 1, m),    decision(10, 0, 0, {true, true}),
+      decision(30, 1, 1, {true, true}),
+      decision(50, 0, 2, {true, true}),
+  };
+  OracleOptions options = options_for(2);
+  options.check_decision_continuity = true;
+  EXPECT_TRUE(check_trace(events, options).ok());
+}
+
 // ---- Explorer on the real protocol --------------------------------------
 
 TEST(Explorer, CleanProtocolPassesWithMetrics) {
@@ -366,6 +465,17 @@ TEST(Explorer, CleanProtocolPassesWithMetrics) {
   metrics.write_jsonl(os);
   EXPECT_NE(os.str().find("check.executions"), std::string::npos);
   EXPECT_NE(os.str().find("check.violations"), std::string::npos);
+}
+
+TEST(Explorer, PipelinedDepthsPassAllClauses) {
+  ExplorerOptions options;
+  options.executions = 8;
+  options.base_seed = 4100;
+  options.pipeline_k_choices = {2, 4};
+  const ExplorerReport report = explore(options);
+  EXPECT_EQ(report.executions, 8);
+  EXPECT_EQ(report.violations, 0)
+      << report.failures.front().first_problem();
 }
 
 TEST(Explorer, ReplaySameCaseIsDeterministic) {

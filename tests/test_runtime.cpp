@@ -141,6 +141,33 @@ TEST(ThreadedRuntime, ShutdownIsIdempotent) {
   SUCCEED();
 }
 
+TEST(ThreadedRuntime, ShutdownCountsUndrainedTasks) {
+  // Regression for the mailbox lifecycle contract: tasks still pending
+  // when shutdown() joins the workers are discarded, never executed, and
+  // the loss is visible through discarded_on_shutdown() and the
+  // `runtime.mailbox_discarded` counter — under both mailbox kinds.
+  for (const bool lockfree : {true, false}) {
+    obs::Registry registry(2);
+    ThreadedConfig config = free_running(2);
+    config.lockfree_mailboxes = lockfree;
+    config.metrics = &registry;
+    ThreadedRuntime rt(config);
+    rt.on_round(0, [](RoundId) {});
+    rt.run_until(19);
+    // Due ticks far past the horizon: these tasks can never drain.
+    bool ran = false;
+    for (int i = 0; i < 3; ++i) {
+      rt.post(1, /*delay=*/100'000, [&ran] { ran = true; });
+    }
+    EXPECT_EQ(rt.discarded_on_shutdown(), 0u) << "before shutdown";
+    rt.shutdown();
+    EXPECT_FALSE(ran) << "lockfree=" << lockfree;
+    EXPECT_EQ(rt.discarded_on_shutdown(), 3u) << "lockfree=" << lockfree;
+    const obs::Metric m = registry.find("runtime.mailbox_discarded");
+    EXPECT_EQ(registry.counter_total(m), 3u) << "lockfree=" << lockfree;
+  }
+}
+
 TEST(ThreadedRuntime, WallClockPacingRespectsTickDuration) {
   ThreadedConfig config = free_running(1);
   config.tick_duration = std::chrono::microseconds(100);

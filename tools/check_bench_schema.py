@@ -29,6 +29,9 @@ THROUGHPUT_RUN_FIELDS = {
     "protocol": str,
     "backend": str,
     "payload_mode": str,
+    "pipeline_k": int,
+    "mailboxes": str,
+    "round_us": int,
     "n": int,
     "payload_bytes": int,
     "seed": int,
@@ -75,6 +78,7 @@ RECOVERY_RUN_FIELDS = {
 PROTOCOLS = {"urcgc", "cbcast", "psync"}
 BACKENDS = {"sim", "threads"}
 PAYLOAD_MODES = {"shared", "per_copy"}
+MAILBOXES = {"spsc", "mutex", "none"}
 
 
 def check_common_run(run, where, run_fields, err):
@@ -102,6 +106,22 @@ def check_throughput_run(run, where, err):
     if run["payload_mode"] not in PAYLOAD_MODES:
         err(f"{where}.payload_mode {run['payload_mode']!r} not in "
             f"{sorted(PAYLOAD_MODES)}")
+    if run["pipeline_k"] < 1:
+        err(f"{where}.pipeline_k must be >= 1")
+    if run["pipeline_k"] > 1 and run["protocol"] != "urcgc":
+        err(f"{where}: pipeline_k > 1 on baseline {run['protocol']!r}")
+    if run["mailboxes"] not in MAILBOXES:
+        err(f"{where}.mailboxes {run['mailboxes']!r} not in "
+            f"{sorted(MAILBOXES)}")
+    if run["backend"] == "sim" and run["mailboxes"] != "none":
+        err(f"{where}: sim backend has no mailboxes "
+            f"(got {run['mailboxes']!r})")
+    if run["backend"] == "threads" and run["mailboxes"] == "none":
+        err(f"{where}: threads backend must state its mailbox kind")
+    if run["round_us"] < 0:
+        err(f"{where}.round_us must be >= 0 (0 = free-running)")
+    if run["backend"] == "sim" and run["round_us"] != 0:
+        err(f"{where}: sim runs in virtual time, round_us must be 0")
     if run["payload_bytes"] <= 0:
         err(f"{where}.payload_bytes must be positive")
     if run["messages_delivered"] < run["messages_generated"]:

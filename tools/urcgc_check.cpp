@@ -41,6 +41,7 @@ struct Options {
   std::string backend = "sim";  // sim | threads | both
   std::string family = "any";
   std::string mutation = "none";
+  std::string pipeline_k = "1";
   bool shrink = false;
   int max_failures = 1;
   int shrink_evals = 200;
@@ -65,6 +66,9 @@ struct Options {
       "  --mutation=NAME        inject a protocol defect (checker\n"
       "                         self-test): none | skip-request-merge |\n"
       "                         ignore-one-dep\n"
+      "  --pipeline-k=LIST      comma-separated pipelining depths to sweep\n"
+      "                         (Config::max_subruns_in_flight); each case\n"
+      "                         draws one uniformly (default 1)\n"
       "  --shrink               minimize the first failing case\n"
       "  --shrink-evals=N       shrink evaluation budget (200)\n"
       "  --max-failures=N       stop after N failures; 0 = never (1)\n"
@@ -106,6 +110,8 @@ Options parse(int argc, char** argv) {
       opt.family = value;
     } else if (consume(arg, "--mutation", value)) {
       opt.mutation = value;
+    } else if (consume(arg, "--pipeline-k", value)) {
+      opt.pipeline_k = value;
     } else if (arg == "--shrink") {
       opt.shrink = true;
     } else if (consume(arg, "--shrink-evals", value)) {
@@ -144,6 +150,20 @@ check::Family parse_family(const std::string& name, const char* argv0) {
   if (name == "partition") return check::Family::kPartition;
   if (name == "sustained-omission") return check::Family::kSustainedOmission;
   usage(argv0);
+}
+
+std::vector<int> parse_pipeline_k(const std::string& list,
+                                  const char* argv0) {
+  std::vector<int> out;
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int k = std::atoi(item.c_str());
+    if (k < 1) usage(argv0);
+    out.push_back(k);
+  }
+  if (out.empty()) usage(argv0);
+  return out;
 }
 
 core::ProtocolMutation parse_mutation(const std::string& name,
@@ -261,6 +281,7 @@ int main(int argc, char** argv) {
                            : harness::Backend::kSim;
     explorer.family = parse_family(opt.family, argv[0]);
     explorer.mutation = mutation;
+    explorer.pipeline_k_choices = parse_pipeline_k(opt.pipeline_k, argv[0]);
     explorer.max_failures = opt.max_failures;
     explorer.metrics = &metrics;
     const int step = std::max(1, opt.seeds / 10);

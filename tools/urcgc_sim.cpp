@@ -35,6 +35,7 @@ struct Options {
   std::int64_t tick_ns = 50'000;   // threads backend: real ns per tick
   int n = 10;
   int k = 3;
+  int pipeline_k = 1;
   double load = 0.5;
   std::int64_t messages = 200;
   double cross_dep = 0.3;
@@ -47,6 +48,7 @@ struct Options {
   std::string causality = "intermediate";
   bool use_transport = false;
   bool per_copy = false;
+  bool mutex_mailboxes = false;  // threads: legacy mutex mailbox path
   bool csv = false;
   bool verbose = false;
   std::string trace_path;
@@ -74,6 +76,9 @@ struct Options {
       "                                  0 = free-running)\n"
       "  --n=N                           group size (default 10)\n"
       "  --k=K                           failure-detection attempts (3)\n"
+      "  --pipeline-k=K                  subruns in flight (1 = paced;\n"
+      "                                  >1 pipelines DECISIONs and raises\n"
+      "                                  the workload burst to match)\n"
       "  --load=L                        msgs/process/round in [0,1] (0.5)\n"
       "  --messages=M                    total offered messages (200)\n"
       "  --cross-dep=P                   cross-process dep probability (0.3)\n"
@@ -88,6 +93,9 @@ struct Options {
       "  --per-copy                      legacy clone-per-destination\n"
       "                                  payload cost model (A/B against\n"
       "                                  the zero-copy fan-out)\n"
+      "  --mutex-mailboxes               threads: legacy mutex-guarded\n"
+      "                                  mailboxes (A/B against the\n"
+      "                                  lock-free SPSC rings)\n"
       "  --trace=FILE                    write a JSONL protocol trace\n"
       "  --metrics-out=FILE              write obs registry as JSONL\n"
       "  --metrics-csv=FILE              write obs registry as CSV\n"
@@ -124,6 +132,8 @@ Options parse(int argc, char** argv) {
       opt.n = std::atoi(value.data());
     } else if (consume(arg, "--k", value)) {
       opt.k = std::atoi(value.data());
+    } else if (consume(arg, "--pipeline-k", value)) {
+      opt.pipeline_k = std::atoi(value.data());
     } else if (consume(arg, "--load", value)) {
       opt.load = std::atof(value.data());
     } else if (consume(arg, "--messages", value)) {
@@ -152,6 +162,8 @@ Options parse(int argc, char** argv) {
       opt.use_transport = true;
     } else if (consume(arg, "--per-copy", value)) {
       opt.per_copy = true;
+    } else if (consume(arg, "--mutex-mailboxes", value)) {
+      opt.mutex_mailboxes = true;
     } else if (consume(arg, "--seed", value)) {
       opt.seed = std::strtoull(value.data(), nullptr, 10);
     } else if (consume(arg, "--limit-rtd", value)) {
@@ -213,6 +225,12 @@ int run_urcgc(const Options& opt) {
   config.protocol.n = opt.n;
   config.protocol.k_attempts = opt.k;
   config.protocol.history_threshold = opt.threshold;
+  if (opt.pipeline_k < 1) {
+    std::fprintf(stderr, "--pipeline-k must be >= 1\n");
+    return 2;
+  }
+  config.protocol.max_subruns_in_flight = opt.pipeline_k;
+  config.workload.burst = opt.pipeline_k;
   if (opt.causality == "general") {
     config.protocol.causality = core::CausalityMode::kGeneral;
   } else if (opt.causality == "temporal") {
@@ -243,6 +261,7 @@ int run_urcgc(const Options& opt) {
     }
     config.backend = harness::Backend::kThreads;
     config.thread_tick_ns = opt.tick_ns;
+    config.lockfree_mailboxes = !opt.mutex_mailboxes;
   } else if (opt.backend != "sim") {
     std::fprintf(stderr, "unknown backend: %s\n", opt.backend.c_str());
     return 2;
