@@ -15,12 +15,15 @@
 // field by field (validated in CI by tools/check_bench_schema.py).
 //
 // Usage:
-//   bench_throughput [--json=FILE] [--quick] [--backend=sim|threads|all]
+//   bench_throughput [--json=FILE] [--quick]
+//                    [--backend=sim|threads|socket|all]
 //                    [--protocol=urcgc|cbcast|psync|all] [--messages=N]
 //                    [--seed=S]
 //
 // --quick restricts the sweep to its smallest point (n=10, 64 B, sim) —
-// the CI smoke configuration.
+// the CI smoke configuration. --backend=socket runs the dedicated
+// real-UDP loopback sweep (urcgc only); with --quick it is a single
+// n=10 / 64 B point.
 
 #include <algorithm>
 #include <chrono>
@@ -106,6 +109,9 @@ RunResult timed(Fn&& body) {
 /// paced and pipelined legs differ in exactly one knob at a time.
 struct UrcgcPoint {
   bool threads = false;
+  /// Real UDP loopback backend (rt::SocketRuntime); implies the threaded
+  /// execution model underneath.
+  bool socket = false;
   int n = 0;
   std::size_t payload = 64;
   bool per_copy = false;
@@ -133,8 +139,9 @@ RunResult run_urcgc(const Options& options, const UrcgcPoint& point) {
     config.workload.cross_dep_prob = 0.0;
     config.workload.payload_bytes = point.payload;
     config.net.per_copy_payloads = point.per_copy;
-    config.backend =
-        point.threads ? harness::Backend::kThreads : harness::Backend::kSim;
+    config.backend = point.socket    ? harness::Backend::kSocket
+                     : point.threads ? harness::Backend::kThreads
+                                     : harness::Backend::kSim;
     // round_us == 0 free-runs (measures work); otherwise rounds are paced
     // at the given cadence (10 ticks per round).
     config.thread_tick_ns = point.round_us * 100;
@@ -277,7 +284,7 @@ Options parse(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown argument %s\n"
                    "usage: bench_throughput [--json=FILE] [--quick] "
-                   "[--backend=sim|threads|all] "
+                   "[--backend=sim|threads|socket|all] "
                    "[--protocol=urcgc|cbcast|psync|all] [--messages=N] "
                    "[--seed=S]\n",
                    arg.c_str());
@@ -303,6 +310,14 @@ int main(int argc, char** argv) {
   }
   if (options.backend != "all") backends = {options.backend};
   if (options.protocol != "all") protocols = {options.protocol};
+  // The socket backend runs its own dedicated sweep below (urcgc only, real
+  // UDP over loopback) rather than joining the full protocol matrix.
+  const bool socket_sweep =
+      std::find(backends.begin(), backends.end(), "socket") !=
+          backends.end() ||
+      (options.backend == "all" && !options.quick);
+  backends.erase(std::remove(backends.begin(), backends.end(), "socket"),
+                 backends.end());
 
   std::printf(
       "Broadcast fan-out throughput — %lld messages per point, seed %llu\n\n",
@@ -372,6 +387,35 @@ int main(int argc, char** argv) {
             emit(std::move(result));
           }
         }
+      }
+    }
+  }
+
+  // Socket-backend sweep (urcgc only): the same fan-out workload over real
+  // UDP datagrams on loopback (rt::SocketRuntime), free-running so the
+  // numbers measure datagram-path work, not pacing. Kept out of the main
+  // matrix: the interesting comparison is socket vs threads at the same
+  // point, and the baselines add nothing to it.
+  if (socket_sweep &&
+      (options.protocol == "all" || options.protocol == "urcgc")) {
+    std::vector<int> socket_ns{10, 50};
+    std::vector<std::size_t> socket_payloads{64, 16384};
+    if (options.quick) {
+      socket_ns = {10};
+      socket_payloads = {64};
+    }
+    for (int n : socket_ns) {
+      for (std::size_t payload : socket_payloads) {
+        RunResult result = run_urcgc(
+            options, UrcgcPoint{.socket = true, .n = n, .payload = payload});
+        result.protocol = "urcgc";
+        result.backend = "socket";
+        result.payload_mode = "shared";
+        result.mailboxes = "spsc";
+        result.n = n;
+        result.payload_bytes = payload;
+        result.seed = options.seed;
+        emit(std::move(result));
       }
     }
   }

@@ -10,6 +10,7 @@
 #include "common/assert.hpp"
 #include "net/endpoint.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/socket.hpp"
 #include "runtime/threaded.hpp"
 #include "sim/simulation.hpp"
 
@@ -30,6 +31,17 @@ std::unique_ptr<rt::Runtime> make_runtime(const BaselineConfig& config) {
     tc.tick_duration = std::chrono::nanoseconds(config.thread_tick_ns);
     tc.metrics = config.metrics;
     return std::make_unique<rt::ThreadedRuntime>(tc);
+  }
+  if (config.backend == Backend::kSocket) {
+    rt::SocketConfig sc;
+    sc.n = config.n;
+    sc.clock = clock;
+    sc.tick_duration = std::chrono::nanoseconds(config.thread_tick_ns);
+    sc.metrics = config.metrics;
+    auto created = rt::SocketRuntime::create(sc);
+    URCGC_ASSERT_MSG(created.has_value(),
+                     "socket backend: runtime creation failed");
+    return std::move(created).value();
   }
   return std::make_unique<sim::Simulation>(clock);
 }

@@ -35,6 +35,7 @@ struct BaselineFaultSpec {
 enum class Backend {
   kSim,      ///< deterministic single-threaded simulator
   kThreads,  ///< one OS thread per process, wall-clock round pacing
+  kSocket,   ///< one OS thread + one UDP socket per process over localhost
 };
 
 struct BaselineConfig {

@@ -96,7 +96,10 @@ std::string CaseConfig::serialize() const {
   os << "seed=" << seed << "\n";
   os << "schedule=" << schedule << "\n";
   os << "backend="
-     << (backend == harness::Backend::kThreads ? "threads" : "sim") << "\n";
+     << (backend == harness::Backend::kThreads   ? "threads"
+         : backend == harness::Backend::kSocket ? "socket"
+                                                : "sim")
+     << "\n";
   os << "mutation=" << core::to_string(mutation) << "\n";
   if (pipeline_k > 1) os << "pipeline_k=" << pipeline_k << "\n";
   os << "limit_rtd=" << limit_rtd << "\n";
@@ -183,6 +186,8 @@ std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
         out.backend = harness::Backend::kSim;
       } else if (value == "threads") {
         out.backend = harness::Backend::kThreads;
+      } else if (value == "socket") {
+        out.backend = harness::Backend::kSocket;
       } else {
         return bad();
       }

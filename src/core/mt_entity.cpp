@@ -20,7 +20,7 @@ bool MtEntity::processed(const Mid& mid) const {
   return processed_[mid.origin].contains(mid.seq);
 }
 
-MtEntity::SubmitResult MtEntity::submit(const AppMessage& msg, Tick now) {
+MtEntity::SubmitResult MtEntity::submit(AppMessage msg, Tick now) {
   URCGC_ASSERT(msg.mid.valid());
   if (processed(msg.mid) || waiting_.contains(msg.mid)) {
     ++duplicates_;
@@ -36,14 +36,17 @@ MtEntity::SubmitResult MtEntity::submit(const AppMessage& msg, Tick now) {
       ++waiting_rejected_;
       return SubmitResult::kRejected;
     }
-    causal::PendingMessage pending{msg.mid, msg.deps, msg.generated_at, now,
-                                   msg.payload};
+    // Parking adopts the message's storage: deps and payload move into the
+    // waiting entry instead of being copied per park.
+    causal::PendingMessage pending{msg.mid, std::move(msg.deps),
+                                   msg.generated_at, now,
+                                   std::move(msg.payload)};
     waiting_.add(std::move(pending), missing);
     waiting_peak_ = std::max(waiting_peak_, waiting_.size());
     return SubmitResult::kParked;
   }
 
-  process_now(msg, now);
+  process_now(std::move(msg), now);
   return SubmitResult::kProcessed;
 }
 

@@ -48,7 +48,12 @@ class MtEntity {
   /// is set and the waiting list is full, a message that would park is
   /// rejected instead (backpressure): the span stays recoverable because
   /// stability cleaning cannot pass this member's processed prefix.
-  SubmitResult submit(const AppMessage& msg, Tick now);
+  ///
+  /// Takes the message by value: callers that are done with their copy move
+  /// it in, and a parked message adopts the deps and payload storage rather
+  /// than duplicating both (the dominant waiting-list cost at pipelining
+  /// depth >= 2, where parking is the steady state).
+  SubmitResult submit(AppMessage msg, Tick now);
 
   [[nodiscard]] bool processed(const Mid& mid) const;
   /// Contiguous processed prefix of origin's sequence (last_processed[j]).

@@ -65,6 +65,7 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
         metrics_->counter("core.pipeline_stall_rounds");
     m_.pipeline_subruns_in_flight =
         metrics_->counter("core.pipeline_subruns_in_flight");
+    m_.decode_rejected = metrics_->counter("net.decode_rejected");
   }
 }
 
@@ -246,14 +247,15 @@ bool UrcgcProcess::generate_one(Tick now) {
   if (observer_ != nullptr) observer_->on_generated(self_, msg, now);
 
   broadcast_pdu(encode_pdu(msg), stats::MsgClass::kAppData);
-  submit_tracked(msg, now);  // the sender processes its own message at once
+  // The sender processes its own message at once.
+  submit_tracked(std::move(msg), now);
   return true;
 }
 
-MtEntity::SubmitResult UrcgcProcess::submit_tracked(const AppMessage& msg,
+MtEntity::SubmitResult UrcgcProcess::submit_tracked(AppMessage msg,
                                                     Tick now) {
   const std::size_t before = mt_.processing_log().size();
-  const auto result = mt_.submit(msg, now);
+  const auto result = mt_.submit(std::move(msg), now);
   const std::size_t delta = mt_.processing_log().size() - before;
   // Eager deliveries: everything processed while the local decision lags
   // the current subrun beyond the paced lag of one — the data plane
@@ -683,6 +685,10 @@ void UrcgcProcess::on_datagram(ProcessId src,
   last_datagram_at_ = rt_.now();
   auto pdu = decode_pdu(bytes);
   if (!pdu) {
+    // A truncated or corrupted datagram must never abort or desync the
+    // process: count it at the boundary and carry on.
+    ++counters_.decode_rejected;
+    bump(m_.decode_rejected);
     URCGC_WARN("p" << self_ << ": undecodable PDU ("
                    << wire::to_string(pdu.error()) << "), dropped");
     return;
@@ -699,7 +705,7 @@ void UrcgcProcess::on_datagram(ProcessId src,
             payload.deps.pop_back();
           }
           if (!drop_if_zombie(payload) &&
-              submit_tracked(payload, rt_.now()) ==
+              submit_tracked(std::move(payload), rt_.now()) ==
                   MtEntity::SubmitResult::kRejected) {
             ++counters_.waiting_rejected;
             bump(m_.bp_waiting_rejected);

@@ -172,6 +172,9 @@ class UrcgcProcess {
     std::uint64_t pipeline_eager_deliveries = 0;
     std::uint64_t pipeline_stall_rounds = 0;
     std::uint64_t pipeline_subruns_in_flight = 0;
+    /// Datagrams that failed PDU decoding (truncated, garbage, unknown
+    /// type) — counted and dropped at the boundary, never acted upon.
+    std::uint64_t decode_rejected = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -191,7 +194,7 @@ class UrcgcProcess {
   /// mt_.submit plus eager-delivery accounting: every message processed
   /// by the submission (cascaded releases included) while the decision
   /// lag exceeds the paced one counts as an eager delivery.
-  MtEntity::SubmitResult submit_tracked(const AppMessage& msg, Tick now);
+  MtEntity::SubmitResult submit_tracked(AppMessage msg, Tick now);
   void send_request(SubrunId subrun);
   void act_as_coordinator(SubrunId subrun);
   void apply_decision(const Decision& d);
@@ -261,6 +264,7 @@ class UrcgcProcess {
     obs::Metric pipeline_eager_deliveries;
     obs::Metric pipeline_stall_rounds;
     obs::Metric pipeline_subruns_in_flight;
+    obs::Metric decode_rejected;
   } m_;
   MtEntity mt_;
 

@@ -15,6 +15,7 @@
 #include "core/process.hpp"
 #include "net/endpoint.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/socket.hpp"
 #include "runtime/threaded.hpp"
 #include "sim/simulation.hpp"
 
@@ -190,6 +191,18 @@ ExperimentReport Experiment::run() {
     tc.lockfree_mailboxes = config_.lockfree_mailboxes;
     tc.metrics = config_.metrics;
     runtime = std::make_unique<rt::ThreadedRuntime>(tc);
+  } else if (config_.backend == Backend::kSocket) {
+    rt::SocketConfig sc;
+    sc.n = n;
+    sc.clock = clock;
+    sc.tick_duration = std::chrono::nanoseconds(config_.thread_tick_ns);
+    sc.lockfree_mailboxes = config_.lockfree_mailboxes;
+    sc.metrics = config_.metrics;
+    auto created = rt::SocketRuntime::create(sc);
+    URCGC_ASSERT_MSG(created.has_value(),
+                     "socket backend: runtime creation failed (see "
+                     "rt::SocketRuntime::create for the error contract)");
+    runtime = std::move(created).value();
   } else {
     auto sim = std::make_unique<sim::Simulation>(clock);
     sim->set_schedule_salt(config_.schedule_salt);

@@ -66,6 +66,7 @@ struct FaultSpec {
 enum class Backend {
   kSim,      ///< deterministic single-threaded simulator
   kThreads,  ///< one OS thread per process, wall-clock round pacing
+  kSocket,   ///< one OS thread + one UDP socket per process over localhost
 };
 
 struct ExperimentConfig {

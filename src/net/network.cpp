@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "runtime/subnet.hpp"
 
 namespace urcgc::net {
 
@@ -30,6 +31,14 @@ void Network::attach(ProcessId id, DeliveryFn fn) {
   URCGC_ASSERT_MSG(!endpoints_[id], "attach: endpoint registered twice");
   URCGC_ASSERT_MSG(static_cast<bool>(fn), "attach: empty delivery upcall");
   endpoints_[id] = std::move(fn);
+  // On a runtime with a real subnet, arrivals come back through the
+  // socket rx path instead of posted closures: register the inverse hop.
+  if (rt::DatagramSubnet* subnet = rt_.datagram_subnet()) {
+    subnet->bind_rx(id, [this, id](ProcessId src, Tick sent_at,
+                                   wire::SharedBuffer payload) {
+      deliver(Packet{src, id, sent_at, std::move(payload)});
+    });
+  }
 }
 
 NetStats Network::stats() const {
@@ -86,39 +95,50 @@ void Network::send_copy(ProcessId src, ProcessId dst,
     }
   }
 
+  // Every fault and latency decision has been drawn above, on the sender
+  // side, in the same order on every backend. From here only bytes move:
+  // through a real subnet when the runtime exposes one, otherwise as a
+  // posted closure.
+  if (rt::DatagramSubnet* subnet = rt_.datagram_subnet()) {
+    subnet->send(src, dst, sent_at, sent_at + latency, std::move(payload));
+    return;
+  }
   Packet packet{src, dst, sent_at, std::move(payload)};
-  rt_.post(dst, latency, [this, p = std::move(packet)]() mutable {
-    // A destination that crashed while the packet was in flight never sees
-    // it (the NIC of a fail-stop process is dead). Likewise a partition
-    // that activated while the packet was in flight severs it: the paper's
-    // partitions cut links, not just send attempts, and this check is what
-    // makes ThreadedRuntime (whose deliveries run long after the send-time
-    // check) honor Partition::active() at all.
-    if (faults_.is_crashed(p.dst, rt_.now()) ||
-        faults_.partitioned(p.src, p.dst, rt_.now())) {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        ++stats_.packets_dropped;
-      }
-      if (config_.metrics != nullptr) {
-        config_.metrics->add(p.dst, m_dropped_);
-      }
-      return;
-    }
-    URCGC_ASSERT_MSG(static_cast<bool>(endpoints_[p.dst]),
-                     "delivery to unattached endpoint");
+  rt_.post(dst, latency,
+           [this, p = std::move(packet)]() mutable { deliver(p); });
+}
+
+void Network::deliver(const Packet& p) {
+  // A destination that crashed while the packet was in flight never sees
+  // it (the NIC of a fail-stop process is dead). Likewise a partition
+  // that activated while the packet was in flight severs it: the paper's
+  // partitions cut links, not just send attempts, and this check is what
+  // makes the real-time backends (whose deliveries run long after the
+  // send-time check) honor Partition::active() at all.
+  if (faults_.is_crashed(p.dst, rt_.now()) ||
+      faults_.partitioned(p.src, p.dst, rt_.now())) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.packets_delivered;
-      stats_.bytes_delivered += p.size_bytes();
+      ++stats_.packets_dropped;
     }
     if (config_.metrics != nullptr) {
-      config_.metrics->add(p.dst, m_delivered_);
-      config_.metrics->add(p.dst, m_bytes_delivered_, p.size_bytes());
+      config_.metrics->add(p.dst, m_dropped_);
     }
-    // Upcall outside the lock: the receiver may immediately send.
-    endpoints_[p.dst](p);
-  });
+    return;
+  }
+  URCGC_ASSERT_MSG(static_cast<bool>(endpoints_[p.dst]),
+                   "delivery to unattached endpoint");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += p.size_bytes();
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->add(p.dst, m_delivered_);
+    config_.metrics->add(p.dst, m_bytes_delivered_, p.size_bytes());
+  }
+  // Upcall outside the lock: the receiver may immediately send.
+  endpoints_[p.dst](p);
 }
 
 void Network::unicast(ProcessId src, ProcessId dst,

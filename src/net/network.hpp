@@ -108,6 +108,12 @@ class Network {
 
  private:
   void send_copy(ProcessId src, ProcessId dst, wire::SharedBuffer payload);
+  /// Arrival half of a delivery: the crash/partition re-check at arrival
+  /// time, delivery accounting, and the endpoint upcall. Runs on the
+  /// destination's execution context — posted as a closure on the
+  /// in-memory backends, invoked by the subnet rx path when the runtime
+  /// exposes a rt::DatagramSubnet.
+  void deliver(const Packet& p);
 
   rt::Runtime& rt_;
   fault::FaultInjector& faults_;

@@ -135,21 +135,25 @@ void TransportEndpoint::finish(std::uint64_t xfer_id) {
 }
 
 void TransportEndpoint::on_packet(const Packet& packet) {
+  // Malformed datagrams are dropped and counted, never acted upon: the
+  // subnet is unreliable, so a truncated or garbage packet must look
+  // exactly like a lost one.
+  const auto reject = [this] { ++stats_.decode_rejected; };
   wire::Reader r(packet.payload.view());
   auto type = r.u8();
-  if (!type) return;  // malformed datagram: drop, the subnet is unreliable
+  if (!type) return reject();
 
   if (type.value() == kData) {
     auto xfer_id = r.u64();
-    if (!xfer_id) return;
+    if (!xfer_id) return reject();
     auto index = r.u16();
     auto count = r.u16();
     if (!index || !count || count.value() == 0 ||
         index.value() >= count.value()) {
-      return;
+      return reject();
     }
     auto fragment = r.bytes();
-    if (!fragment || !r.finish()) return;
+    if (!fragment || !r.finish()) return reject();
 
     // Always (re-)acknowledge the fragment: the sender may have missed a
     // previous ack.
@@ -165,7 +169,9 @@ void TransportEndpoint::on_packet(const Packet& packet) {
     if (reassembly.fragments.empty()) {
       reassembly.fragments.resize(count.value());
     }
-    if (reassembly.fragments.size() != count.value()) return;  // hostile
+    // Fragment-count mismatch across packets of one transfer: hostile or
+    // corrupted framing — reject rather than resize mid-reassembly.
+    if (reassembly.fragments.size() != count.value()) return reject();
     auto& slot = reassembly.fragments[index.value()];
     if (slot.has_value()) return;  // duplicate fragment
     slot = std::move(fragment).value();
@@ -188,15 +194,15 @@ void TransportEndpoint::on_packet(const Packet& packet) {
 
   if (type.value() == kAck) {
     auto xfer_id = r.u64();
-    if (!xfer_id) return;
+    if (!xfer_id) return reject();
     auto index = r.u16();
-    if (!index || !r.finish()) return;
+    if (!index || !r.finish()) return reject();
     auto it = xfers_.find(xfer_id.value());
-    if (it == xfers_.end()) return;  // late ack after confirm
+    if (it == xfers_.end()) return;  // late ack after confirm: well-formed
     it->second.acked[packet.src].insert(index.value());
     return;
   }
-  // Unknown type: drop.
+  reject();  // unknown type
 }
 
 }  // namespace urcgc::net

@@ -61,6 +61,10 @@ struct TransportStats {
   std::uint64_t confirms_short = 0;     // confirmed with < h acks
   std::uint64_t fragmented_xfers = 0;   // transfers that needed splitting
   std::uint64_t reassemblies = 0;       // multi-fragment deliveries
+  /// Datagrams dropped at the parse boundary: truncated, trailing bytes,
+  /// out-of-range fragment indices, unknown packet type. Well-formed but
+  /// redundant traffic (duplicate fragments, late acks) is not counted.
+  std::uint64_t decode_rejected = 0;
 };
 
 class TransportEndpoint final : public Endpoint {

@@ -24,6 +24,8 @@
 
 namespace urcgc::rt {
 
+class DatagramSubnet;  // runtime/subnet.hpp
+
 using EventFn = std::function<void()>;
 
 /// Handler invoked at the beginning of every round.
@@ -72,6 +74,13 @@ class Runtime {
   /// read protocol state) or `limit` is hit. Returns the stop tick.
   virtual Tick run_until_quiescent(Tick limit,
                                    const std::function<bool()>& predicate) = 0;
+
+  /// The real datagram transport connecting this runtime's execution
+  /// contexts, if it has one (see runtime/subnet.hpp). In-memory backends
+  /// return nullptr and net::Network delivers by posting closures; a
+  /// backend with real sockets returns its subnet and Network hands it the
+  /// serialized frames instead.
+  [[nodiscard]] virtual DatagramSubnet* datagram_subnet() { return nullptr; }
 };
 
 }  // namespace urcgc::rt

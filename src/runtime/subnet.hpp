@@ -1,0 +1,43 @@
+#pragma once
+// DatagramSubnet: the capability a Runtime may expose when its execution
+// contexts are connected by a real datagram transport (e.g. one UDP socket
+// per context in rt::SocketRuntime) instead of in-process mailboxes.
+//
+// The in-memory backends deliver a packet by posting a closure into the
+// destination's event queue — that closure cannot cross a kernel socket.
+// When a runtime exposes a subnet, net::Network keeps every fault and
+// latency draw on the sender side (so cross-backend equivalence is
+// preserved draw-for-draw) and hands the already-serialized frame to the
+// subnet; the subnet moves the bytes and invokes the destination's rx
+// upcall on the destination's execution context once the frame's due tick
+// is reached.
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "wire/shared_buffer.hpp"
+
+namespace urcgc::rt {
+
+class DatagramSubnet {
+ public:
+  /// Receive upcall: runs on the destination's execution context at the
+  /// first round boundary at or after the frame's due tick.
+  using RxFn = std::function<void(ProcessId src, Tick sent_at,
+                                  wire::SharedBuffer payload)>;
+
+  virtual ~DatagramSubnet() = default;
+
+  /// Registers the receive upcall for destination `dst`. Must be called
+  /// exactly once per destination, before traffic flows to it.
+  virtual void bind_rx(ProcessId dst, RxFn fn) = 0;
+
+  /// Sends one already-serialized frame from `src` to `dst`; the
+  /// destination's rx upcall fires no earlier than `due`. May be called
+  /// from any execution context of the owning runtime. The payload buffer
+  /// is handed to the transport without re-copying.
+  virtual void send(ProcessId src, ProcessId dst, Tick sent_at, Tick due,
+                    wire::SharedBuffer payload) = 0;
+};
+
+}  // namespace urcgc::rt

@@ -33,11 +33,15 @@ ThreadedRuntime::ThreadedRuntime(ThreadedConfig config)
   for (int i = 0; i <= config_.n; ++i) {
     auto mailbox = std::make_unique<Mailbox>();
     if (config_.lockfree_mailboxes) {
-      mailbox->rings.reserve(static_cast<std::size_t>(config_.n));
+      const auto n = static_cast<std::size_t>(config_.n);
+      mailbox->rings.reserve(n);
       for (int p = 0; p < config_.n; ++p) {
         mailbox->rings.push_back(
             std::make_unique<SpscRing<Task>>(config_.ring_capacity));
       }
+      mailbox->producer_seq.assign(n, 0);
+      mailbox->seen_upto.assign(n, 0);
+      mailbox->ooo.resize(n);
     }
     mailboxes_.push_back(std::move(mailbox));
   }
@@ -72,6 +76,7 @@ void ThreadedRuntime::shutdown() {
       while (ring->try_pop(task)) ++discarded;
     }
   }
+  discarded += discard_external();
   discarded_on_shutdown_ = discarded;
   if (config_.metrics != nullptr) {
     if (discarded > 0) {
@@ -92,15 +97,52 @@ void ThreadedRuntime::post(ProcessId owner, Tick delay, EventFn fn) {
   Task task{now() + delay, post_order_.fetch_add(1, std::memory_order_relaxed),
             std::move(fn)};
   if (config_.lockfree_mailboxes && t_ring_owner == this) {
-    auto& ring = *mailboxes_[idx]->rings[t_ring_producer];
+    Mailbox& mailbox = *mailboxes_[idx];
+    // Stamp the channel sequence before attempting the push: whether this
+    // task lands in the ring or spills, the consumer can tell whether any
+    // channel predecessor is still uncollected and hold it back (drain
+    // would otherwise execute a spilled task ahead of ring-resident
+    // predecessors it has not seen yet — a per-channel FIFO violation).
+    task.producer = t_ring_producer;
+    task.seq =
+        ++mailbox.producer_seq[static_cast<std::size_t>(t_ring_producer)];
+    auto& ring = *mailbox.rings[t_ring_producer];
     if (ring.try_push(std::move(task))) return;
-    // Ring full: spill to the mutex path below. Correctness is unchanged
-    // (the consumer merges both sources before sorting); only the counter
-    // records that the capacity was undersized for this burst.
+    // Ring full: spill to the mutex path below; the counter records that
+    // the capacity was undersized for this burst.
     ring_overflows_.fetch_add(1, std::memory_order_relaxed);
   }
   std::lock_guard<std::mutex> lk(mailboxes_[idx]->mu);
   mailboxes_[idx]->spill.push_back(std::move(task));
+}
+
+int ThreadedRuntime::current_worker() const {
+  return t_ring_owner == this ? t_ring_producer : -1;
+}
+
+void ThreadedRuntime::enqueue_local(int idx, Tick due, EventFn fn) {
+  Task task{due, post_order_.fetch_add(1, std::memory_order_relaxed),
+            std::move(fn)};
+  mailboxes_[idx]->pending.push_back(std::move(task));
+}
+
+void ThreadedRuntime::note_collected(Mailbox& mailbox, const Task& task) {
+  if (task.producer < 0) return;
+  const auto p = static_cast<std::size_t>(task.producer);
+  std::uint64_t& upto = mailbox.seen_upto[p];
+  auto& ooo = mailbox.ooo[p];
+  if (task.seq == upto + 1) {
+    ++upto;
+    // Absorb buffered successors that became contiguous.
+    std::size_t eat = 0;
+    while (eat < ooo.size() && ooo[eat] == upto + 1) {
+      ++upto;
+      ++eat;
+    }
+    if (eat > 0) ooo.erase(ooo.begin(), ooo.begin() + static_cast<long>(eat));
+  } else {
+    ooo.insert(std::lower_bound(ooo.begin(), ooo.end(), task.seq), task.seq);
+  }
 }
 
 void ThreadedRuntime::on_round(ProcessId owner, RoundHandler handler) {
@@ -113,7 +155,7 @@ void ThreadedRuntime::on_round(ProcessId owner, RoundHandler handler) {
 
 void ThreadedRuntime::drain(int idx, Tick cutoff) {
   Mailbox& mailbox = *mailboxes_[idx];
-  std::vector<Task> due;
+  collect_external(idx, cutoff);
   if (config_.lockfree_mailboxes) {
     // Coalesce: pull everything the producers published, then the spill,
     // into the consumer-private pending list. Rings are FIFO per producer
@@ -121,32 +163,41 @@ void ThreadedRuntime::drain(int idx, Tick cutoff) {
     // round), so due/not-yet-due is decided on the merged list.
     for (auto& ring : mailbox.rings) {
       Task task;
-      while (ring->try_pop(task)) mailbox.pending.push_back(std::move(task));
-    }
-    {
-      std::lock_guard<std::mutex> lk(mailbox.mu);
-      if (!mailbox.spill.empty()) {
-        mailbox.pending.insert(mailbox.pending.end(),
-                               std::make_move_iterator(mailbox.spill.begin()),
-                               std::make_move_iterator(mailbox.spill.end()));
-        mailbox.spill.clear();
+      while (ring->try_pop(task)) {
+        note_collected(mailbox, task);
+        mailbox.pending.push_back(std::move(task));
       }
     }
-    auto split = std::stable_partition(
-        mailbox.pending.begin(), mailbox.pending.end(),
-        [cutoff](const Task& t) { return t.due > cutoff; });
-    due.assign(std::make_move_iterator(split),
-               std::make_move_iterator(mailbox.pending.end()));
-    mailbox.pending.erase(split, mailbox.pending.end());
-  } else {
-    std::lock_guard<std::mutex> lk(mailbox.mu);
-    auto split = std::stable_partition(
-        mailbox.spill.begin(), mailbox.spill.end(),
-        [cutoff](const Task& t) { return t.due > cutoff; });
-    due.assign(std::make_move_iterator(split),
-               std::make_move_iterator(mailbox.spill.end()));
-    mailbox.spill.erase(split, mailbox.spill.end());
+    if (config_.test_between_ring_and_spill) {
+      config_.test_between_ring_and_spill(idx, cutoff);
+    }
   }
+  {
+    std::lock_guard<std::mutex> lk(mailbox.mu);
+    if (!mailbox.spill.empty()) {
+      for (Task& task : mailbox.spill) {
+        note_collected(mailbox, task);
+        mailbox.pending.push_back(std::move(task));
+      }
+      mailbox.spill.clear();
+    }
+  }
+  // A task executes only once it is due AND its channel prefix is fully
+  // collected: a spilled task whose ring-resident predecessors were pushed
+  // after our ring pass (ring-then-spill race) is held in pending; the next
+  // drain collects the predecessors and releases it in post order.
+  auto split = std::stable_partition(
+      mailbox.pending.begin(), mailbox.pending.end(),
+      [cutoff, &mailbox](const Task& t) {
+        if (t.due > cutoff) return true;  // keep: not yet due
+        return t.producer >= 0 &&
+               t.seq >
+                   mailbox.seen_upto[static_cast<std::size_t>(t.producer)];
+      });
+  std::vector<Task> due;
+  due.assign(std::make_move_iterator(split),
+             std::make_move_iterator(mailbox.pending.end()));
+  mailbox.pending.erase(split, mailbox.pending.end());
   std::stable_sort(due.begin(), due.end(), [](const Task& a, const Task& b) {
     return a.due != b.due ? a.due < b.due : a.order < b.order;
   });
@@ -173,6 +224,9 @@ void ThreadedRuntime::worker_loop(int idx) {
     for (const RoundHandler& handler : mailboxes_[idx]->handlers) handler(r);
     // Catch zero-delay posts made by our own handlers.
     drain(idx, start);
+    // Publish buffered output (e.g. a socket tx batch) before parking, so
+    // every other context's next round sees this round's sends.
+    flush_external(idx);
     done_round = r;
     {
       std::lock_guard<std::mutex> lk(barrier_mu_);
@@ -220,6 +274,9 @@ Tick ThreadedRuntime::run_rounds(Tick limit,
     for (const RoundHandler& handler : mailboxes_[config_.n]->handlers) {
       handler(r);
     }
+    // Driver-context sends must be visible before the workers start the
+    // round: flush before the barrier opens.
+    flush_external(config_.n);
     {
       std::lock_guard<std::mutex> lk(barrier_mu_);
       open_round_ = r;

@@ -16,9 +16,12 @@
 // (e.g. transport retries) stay in the pending list, which only the
 // consumer touches. Posts from threads that are not workers (the driver's
 // workload submissions, tests) and pushes that find a ring full overflow
-// into the mutex-guarded spill vector, preserving the old semantics
-// exactly. The mutex-only path is kept behind the flag as the A/B and
-// equivalence oracle for the ring path.
+// into the mutex-guarded spill vector. Worker posts carry a per-
+// (producer,consumer) channel sequence number so an overflow cannot be
+// executed ahead of ring-resident predecessors the consumer has not
+// collected yet — the drain holds a task back until its channel prefix is
+// complete, preserving per-channel FIFO. The mutex-only path is kept
+// behind the flag as the A/B and equivalence oracle for the ring path.
 //
 // Execution model per round r (driver thread = the caller of run_until*):
 //   1. driver waits for the steady-clock round boundary, advances now()
@@ -82,9 +85,15 @@ struct ThreadedConfig {
   /// target) on the host shard — driver-context only, per the registry's
   /// thread-safety contract.
   obs::Registry* metrics = nullptr;
+  /// Test-only: invoked by the consumer of context `idx` inside drain, in
+  /// the window after the ring pass and before the spill merge — the spot
+  /// where a concurrent producer can fill its ring and overflow into the
+  /// spill, making the consumer observe a later task before its
+  /// predecessors. Lets tests force that interleaving deterministically.
+  std::function<void(int idx, Tick cutoff)> test_between_ring_and_spill{};
 };
 
-class ThreadedRuntime final : public Runtime {
+class ThreadedRuntime : public Runtime {
  public:
   explicit ThreadedRuntime(ThreadedConfig config);
   ~ThreadedRuntime() override;
@@ -127,32 +136,85 @@ class ThreadedRuntime final : public Runtime {
     return ring_overflows_.load(std::memory_order_relaxed);
   }
 
+ protected:
+  // --- Extension points for derived runtimes (e.g. SocketRuntime) -------
+  // All three default to no-ops; every call site documents which thread
+  // invokes it. Derived classes must call shutdown() from their own
+  // destructor so discard_external() still dispatches to them.
+
+  /// Called at the top of drain() on context `idx`'s consumer thread,
+  /// once per drain. A derived runtime pulls externally-arrived work
+  /// (e.g. socket datagrams) and hands it over via enqueue_local().
+  virtual void collect_external(int idx, Tick cutoff) {
+    (void)idx;
+    (void)cutoff;
+  }
+  /// Called on context `idx`'s thread after its round work is complete —
+  /// for workers after the second drain, for the driver just before the
+  /// barrier opens — so buffered output (e.g. a tx datagram batch) is
+  /// visible to every other context's next collect_external().
+  virtual void flush_external(int idx) { (void)idx; }
+  /// Called once inside shutdown() after the workers are joined; returns
+  /// the number of externally-buffered tasks that will never run, to be
+  /// added to discarded_on_shutdown().
+  virtual std::uint64_t discard_external() { return 0; }
+
+  /// Enqueue a task directly into context `idx`'s consumer-owned pending
+  /// list. Must only be called from that context's consumer thread (i.e.
+  /// from within collect_external, or from a task/handler of `idx`).
+  void enqueue_local(int idx, Tick due, EventFn fn);
+
+  /// Worker index of the calling thread, or -1 when the caller is not one
+  /// of this runtime's workers (driver, external threads).
+  [[nodiscard]] int current_worker() const;
+
+  [[nodiscard]] const ThreadedConfig& threaded_config() const {
+    return config_;
+  }
+
  private:
   struct Task {
     Tick due = 0;
     std::uint64_t order = 0;  // global post order: stable tie-break
     EventFn fn;
+    // Per-(producer, consumer) channel identity for the lock-free path:
+    // worker `producer` stamped this task with channel sequence `seq`
+    // (1-based, contiguous per channel). -1 = posted under the mailbox
+    // mutex by a non-worker (driver, tests) — the spill vector is FIFO
+    // and collected whole, so those need no gap tracking.
+    int producer = -1;
+    std::uint64_t seq = 0;
   };
 
   /// One mailbox per execution context; index n is the driver context.
   /// The mutex guards `spill` only — `handlers` is written before the
   /// first round and read-only afterwards; `rings[i]` is SPSC between
-  /// worker i (producer) and this context's thread (consumer); `pending`
-  /// is touched only by the consumer.
+  /// worker i (producer) and this context's thread (consumer); `pending`,
+  /// `seen_upto` and `ooo` are touched only by the consumer;
+  /// `producer_seq[i]` is written only by worker i.
   struct Mailbox {
     std::mutex mu;
     std::vector<Task> spill;
     std::vector<RoundHandler> handlers;
     std::vector<std::unique_ptr<SpscRing<Task>>> rings;  // [worker producer]
-    std::vector<Task> pending;  // consumer-owned carry-over (due > cutoff)
+    std::vector<Task> pending;  // consumer-owned carry-over
+    // Channel sequence numbers (lock-free mode only, all sized n):
+    std::vector<std::uint64_t> producer_seq;  // last seq stamped, per worker
+    std::vector<std::uint64_t> seen_upto;     // collected prefix, per worker
+    std::vector<std::vector<std::uint64_t>> ooo;  // collected beyond a gap
   };
 
   void worker_loop(int idx);
   /// Extracts and executes every task of context `idx` due at or before
   /// `cutoff`, in (due, post-order) order. Runs the tasks outside the
   /// mailbox lock so they may post into other mailboxes. Must only be
-  /// called from the context's consumer thread.
+  /// called from the context's consumer thread. A task whose channel
+  /// predecessors have not been collected yet (ring/spill race, see
+  /// Task::seq) is held back until they have.
   void drain(int idx, Tick cutoff);
+  /// Advances the consumer-side collected-prefix tracking for `task`'s
+  /// channel. Consumer thread only.
+  static void note_collected(Mailbox& mailbox, const Task& task);
   Tick run_rounds(Tick limit, const std::function<bool()>* predicate);
 
   ThreadedConfig config_;

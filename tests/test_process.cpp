@@ -442,5 +442,58 @@ TEST(UrcgcProcess, LateRequestDroppedCountedAndObserved) {
   EXPECT_EQ(registry.counter_total(m), 1u);
 }
 
+TEST(UrcgcProcess, TruncatedPduPrefixesCountedAndDropped) {
+  // Fuzz the decode boundary: every strict prefix of a valid AppMessage
+  // PDU, plus seeded random garbage, must be counted in
+  // counters().decode_rejected / net.decode_rejected and dropped — the
+  // process must neither abort nor desync, and must keep processing valid
+  // traffic afterwards.
+  obs::Registry registry(4);
+  Config config = small(4);
+  sim::Simulation sim;
+  fault::FaultInjector injector(fault::FaultPlan(4), Rng(7));
+  StubEndpoint endpoint(2);
+  UrcgcProcess p(config, 2, sim, endpoint, injector, nullptr, &registry);
+  p.start();
+
+  AppMessage msg;
+  msg.mid = {1, 1};
+  msg.deps = {Mid{1, 0}};
+  msg.generated_at = 0;
+  msg.payload = {5, 5, 5};
+  const std::vector<std::uint8_t> frame = encode_pdu(msg);
+
+  std::uint64_t expected_rejects = 0;
+  sim.at(3, [&] {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      endpoint.inject(1, std::vector<std::uint8_t>(
+                             frame.begin(),
+                             frame.begin() + static_cast<long>(cut)));
+      ++expected_rejects;
+    }
+    Rng rng(131);
+    for (int i = 0; i < 32; ++i) {
+      std::vector<std::uint8_t> garbage(
+          static_cast<std::size_t>(rng.uniform_range(1, 64)));
+      for (auto& b : garbage) {
+        b = static_cast<std::uint8_t>(rng.uniform_range(0, 255));
+      }
+      garbage[0] = 0xEE;  // unknown PDU type: always rejected
+      endpoint.inject(1, garbage);
+      ++expected_rejects;
+    }
+    // The untruncated frame still decodes and is processed normally.
+    endpoint.inject(1, frame);
+  });
+  sim.run_until(10);
+
+  EXPECT_FALSE(p.halted());
+  EXPECT_EQ(p.counters().decode_rejected, expected_rejects);
+  EXPECT_EQ(p.mt().prefix(1), 1);  // the valid copy made it through
+  const obs::Metric m = registry.find("net.decode_rejected");
+  ASSERT_TRUE(m.valid());
+  EXPECT_EQ(registry.counter_value(m, 2), expected_rejects);
+}
+
 }  // namespace
 }  // namespace urcgc::core

@@ -168,6 +168,41 @@ TEST(ThreadedRuntime, ShutdownCountsUndrainedTasks) {
   }
 }
 
+TEST(ThreadedRuntime, RingOverflowPreservesPerChannelFifo) {
+  // Regression: a consumer that had finished its ring pass could pick up a
+  // spilled task and execute it while the task's ring-resident
+  // predecessors — pushed concurrently, after the pass — sat uncollected
+  // until the next drain, so later-posted work from one producer ran ahead
+  // of earlier-posted work. The drain now holds a task back until its
+  // channel prefix is collected. Force the exact interleaving with the
+  // test hook: park consumer 1 between its ring pass and its spill merge,
+  // have worker 0 fill the ring (capacity 4) and overflow a fifth task,
+  // then let the consumer proceed.
+  constexpr int kBurst = 5;
+  ThreadedConfig config = free_running(2);
+  config.ring_capacity = 4;
+  std::atomic<int> stage{0};
+  config.test_between_ring_and_spill = [&stage](int idx, Tick cutoff) {
+    if (idx != 1 || cutoff != 30) return;  // context 1, round 3 only
+    int expected = 0;
+    if (!stage.compare_exchange_strong(expected, 1)) return;  // fire once
+    while (stage.load() != 2) std::this_thread::yield();
+  };
+  ThreadedRuntime rt(config);
+  std::vector<int> log;  // appended to only by context 1's tasks
+  rt.on_round(0, [&rt, &log, &stage](RoundId r) {
+    if (r != 3) return;
+    while (stage.load() != 1) std::this_thread::yield();
+    for (int i = 1; i <= kBurst; ++i) {
+      rt.post(1, /*delay=*/0, [&log, i] { log.push_back(i); });
+    }
+    stage.store(2);
+  });
+  rt.run_until(49);
+  EXPECT_GE(rt.ring_overflows(), 1u) << "burst did not overflow the ring";
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
 TEST(ThreadedRuntime, WallClockPacingRespectsTickDuration) {
   ThreadedConfig config = free_running(1);
   config.tick_duration = std::chrono::microseconds(100);
@@ -221,7 +256,10 @@ TEST(CrossBackend, SeededWorkloadPassesOnBothBackends) {
   config.thread_tick_ns = 0;  // free-running: fast and ordering-equivalent
   const auto thr_report = harness::Experiment(config).run();
 
-  for (const auto* report : {&sim_report, &thr_report}) {
+  config.backend = harness::Backend::kSocket;
+  const auto sock_report = harness::Experiment(config).run();
+
+  for (const auto* report : {&sim_report, &thr_report, &sock_report}) {
     EXPECT_TRUE(report->quiescent);
     EXPECT_TRUE(report->workload_exhausted);
     EXPECT_TRUE(report->all_ok()) << report->violations.size()
@@ -237,11 +275,11 @@ TEST(CrossBackend, SeededWorkloadPassesOnBothBackends) {
     }
   }
   // Fault-free: the full offered load is generated and processed
-  // everywhere on both backends, whatever the interleaving.
-  EXPECT_EQ(sim_report.generated, 120u);
-  EXPECT_EQ(thr_report.generated, 120u);
-  EXPECT_EQ(sim_report.processed_events, 120u * 6);
-  EXPECT_EQ(thr_report.processed_events, 120u * 6);
+  // everywhere on every backend, whatever the interleaving.
+  for (const auto* report : {&sim_report, &thr_report, &sock_report}) {
+    EXPECT_EQ(report->generated, 120u);
+    EXPECT_EQ(report->processed_events, 120u * 6);
+  }
 }
 
 TEST(CrossBackend, TenProcessThreadedRunReachesQuiescence) {
@@ -266,11 +304,34 @@ TEST(CrossBackend, CrashFaultToleratedOnBothBackends) {
   config.thread_tick_ns = 0;
   const auto thr_report = harness::Experiment(config).run();
 
-  for (const auto* report : {&sim_report, &thr_report}) {
+  config.backend = harness::Backend::kSocket;
+  const auto sock_report = harness::Experiment(config).run();
+
+  for (const auto* report : {&sim_report, &thr_report, &sock_report}) {
     EXPECT_TRUE(report->quiescent);
     EXPECT_TRUE(report->all_ok());
     ASSERT_GE(report->halts.size(), 1u);
     EXPECT_EQ(report->halts.front().p, 5);
+  }
+}
+
+TEST(CrossBackend, OmissionSchedulePassesOnAllBackends) {
+  // Omission draws are made inside net::Network on the sender side, so the
+  // same seeded fault schedule drives all three backends — the socket
+  // layer only ever moves bytes that survived the draw.
+  auto config = workload_config(6, 100, 23);
+  config.faults.omission_prob = 0.05;
+  config.thread_tick_ns = 0;
+  for (auto backend : {harness::Backend::kSim, harness::Backend::kThreads,
+                       harness::Backend::kSocket}) {
+    config.backend = backend;
+    const auto report = harness::Experiment(config).run();
+    EXPECT_TRUE(report.quiescent) << "backend " << static_cast<int>(backend);
+    EXPECT_TRUE(report.all_ok())
+        << "backend " << static_cast<int>(backend) << ": "
+        << (report.violations.empty() ? "" : report.violations.front());
+    EXPECT_EQ(report.generated, 100u);
+    EXPECT_EQ(report.processed_events, 100u * 6);
   }
 }
 

@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "net/transport.hpp"
 #include "sim/simulation.hpp"
+#include "wire/buffer.hpp"
 
 namespace urcgc::net {
 namespace {
@@ -138,6 +139,57 @@ TEST(Transport, MalformedDatagramIgnored) {
   rig.network.unicast(0, 1, std::vector<std::uint8_t>{});
   rig.sim.run_until(100);
   EXPECT_EQ(deliveries, 0);
+}
+
+TEST(Transport, TruncatedFramePrefixesCountedAndDropped) {
+  // Every strict prefix of a valid DATA frame must be rejected at the
+  // parse boundary — counted, dropped, and without wedging the endpoint.
+  Rig rig(2, fault::FaultPlan(2));
+  int deliveries = 0;
+  rig.endpoints[1]->set_upcall(
+      [&](ProcessId, std::span<const std::uint8_t>) { ++deliveries; });
+
+  // A valid single-fragment DATA frame, exactly as transmit() writes it:
+  // u8 type | u64 xfer_id | u16 index | u16 count | bytes fragment.
+  wire::Writer w;
+  w.u8(0);  // kData
+  w.u64(7);
+  w.u16(0);
+  w.u16(1);
+  const std::vector<std::uint8_t> body{9, 8, 7};
+  w.bytes(body);
+  const std::vector<std::uint8_t> frame = std::move(w).take();
+
+  std::uint64_t expected_rejects = 0;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    rig.network.unicast(0, 1, std::vector<std::uint8_t>(
+                                  frame.begin(),
+                                  frame.begin() + static_cast<long>(cut)));
+    ++expected_rejects;
+  }
+  // Seeded random garbage on top of the structured prefixes.
+  Rng rng(97);
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::uint8_t> garbage(
+        static_cast<std::size_t>(rng.uniform_range(1, 40)));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.uniform_range(0, 255));
+    }
+    garbage[0] = 0xFF;  // unknown type: always a parse reject
+    rig.network.unicast(0, 1, std::move(garbage));
+    ++expected_rejects;
+  }
+  rig.sim.run_until(200);
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(rig.endpoints[1]->stats().decode_rejected, expected_rejects);
+
+  // The endpoint survives the fuzzing fully functional: the untruncated
+  // frame still parses and a real transfer still round-trips.
+  rig.network.unicast(0, 1, std::vector<std::uint8_t>(frame));
+  rig.endpoints[0]->send(1, {1, 2});
+  rig.sim.run_until(1000);
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(rig.endpoints[1]->stats().decode_rejected, expected_rejects);
 }
 
 TEST(Transport, ConcurrentTransfersKeptApart) {

@@ -203,5 +203,47 @@ TEST(WaitingList, PartialSatisfactionKeepsEntryIndexed) {
   EXPECT_TRUE(list.contains({1, 1}));
 }
 
+TEST(WaitingList, WakePathExaminesOnlyDependentsOfProcessedMid) {
+  // The churn scenario of pipelining depth k >= 2: a deep waiting list is
+  // the steady state, and most deliveries are unrelated to most entries. A
+  // delivery must examine exactly the entries blocked on it — a full-list
+  // rescan would show up here as wake_checks growing by size() per call.
+  WaitingList list;
+  constexpr int kDeep = 500;
+  // 500 entries blocked on origin 7, none of them on origin 0.
+  for (Seq s = 1; s <= kDeep; ++s) {
+    const Mid dep{7, s};
+    list.add(make({1, s}, {dep}), std::span(&dep, 1));
+  }
+  // Three entries blocked on (0,1); one of them also on (0,2).
+  const Mid hot{0, 1};
+  list.add(make({2, 1}, {hot}), std::span(&hot, 1));
+  list.add(make({3, 1}, {hot}), std::span(&hot, 1));
+  const std::vector<Mid> two{{0, 1}, {0, 2}};
+  list.add(make({4, 1}, two), two);
+  ASSERT_EQ(list.size(), static_cast<std::size_t>(kDeep) + 3);
+
+  // Processing (0,1) wakes exactly its 3 dependents — never the 500
+  // entries parked on origin 7.
+  auto released = list.on_processed(hot);
+  EXPECT_EQ(released.size(), 2u);
+  EXPECT_EQ(list.stats().wake_checks, 3u);
+  EXPECT_EQ(list.stats().releases, 2u);
+
+  // A delivery nothing waits on examines nothing.
+  EXPECT_TRUE(list.on_processed({0, 9}).empty());
+  EXPECT_EQ(list.stats().wake_checks, 3u);
+
+  // Finishing (0,2) touches only the one remaining dependent. Cumulative
+  // checks stay at dependents-touched (4), far below the O(deliveries x
+  // size) a rescan implementation would accumulate (> 1500 here).
+  released = list.on_processed({0, 2});
+  EXPECT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].mid, (Mid{4, 1}));
+  EXPECT_EQ(list.stats().wake_checks, 4u);
+  EXPECT_EQ(list.stats().releases, 3u);
+  EXPECT_EQ(list.size(), static_cast<std::size_t>(kDeep));
+}
+
 }  // namespace
 }  // namespace urcgc::causal

@@ -42,7 +42,7 @@ FAILURE_FIELDS = {
     "case": str,
 }
 
-BACKENDS = {"sim", "threads"}
+BACKENDS = {"sim", "threads", "socket"}
 MUTATIONS = {"none", "skip-request-merge", "ignore-one-dep"}
 CLAUSES = {"atomicity", "ordering", "stability", "decision-sequence",
            "liveness"}

@@ -59,7 +59,9 @@ struct Options {
       "usage: %s [flags]\n"
       "  --seeds=N              executions per backend (default 100)\n"
       "  --base-seed=S          first seed; execution i uses S+i (1)\n"
-      "  --backend=sim|threads|both   runtime backend(s) to explore (sim)\n"
+      "  --backend=sim|threads|socket|both|all\n"
+      "                         runtime backend(s) to explore (sim);\n"
+      "                         both = sim+threads, all = +socket\n"
       "  --family=NAME          restrict generation to one scenario\n"
       "                         family: any | fault-free | omission-window\n"
       "                         | crashes | partition | sustained-omission\n"
@@ -136,7 +138,8 @@ Options parse(int argc, char** argv) {
   }
   if (opt.seeds < 1 && opt.replay_path.empty()) usage(argv[0]);
   if (opt.backend != "sim" && opt.backend != "threads" &&
-      opt.backend != "both") {
+      opt.backend != "socket" && opt.backend != "both" &&
+      opt.backend != "all") {
     usage(argv[0]);
   }
   return opt;
@@ -264,6 +267,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> backends;
   if (opt.backend == "both") {
     backends = {"sim", "threads"};
+  } else if (opt.backend == "all") {
+    backends = {"sim", "threads", "socket"};
   } else {
     backends = {opt.backend};
   }
@@ -276,9 +281,9 @@ int main(int argc, char** argv) {
     check::ExplorerOptions explorer;
     explorer.executions = opt.seeds;
     explorer.base_seed = opt.base_seed;
-    explorer.backend = backend_name == "threads"
-                           ? harness::Backend::kThreads
-                           : harness::Backend::kSim;
+    explorer.backend = backend_name == "threads" ? harness::Backend::kThreads
+                       : backend_name == "socket" ? harness::Backend::kSocket
+                                                  : harness::Backend::kSim;
     explorer.family = parse_family(opt.family, argv[0]);
     explorer.mutation = mutation;
     explorer.pipeline_k_choices = parse_pipeline_k(opt.pipeline_k, argv[0]);

@@ -69,8 +69,10 @@ struct Options {
       stderr,
       "usage: %s [flags]\n"
       "  --protocol=urcgc|cbcast|psync   protocol to run (default urcgc)\n"
-      "  --backend=sim|threads           runtime backend (default sim;\n"
+      "  --backend=sim|threads|socket    runtime backend (default sim;\n"
       "                                  threads = one OS thread/process,\n"
+      "                                  socket = threads + one UDP socket\n"
+      "                                  per process over localhost;\n"
       "                                  non-deterministic; all protocols)\n"
       "  --tick-ns=NS                    threads: real ns per tick (50000;\n"
       "                                  0 = free-running)\n"
@@ -254,12 +256,13 @@ int run_urcgc(const Options& opt) {
   config.transport.h_all_on_broadcast = true;
   config.seed = opt.seed;
   config.limit_rtd = opt.limit_rtd;
-  if (opt.backend == "threads") {
+  if (opt.backend == "threads" || opt.backend == "socket") {
     if (opt.tick_ns < 0) {
       std::fprintf(stderr, "--tick-ns must be >= 0 (0 = free-running)\n");
       return 2;
     }
-    config.backend = harness::Backend::kThreads;
+    config.backend = opt.backend == "socket" ? harness::Backend::kSocket
+                                             : harness::Backend::kThreads;
     config.thread_tick_ns = opt.tick_ns;
     config.lockfree_mailboxes = !opt.mutex_mailboxes;
   } else if (opt.backend != "sim") {
@@ -383,12 +386,13 @@ int run_baseline(const Options& opt) {
   config.faults.packet_loss = opt.packet_loss;
   config.faults.flush_coordinator_crashes = opt.storm;
   config.per_copy_payloads = opt.per_copy;
-  if (opt.backend == "threads") {
+  if (opt.backend == "threads" || opt.backend == "socket") {
     if (opt.tick_ns < 0) {
       std::fprintf(stderr, "--tick-ns must be >= 0 (0 = free-running)\n");
       return 2;
     }
-    config.backend = baselines::Backend::kThreads;
+    config.backend = opt.backend == "socket" ? baselines::Backend::kSocket
+                                             : baselines::Backend::kThreads;
     config.thread_tick_ns = opt.tick_ns;
   } else if (opt.backend != "sim") {
     std::fprintf(stderr, "unknown backend: %s\n", opt.backend.c_str());
