@@ -68,6 +68,7 @@ harness::ExperimentConfig CaseConfig::to_experiment() const {
   config.workload.cross_dep_prob = cross_dep_prob;
   config.protocol.max_subruns_in_flight = pipeline_k;
   config.workload.burst = pipeline_k;
+  config.protocol.control_encoding = encoding;
   config.faults.omission_prob = omission;
   config.faults.packet_loss = packet_loss;
   config.faults.window_start_rtd = window_start_rtd;
@@ -102,6 +103,9 @@ std::string CaseConfig::serialize() const {
      << "\n";
   os << "mutation=" << core::to_string(mutation) << "\n";
   if (pipeline_k > 1) os << "pipeline_k=" << pipeline_k << "\n";
+  if (encoding != core::ControlEncoding::kFull) {
+    os << "control_encoding=" << core::to_string(encoding) << "\n";
+  }
   os << "limit_rtd=" << limit_rtd << "\n";
   if (omission > 0.0) os << "omission=" << omission << "\n";
   if (packet_loss > 0.0) os << "packet_loss=" << packet_loss << "\n";
@@ -204,6 +208,14 @@ std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
     } else if (key == "pipeline_k") {
       if (!parse_int(value, &i64) || i64 < 1) return bad();
       out.pipeline_k = static_cast<int>(i64);
+    } else if (key == "control_encoding") {
+      if (value == "full") {
+        out.encoding = core::ControlEncoding::kFull;
+      } else if (value == "delta") {
+        out.encoding = core::ControlEncoding::kDelta;
+      } else {
+        return bad();
+      }
     } else if (key == "limit_rtd") {
       if (!parse_double(value, &out.limit_rtd)) return bad();
     } else if (key == "omission") {

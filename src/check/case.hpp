@@ -14,6 +14,7 @@
 //   backend=sim
 //   mutation=none
 //   pipeline_k=4          # subruns in flight; absent = 1 (paced seed path)
+//   control_encoding=delta  # control-plane wire encoding; absent = full
 //   omission=0.002
 //   packet_loss=0
 //   window=0:5            # omission window in rtd; absent = open
@@ -43,6 +44,11 @@ struct CaseConfig {
   /// workload burst is raised to match so generation can actually use the
   /// budget. 1 = the paced seed path.
   int pipeline_k = 1;
+
+  /// Control-plane wire encoding (Config::control_encoding). kFull is the
+  /// seed path; kDelta runs the same protocol over delta frames, which
+  /// the oracle must not be able to tell apart.
+  core::ControlEncoding encoding = core::ControlEncoding::kFull;
 
   double omission = 0.0;
   double packet_loss = 0.0;

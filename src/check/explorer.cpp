@@ -135,6 +135,14 @@ CaseConfig generate_case(const ExplorerOptions& options, int index) {
   } else if (!options.pipeline_k_choices.empty()) {
     config.pipeline_k = options.pipeline_k_choices.front();
   }
+
+  // Control-plane encoding: same draw-only-on-real-choice discipline.
+  if (options.encoding_choices.size() > 1) {
+    config.encoding = options.encoding_choices[static_cast<std::size_t>(
+        rng.uniform(options.encoding_choices.size()))];
+  } else if (!options.encoding_choices.empty()) {
+    config.encoding = options.encoding_choices.front();
+  }
   return config;
 }
 

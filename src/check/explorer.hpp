@@ -50,6 +50,11 @@ struct ExplorerOptions {
   /// default {1} performs no rng draw at all, so classic sweeps and their
   /// seeded expectations are byte-identical to pre-pipelining explorers.
   std::vector<int> pipeline_k_choices = {1};
+  /// Control-plane encodings to sweep; each case draws one uniformly. Like
+  /// pipeline_k_choices, the single-entry default performs no rng draw, so
+  /// the classic full-encoding sweeps stay byte-identical.
+  std::vector<core::ControlEncoding> encoding_choices = {
+      core::ControlEncoding::kFull};
   /// Stop after this many violating cases (0 = never stop early).
   int max_failures = 1;
   /// Host-shard progress counters (check.executions, check.violations,

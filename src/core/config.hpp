@@ -53,6 +53,30 @@ enum class ProtocolMutation : std::uint8_t {
   kIgnoreOneDep,
 };
 
+/// Wire encoding of the control plane (REQUEST/DECISION frames). See
+/// DESIGN.md "Control-plane encoding" for the byte-level contract.
+enum class ControlEncoding : std::uint8_t {
+  /// Every frame carries the complete per-process vectors — the paper's
+  /// layout, O(n) bytes per control message.
+  kFull,
+  /// Frames carry only the entries that changed since an anchor decision
+  /// both peers hold, with automatic full-snapshot fallback on anchor
+  /// gaps, membership changes and a periodic resync cadence. Decode falls
+  /// back to dropping the frame (REQUEST) or treating it as an omission
+  /// (DECISION) when the anchor is not cached — both already inside the
+  /// protocol's fault model, so `full` and `delta` stay
+  /// decision-for-decision equivalent on fault-free schedules.
+  kDelta,
+};
+
+[[nodiscard]] constexpr const char* to_string(ControlEncoding e) {
+  switch (e) {
+    case ControlEncoding::kFull: return "full";
+    case ControlEncoding::kDelta: return "delta";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr const char* to_string(ProtocolMutation m) {
   switch (m) {
     case ProtocolMutation::kNone: return "none";
@@ -131,6 +155,22 @@ struct Config {
   /// TotalOrderAdapter (urgc-companion totally ordered delivery). Costs
   /// ~4n bytes per boundary kept in every decision.
   bool track_stability_boundaries = false;
+
+  /// Control-plane wire encoding (see ControlEncoding above).
+  ControlEncoding control_encoding = ControlEncoding::kFull;
+
+  /// Delta mode: every decision whose decided_at is a multiple of this
+  /// cadence is broadcast as a full snapshot (and REQUESTs of those
+  /// subruns embed their decision in full), bounding how long a member
+  /// that lost the anchor chain stays unable to decode deltas. Must be
+  /// >= 1; 1 degenerates to full frames everywhere.
+  int delta_snapshot_every = 16;
+
+  /// Delta mode: decisions each process keeps as potential delta anchors
+  /// (sender and receiver side). 0 sizes the window automatically to
+  /// max(8, 2 * max_subruns_in_flight + 1) — deep enough that on
+  /// fault-free schedules every anchor is a hit even at pipeline depth k.
+  std::size_t delta_cache_window = 0;
 
   /// Deliberate defect injected for checker self-tests; kNone otherwise.
   ProtocolMutation mutation = ProtocolMutation::kNone;

@@ -1,0 +1,305 @@
+#include "core/delta.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "wire/codec.hpp"
+#include "wire/sparse.hpp"
+
+namespace urcgc::core {
+
+std::uint64_t decision_digest(const Decision& d) {
+  wire::Writer w(128);
+  encode_decision_body(w, d);
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis
+  for (std::uint8_t byte : w.view()) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void DecisionCache::insert(const Decision& d) {
+  if (capacity_ == 0 || d.decided_at < 0) return;
+  const std::uint64_t digest = decision_digest(d);
+  for (const Entry& e : entries_) {
+    if (e.decision.decided_at == d.decided_at && e.digest == digest) return;
+  }
+  entries_.push_back(Entry{digest, d});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+const Decision* DecisionCache::find(SubrunId decided_at,
+                                    std::uint64_t digest) const {
+  for (const Entry& e : entries_) {
+    if (e.decision.decided_at == decided_at && e.digest == digest) {
+      return &e.decision;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr std::uint16_t kNoProcessWire = 0xFFFF;
+constexpr std::uint8_t kFlagFullGroup = 0x01;
+
+/// Boundary-window evolution from `anchor` to `d`: the new window must be
+/// the anchor's with `drop` entries removed from the front and the rest
+/// kept verbatim as its prefix; returns false when the windows diverged
+/// some other way (a chain jump) and the frame must be a full snapshot.
+bool boundary_evolution(const Decision& d, const Decision& anchor,
+                        std::size_t& drop, std::size_t& append) {
+  const auto& a = anchor.boundaries;
+  const auto& b = d.boundaries;
+  for (drop = 0; drop <= a.size(); ++drop) {
+    const std::size_t kept = a.size() - drop;
+    if (kept > b.size()) continue;
+    if (std::equal(a.begin() + static_cast<std::ptrdiff_t>(drop), a.end(),
+                   b.begin())) {
+      append = b.size() - kept;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Full-snapshot triggers shared by both control frames (DESIGN.md
+/// "anchor rules"): an unanchorable initial decision, the periodic resync
+/// cadence, and groups too large for u16 sparse indices.
+bool common_delta_eligible(SubrunId anchor_decided_at, SubrunId frame_subrun,
+                           int n, const Config& config) {
+  if (config.control_encoding != ControlEncoding::kDelta) return false;
+  if (anchor_decided_at < 0) return false;
+  if (config.delta_snapshot_every <= 1) return false;
+  if (frame_subrun % config.delta_snapshot_every == 0) return false;
+  if (static_cast<std::size_t>(n) > wire::kSparseMaxIndex) return false;
+  return true;
+}
+
+}  // namespace
+
+bool decision_delta_eligible(const Decision& d, const Decision& anchor,
+                             const Config& config) {
+  if (!common_delta_eligible(anchor.decided_at, d.decided_at, d.n(), config)) {
+    return false;
+  }
+  if (d.decided_at <= anchor.decided_at) return false;
+  if (d.n() != anchor.n()) return false;
+  // Membership changes always resync: a join-after-cut or a freshly cut
+  // member must not depend on having the pre-change chain cached.
+  if (d.alive != anchor.alive) return false;
+  // Anchor gap beyond the pipeline depth means the chain jumped (e.g. a
+  // coordinator recovering from a partition) — receivers are unlikely to
+  // hold the anchor, so spend the snapshot now instead of a likely miss.
+  if (d.decided_at - anchor.decided_at >
+      static_cast<SubrunId>(config.max_subruns_in_flight)) {
+    return false;
+  }
+  std::size_t drop = 0;
+  std::size_t append = 0;
+  if (!boundary_evolution(d, anchor, drop, append)) return false;
+  return true;
+}
+
+void encode_decision_delta_body(wire::Writer& w, const Decision& d,
+                                const Decision& anchor) {
+  URCGC_ASSERT(d.n() == anchor.n());
+  w.i64(anchor.decided_at);
+  w.u64(decision_digest(anchor));
+  w.i64(d.decided_at);
+  w.u16(d.coordinator == kNoProcess
+            ? kNoProcessWire
+            : static_cast<std::uint16_t>(d.coordinator));
+  w.u8(d.full_group ? kFlagFullGroup : 0);
+  wire::put_sparse_seqs(w, d.clean_upto, anchor.clean_upto);
+  wire::put_sparse_seqs(w, d.stable_acc, anchor.stable_acc);
+  wire::put_sparse_flips(w, d.heard, anchor.heard);
+  wire::put_sparse_seqs(w, d.max_processed, anchor.max_processed);
+  wire::put_sparse_pids(w, d.most_updated, anchor.most_updated);
+  wire::put_sparse_seqs(w, d.min_waiting, anchor.min_waiting);
+  wire::put_sparse_u8s(w, d.attempts, anchor.attempts);
+  wire::put_sparse_flips(w, d.alive, anchor.alive);
+  w.i64(d.stability_epoch);
+  std::size_t drop = 0;
+  std::size_t append = 0;
+  const bool expressible = boundary_evolution(d, anchor, drop, append);
+  URCGC_ASSERT_MSG(expressible, "caller must check decision_delta_eligible");
+  w.u8(static_cast<std::uint8_t>(drop));
+  w.u8(static_cast<std::uint8_t>(append));
+  for (std::size_t i = d.boundaries.size() - append; i < d.boundaries.size();
+       ++i) {
+    w.i64(d.boundaries[i].subrun);
+    wire::put_seqs32(w, d.boundaries[i].clean_upto);
+  }
+}
+
+Result<Decision, wire::DecodeError> decode_decision_delta_body(
+    wire::Reader& r, DecodeContext& ctx) {
+  auto anchor_subrun = r.i64();
+  if (!anchor_subrun) return Unexpected(anchor_subrun.error());
+  auto anchor_digest = r.u64();
+  if (!anchor_digest) return Unexpected(anchor_digest.error());
+  const Decision* anchor =
+      ctx.cache == nullptr
+          ? nullptr
+          : ctx.cache->find(anchor_subrun.value(), anchor_digest.value());
+  if (anchor == nullptr) {
+    // The frame may be perfectly well-formed; we simply lack the baseline
+    // to expand it. Signal the caller to treat it as an omission, not as
+    // wire garbage.
+    ctx.anchor_missed = true;
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+
+  Decision d = *anchor;
+  auto decided_at = r.i64();
+  if (!decided_at) return Unexpected(decided_at.error());
+  if (decided_at.value() <= anchor->decided_at) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  d.decided_at = decided_at.value();
+  auto coordinator = r.u16();
+  if (!coordinator) return Unexpected(coordinator.error());
+  d.coordinator = coordinator.value() == kNoProcessWire
+                      ? kNoProcess
+                      : static_cast<ProcessId>(coordinator.value());
+  auto flags = r.u8();
+  if (!flags) return Unexpected(flags.error());
+  if ((flags.value() & ~kFlagFullGroup) != 0) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  d.full_group = (flags.value() & kFlagFullGroup) != 0;
+
+  auto clean_upto = wire::get_sparse_seqs(r, anchor->clean_upto);
+  if (!clean_upto) return Unexpected(clean_upto.error());
+  d.clean_upto = std::move(clean_upto).value();
+  auto stable_acc = wire::get_sparse_seqs(r, anchor->stable_acc);
+  if (!stable_acc) return Unexpected(stable_acc.error());
+  d.stable_acc = std::move(stable_acc).value();
+  auto heard = wire::get_sparse_flips(r, anchor->heard);
+  if (!heard) return Unexpected(heard.error());
+  d.heard = std::move(heard).value();
+  auto max_processed = wire::get_sparse_seqs(r, anchor->max_processed);
+  if (!max_processed) return Unexpected(max_processed.error());
+  d.max_processed = std::move(max_processed).value();
+  auto most_updated = wire::get_sparse_pids(r, anchor->most_updated);
+  if (!most_updated) return Unexpected(most_updated.error());
+  d.most_updated = std::move(most_updated).value();
+  auto min_waiting = wire::get_sparse_seqs(r, anchor->min_waiting);
+  if (!min_waiting) return Unexpected(min_waiting.error());
+  d.min_waiting = std::move(min_waiting).value();
+  auto attempts = wire::get_sparse_u8s(r, anchor->attempts);
+  if (!attempts) return Unexpected(attempts.error());
+  d.attempts = std::move(attempts).value();
+  auto alive = wire::get_sparse_flips(r, anchor->alive);
+  if (!alive) return Unexpected(alive.error());
+  d.alive = std::move(alive).value();
+  auto epoch = r.i64();
+  if (!epoch) return Unexpected(epoch.error());
+  d.stability_epoch = epoch.value();
+
+  auto drop = r.u8();
+  if (!drop) return Unexpected(drop.error());
+  auto append = r.u8();
+  if (!append) return Unexpected(append.error());
+  if (drop.value() > anchor->boundaries.size()) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  const std::size_t kept = anchor->boundaries.size() - drop.value();
+  if (kept + append.value() > Decision::kBoundaryWindow) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  d.boundaries.assign(
+      anchor->boundaries.begin() + static_cast<std::ptrdiff_t>(drop.value()),
+      anchor->boundaries.end());
+  for (std::uint8_t i = 0; i < append.value(); ++i) {
+    StabilityBoundary boundary;
+    auto subrun = r.i64();
+    if (!subrun) return Unexpected(subrun.error());
+    boundary.subrun = subrun.value();
+    auto clean = wire::get_seqs32(r);
+    if (!clean) return Unexpected(clean.error());
+    boundary.clean_upto = std::move(clean).value();
+    if (boundary.clean_upto.size() != d.alive.size()) {
+      return Unexpected(wire::DecodeError::kBadValue);
+    }
+    d.boundaries.push_back(std::move(boundary));
+  }
+  return d;
+}
+
+bool request_delta_eligible(const Request& rq, const Config& config) {
+  if (!common_delta_eligible(rq.prev_decision.decided_at, rq.subrun,
+                             rq.prev_decision.n(), config) ||
+      rq.last_processed.size() != rq.prev_decision.max_processed.size() ||
+      rq.oldest_waiting.size() != rq.last_processed.size()) {
+    return false;
+  }
+  // A sender lagging the subrun it reports into by more than the pipeline
+  // depth has missed decisions — its own anchor may have fallen out of
+  // the coordinator's cache window, so a delta would likely cost the
+  // whole request (one spurious attempt charged against the sender). The
+  // full frame both survives the eviction and shows the coordinator the
+  // stale embed, prompting the full-snapshot decision that resyncs us.
+  if (rq.subrun - rq.prev_decision.decided_at >
+      static_cast<SubrunId>(config.max_subruns_in_flight) + 1) {
+    return false;
+  }
+  return true;
+}
+
+void encode_request_delta_body(wire::Writer& w, const Request& rq) {
+  const Decision& anchor = rq.prev_decision;
+  w.i64(rq.subrun);
+  w.u16(rq.from == kNoProcess ? kNoProcessWire
+                              : static_cast<std::uint16_t>(rq.from));
+  w.i64(anchor.decided_at);
+  w.u64(decision_digest(anchor));
+  // The sender's processed prefixes track the group maximum the anchor
+  // advertises except where traffic moved since — overrides stay O(active
+  // senders), not O(n).
+  wire::put_sparse_seqs(w, rq.last_processed, anchor.max_processed);
+  const std::vector<Seq> none(rq.oldest_waiting.size(), kNoSeq);
+  wire::put_sparse_seqs(w, rq.oldest_waiting, none);
+}
+
+Result<Request, wire::DecodeError> decode_request_delta_body(
+    wire::Reader& r, DecodeContext& ctx) {
+  Request rq;
+  auto subrun = r.i64();
+  if (!subrun) return Unexpected(subrun.error());
+  rq.subrun = subrun.value();
+  auto from = r.u16();
+  if (!from) return Unexpected(from.error());
+  if (from.value() == kNoProcessWire) {
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  rq.from = static_cast<ProcessId>(from.value());
+  auto anchor_subrun = r.i64();
+  if (!anchor_subrun) return Unexpected(anchor_subrun.error());
+  auto anchor_digest = r.u64();
+  if (!anchor_digest) return Unexpected(anchor_digest.error());
+  const Decision* anchor =
+      ctx.cache == nullptr
+          ? nullptr
+          : ctx.cache->find(anchor_subrun.value(), anchor_digest.value());
+  if (anchor == nullptr) {
+    // Without the anchor neither the embedded decision nor last_processed
+    // (encoded against it) can be reconstructed — the whole REQUEST is
+    // dropped upstream, equivalent to one more omission.
+    ctx.anchor_missed = true;
+    return Unexpected(wire::DecodeError::kBadValue);
+  }
+  rq.prev_decision = *anchor;
+  auto last_processed = wire::get_sparse_seqs(r, anchor->max_processed);
+  if (!last_processed) return Unexpected(last_processed.error());
+  rq.last_processed = std::move(last_processed).value();
+  const std::vector<Seq> none(rq.last_processed.size(), kNoSeq);
+  auto oldest_waiting = wire::get_sparse_seqs(r, none);
+  if (!oldest_waiting) return Unexpected(oldest_waiting.error());
+  rq.oldest_waiting = std::move(oldest_waiting).value();
+  return rq;
+}
+
+}  // namespace urcgc::core

@@ -1,0 +1,122 @@
+#pragma once
+// Delta-encoded control plane (Config::control_encoding = kDelta).
+//
+// A delta frame names an anchor decision by (decided_at, digest) and
+// carries only the vector entries that changed relative to it; the
+// receiver reconstructs the full structure from its DecisionCache copy of
+// the anchor. The anchor of a DECISION broadcast is the base decision the
+// coordinator computed from; the anchor of a REQUEST is the sender's
+// freshest applied decision — which is exactly the decision the request
+// embeds, so the embedded copy shrinks to a 16-byte reference and
+// last_processed is expressed as overrides against the anchor's
+// max_processed. DESIGN.md "Control-plane encoding" specifies the byte
+// layout, the anchor rules and the fallback state machine; this header is
+// the implementation of that contract.
+//
+// Fallback discipline: encoders return nullopt whenever any full-snapshot
+// trigger fires (unanchorable initial decision, membership change, anchor
+// gap beyond the pipeline depth, periodic resync cadence, boundary-window
+// evolution the delta grammar cannot express) and the caller sends a full
+// frame; decoders report a wire-valid frame whose anchor is not cached
+// through DecodeContext::anchor_missed, and the process drops the frame —
+// indistinguishable from the datagram having been lost, which the
+// protocol already tolerates.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/pdu.hpp"
+#include "wire/buffer.hpp"
+
+namespace urcgc::core {
+
+/// FNV-1a over the canonical full encoding of the decision body — the
+/// identity that, together with decided_at, names an anchor on the wire.
+/// Two decisions decided at the same subrun by partitioned coordinators
+/// hash apart, so a receiver can never reconstruct against the wrong
+/// same-subrun twin.
+[[nodiscard]] std::uint64_t decision_digest(const Decision& d);
+
+/// Bounded FIFO of recent decisions, keyed by (decided_at, digest):
+/// everything a process has applied, computed or decoded lately, usable
+/// as a delta anchor in either direction. Duplicate inserts are merged.
+class DecisionCache {
+ public:
+  explicit DecisionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Derives the window from the config: the explicit knob, or
+  /// max(8, 2k + 1) so every fault-free anchor hits even at depth k.
+  [[nodiscard]] static std::size_t window_for(const Config& config) {
+    if (config.delta_cache_window > 0) return config.delta_cache_window;
+    const auto k = static_cast<std::size_t>(config.max_subruns_in_flight);
+    return std::max<std::size_t>(8, 2 * k + 1);
+  }
+
+  /// Inserts a copy of `d` (no-op for the initial decision and for
+  /// already-cached keys), evicting the oldest entry past capacity.
+  void insert(const Decision& d);
+
+  [[nodiscard]] const Decision* find(SubrunId decided_at,
+                                     std::uint64_t digest) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t digest = 0;
+    Decision decision;
+  };
+  std::deque<Entry> entries_;
+  std::size_t capacity_;
+};
+
+/// Decode-side context: the receiver's anchor cache plus the out-of-band
+/// signal that a wire-valid delta frame referenced an unknown anchor (a
+/// different failure class than garbage bytes, which stay DecodeError).
+/// Decoded decisions (full frames, reconstructed deltas, and REQUEST
+/// embeds) are inserted into `cache` when it is non-null, keeping the
+/// receiver anchored for subsequent frames.
+struct DecodeContext {
+  DecisionCache* cache = nullptr;
+  bool anchor_missed = false;
+};
+
+/// True when `d` may be delta-encoded against `anchor` under `config` —
+/// i.e. no full-snapshot trigger fires. Callers must send a full frame
+/// when this returns false.
+[[nodiscard]] bool decision_delta_eligible(const Decision& d,
+                                           const Decision& anchor,
+                                           const Config& config);
+
+/// Appends the delta body of `d` against `anchor` (anchor reference
+/// included; PDU type byte excluded). Precondition:
+/// decision_delta_eligible(d, anchor, config).
+void encode_decision_delta_body(wire::Writer& w, const Decision& d,
+                                const Decision& anchor);
+
+/// Reads a delta decision body and reconstructs the full decision from
+/// the cached anchor. A wire-valid frame whose anchor is absent from
+/// `ctx.cache` fails with kBadValue and ctx.anchor_missed = true.
+[[nodiscard]] Result<Decision, wire::DecodeError> decode_decision_delta_body(
+    wire::Reader& r, DecodeContext& ctx);
+
+/// REQUEST delta eligibility: the embedded prev_decision must be a usable
+/// anchor (same triggers as above minus the membership check — a REQUEST
+/// never changes membership relative to its own embed, which it equals).
+[[nodiscard]] bool request_delta_eligible(const Request& rq,
+                                          const Config& config);
+
+/// Appends the delta body of `rq` (fields after the PDU type byte):
+/// subrun, sender, anchor reference standing in for the embedded
+/// prev_decision, last_processed as overrides against the anchor's
+/// max_processed, and oldest_waiting as overrides against all-kNoSeq.
+void encode_request_delta_body(wire::Writer& w, const Request& rq);
+
+[[nodiscard]] Result<Request, wire::DecodeError> decode_request_delta_body(
+    wire::Reader& r, DecodeContext& ctx);
+
+}  // namespace urcgc::core

@@ -1,6 +1,7 @@
 #include "core/pdu.hpp"
 
 #include "common/assert.hpp"
+#include "core/delta.hpp"
 #include "wire/codec.hpp"
 
 namespace urcgc::core {
@@ -57,6 +58,8 @@ Result<std::vector<ProcessId>, wire::DecodeError> get_pids(wire::Reader& r) {
   }
   return pids;
 }
+
+}  // namespace
 
 void encode_decision_body(wire::Writer& w, const Decision& d) {
   w.i64(d.decided_at);
@@ -147,8 +150,6 @@ Result<Decision, wire::DecodeError> decode_decision_body(wire::Reader& r) {
   return d;
 }
 
-}  // namespace
-
 std::vector<std::uint8_t> encode_pdu(const AppMessage& msg) {
   wire::Writer w(64 + msg.payload.size());
   w.u8(static_cast<std::uint8_t>(PduType::kAppData));
@@ -172,6 +173,36 @@ std::vector<std::uint8_t> encode_pdu(const Decision& d) {
   w.u8(static_cast<std::uint8_t>(PduType::kDecision));
   encode_decision_body(w, d);
   return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_request_pdu(const Request& rq,
+                                             const Config& config,
+                                             bool* was_delta) {
+  if (request_delta_eligible(rq, config)) {
+    wire::Writer w(64);
+    w.u8(static_cast<std::uint8_t>(PduType::kRequestDelta));
+    encode_request_delta_body(w, rq);
+    if (was_delta != nullptr) *was_delta = true;
+    return std::move(w).take();
+  }
+  if (was_delta != nullptr) *was_delta = false;
+  return encode_pdu(rq);
+}
+
+std::vector<std::uint8_t> encode_decision_pdu(const Decision& d,
+                                              const Decision& anchor,
+                                              const Config& config,
+                                              bool receivers_hold_anchor,
+                                              bool* was_delta) {
+  if (receivers_hold_anchor && decision_delta_eligible(d, anchor, config)) {
+    wire::Writer w(64);
+    w.u8(static_cast<std::uint8_t>(PduType::kDecisionDelta));
+    encode_decision_delta_body(w, d, anchor);
+    if (was_delta != nullptr) *was_delta = true;
+    return std::move(w).take();
+  }
+  if (was_delta != nullptr) *was_delta = false;
+  return encode_pdu(d);
 }
 
 std::vector<std::uint8_t> encode_pdu(const RecoverRq& rq) {
@@ -206,10 +237,17 @@ std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp) {
 }
 
 Result<Pdu, wire::DecodeError> decode_pdu(
-    std::span<const std::uint8_t> bytes) {
+    std::span<const std::uint8_t> bytes, DecodeContext* ctx) {
   wire::Reader r(bytes);
   auto type = r.u8();
   if (!type) return Unexpected(type.error());
+
+  // Every decision that crosses the boundary — full, reconstructed from a
+  // delta, or embedded in a REQUEST — becomes a potential anchor for the
+  // frames that follow it.
+  const auto remember = [ctx](const Decision& d) {
+    if (ctx != nullptr && ctx->cache != nullptr) ctx->cache->insert(d);
+  };
 
   switch (static_cast<PduType>(type.value())) {
     case PduType::kAppData: {
@@ -236,12 +274,31 @@ Result<Pdu, wire::DecodeError> decode_pdu(
       if (!prev) return Unexpected(prev.error());
       rq.prev_decision = std::move(prev).value();
       if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      remember(rq.prev_decision);
       return Pdu{std::move(rq)};
     }
     case PduType::kDecision: {
       auto d = decode_decision_body(r);
       if (!d) return Unexpected(d.error());
       if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      remember(d.value());
+      return Pdu{std::move(d).value()};
+    }
+    case PduType::kRequestDelta: {
+      DecodeContext fallback;
+      DecodeContext& c = ctx != nullptr ? *ctx : fallback;
+      auto rq = decode_request_delta_body(r, c);
+      if (!rq) return Unexpected(rq.error());
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(rq).value()};
+    }
+    case PduType::kDecisionDelta: {
+      DecodeContext fallback;
+      DecodeContext& c = ctx != nullptr ? *ctx : fallback;
+      auto d = decode_decision_delta_body(r, c);
+      if (!d) return Unexpected(d.error());
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      remember(d.value());
       return Pdu{std::move(d).value()};
     }
     case PduType::kRecoverRq: {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/config.hpp"
 #include "core/message.hpp"
 #include "wire/buffer.hpp"
 
@@ -28,6 +29,12 @@ enum class PduType : std::uint8_t {
   kRecoverRq = 4,
   kRecoverRsp = 5,
   kClientRq = 6,
+  /// Delta-encoded control frames (Config::control_encoding = kDelta):
+  /// same in-memory structures, sparse against an anchor decision the
+  /// receiver holds. See src/core/delta.hpp and DESIGN.md "Control-plane
+  /// encoding".
+  kRequestDelta = 7,
+  kDecisionDelta = 8,
 };
 
 /// One agreed stability point: after the subrun that decided it, messages
@@ -158,7 +165,41 @@ using Pdu = std::variant<AppMessage, Request, Decision, RecoverRq, RecoverRsp,
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp);
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const ClientRq& rq);
 
+/// Canonical full encoding of a decision body — the payload of a full
+/// DECISION frame, the tail of a full REQUEST, and the byte string
+/// delta.hpp's decision_digest() hashes to name anchors.
+void encode_decision_body(wire::Writer& w, const Decision& d);
+[[nodiscard]] Result<Decision, wire::DecodeError> decode_decision_body(
+    wire::Reader& r);
+
+/// Encoding-dispatching control-plane encoders: produce a delta frame
+/// when the config selects kDelta and no full-snapshot trigger fires
+/// (delta.hpp's eligibility rules), a full frame otherwise. A DECISION is
+/// delta-encoded against `anchor`, the base decision it was computed
+/// from; a REQUEST against its own embedded prev_decision. `was_delta`,
+/// when non-null, reports which frame kind was produced (the
+/// core.delta_fallbacks / core.control_bytes_{full,delta} accounting).
+[[nodiscard]] std::vector<std::uint8_t> encode_request_pdu(
+    const Request& rq, const Config& config, bool* was_delta = nullptr);
+/// `receivers_hold_anchor` is the coordinator's receiver-coverage proof:
+/// true only when every alive receiver demonstrated (via this subrun's
+/// request embeds) that it already caches `anchor`. Delta DECISIONs chain
+/// on their anchor, so a receiver that lost one broadcast would stay
+/// unable to decode every following delta until the periodic snapshot;
+/// passing false here spends the full frame immediately instead, which —
+/// decisions being cumulative — resynchronizes any lagging member with a
+/// single receipt, exactly like the full encoding does.
+[[nodiscard]] std::vector<std::uint8_t> encode_decision_pdu(
+    const Decision& d, const Decision& anchor, const Config& config,
+    bool receivers_hold_anchor = true, bool* was_delta = nullptr);
+
+struct DecodeContext;  // delta.hpp: anchor cache + anchor-miss signal
+
+/// Decodes any PDU frame. `ctx` supplies the receiver's DecisionCache for
+/// delta frames and receives decoded decisions for future anchoring; with
+/// ctx == nullptr (or a null cache) every delta frame reports an anchor
+/// miss. Full frames never need a context.
 [[nodiscard]] Result<Pdu, wire::DecodeError> decode_pdu(
-    std::span<const std::uint8_t> bytes);
+    std::span<const std::uint8_t> bytes, DecodeContext* ctx = nullptr);
 
 }  // namespace urcgc::core

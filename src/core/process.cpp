@@ -21,6 +21,7 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
       metrics_(metrics),
       mt_(config, self, observer),
       latest_(Decision::initial(config.n)),
+      cache_(DecisionCache::window_for(config)),
       pipeline_(config.max_subruns_in_flight, config.inbox_cap),
       recovery_(config.n) {
   URCGC_ASSERT(self >= 0 && self < config.n);
@@ -66,6 +67,10 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
     m_.pipeline_subruns_in_flight =
         metrics_->counter("core.pipeline_subruns_in_flight");
     m_.decode_rejected = metrics_->counter("net.decode_rejected");
+    m_.control_bytes_full = metrics_->counter("core.control_bytes_full");
+    m_.control_bytes_delta = metrics_->counter("core.control_bytes_delta");
+    m_.delta_fallbacks = metrics_->counter("core.delta_fallbacks");
+    m_.delta_anchor_miss = metrics_->counter("core.delta_anchor_miss");
   }
 }
 
@@ -315,7 +320,11 @@ void UrcgcProcess::send_request(SubrunId subrun) {
     handle_request(std::move(rq));  // no network hop to oneself
     return;
   }
-  send_pdu(coordinator, encode_pdu(rq), stats::MsgClass::kRequest);
+  bool was_delta = false;
+  std::vector<std::uint8_t> frame =
+      encode_request_pdu(rq, config_, &was_delta);
+  account_control(was_delta, frame.size(), 1);
+  send_pdu(coordinator, std::move(frame), stats::MsgClass::kRequest);
 }
 
 void UrcgcProcess::decision_round(SubrunId subrun) {
@@ -356,11 +365,60 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
   bump(m_.decisions_made);
   if (observer_ != nullptr) observer_->on_decision_made(self_, d, rt_.now());
 
-  broadcast_pdu(encode_pdu(d), stats::MsgClass::kDecision);
+  // A delta frame is only decodable by receivers that hold the anchor,
+  // and the requests just merged prove exactly who does: an embedded
+  // prev_decision as fresh as the base names a member that demonstrably
+  // applied it. Any alive member that stayed silent this subrun — or
+  // embedded an older decision — may have lost the base broadcast
+  // (omission, a healing partition), and because delta DECISIONs chain on
+  // their anchor it would stay unable to decode every following delta
+  // until the periodic snapshot; if the run quiesces first the member is
+  // left permanently behind, which the full encoding's cumulative frames
+  // can never do. Spend the full frame now so one receipt resyncs it.
+  // (decided_at identifies the decision: the rotation elects one
+  // coordinator per subrun, and a healed zombie's same-numbered twin is
+  // both rejected at receivers and excluded here by d.alive.)
+  bool receivers_hold_anchor = true;
+  if (config_.control_encoding == ControlEncoding::kDelta) {
+    if (snapshot_needed_) {
+      // A member estranged from our anchor chain is still transmitting
+      // (a cut zombie, or a healed fork): it must be able to decode this
+      // decision — for a zombie, alive[itself] = false is its cue to
+      // commit suicide — and it holds none of our recent anchors. One
+      // snapshot per sighting; re-armed while the traffic continues.
+      receivers_hold_anchor = false;
+      snapshot_needed_ = false;
+    }
+    std::vector<bool> acked(static_cast<std::size_t>(config_.n), false);
+    for (const Request& rq : inputs.requests) {
+      if (rq.from >= 0 && rq.from < config_.n &&
+          rq.prev_decision.decided_at >= inputs.base.decided_at) {
+        acked[static_cast<std::size_t>(rq.from)] = true;
+      }
+    }
+    for (ProcessId q = 0; q < config_.n; ++q) {
+      if (q != self_ && d.alive[static_cast<std::size_t>(q)] &&
+          !acked[static_cast<std::size_t>(q)]) {
+        receivers_hold_anchor = false;
+        break;
+      }
+    }
+  }
+  bool was_delta = false;
+  std::vector<std::uint8_t> frame = encode_decision_pdu(
+      d, inputs.base, config_, receivers_hold_anchor, &was_delta);
+  account_control(was_delta, frame.size(), config_.n - 1);
+  broadcast_pdu(std::move(frame), stats::MsgClass::kDecision);
   apply_decision(d);
 }
 
 void UrcgcProcess::apply_decision(const Decision& d) {
+  if (config_.control_encoding == ControlEncoding::kDelta) {
+    // Anchor window: received decisions were cached at decode time; this
+    // covers the coordinator's own computed decision and keeps the set
+    // complete even for stale arrivals.
+    cache_.insert(d);
+  }
   if (d.decided_at <= latest_.decided_at) return;  // stale or duplicate
   latest_ = d;
   ++counters_.decisions_applied;
@@ -541,6 +599,9 @@ void UrcgcProcess::handle_request(Request rq) {
     // that only other zombies can serve — a permanent history split.
     ++counters_.requests_dropped;
     bump(m_.requests_dropped);
+    // The zombie needs a decision it can decode to learn of its death and
+    // suicide; make sure the next one we coordinate is a full snapshot.
+    snapshot_needed_ = true;
     if (observer_ != nullptr) {
       observer_->on_request_dropped(self_, rq.from, rq.subrun, rt_.now());
     }
@@ -682,9 +743,27 @@ void UrcgcProcess::on_datagram(ProcessId src,
     halt(HaltReason::kCrashFault);
     return;
   }
-  last_datagram_at_ = rt_.now();
-  auto pdu = decode_pdu(bytes);
+  DecodeContext ctx;
+  if (config_.control_encoding == ControlEncoding::kDelta) {
+    ctx.cache = &cache_;
+  }
+  auto pdu = decode_pdu(bytes, &ctx);
   if (!pdu) {
+    if (ctx.anchor_missed) {
+      // A wire-valid delta frame whose anchor we do not hold: drop it as
+      // if the datagram had been lost — the protocol already tolerates
+      // that — and resynchronize at the next full snapshot. Distinct from
+      // decode_rejected, which is reserved for garbage bytes. The miss is
+      // also evidence the SENDER is estranged from our chain (a healed
+      // minority kept deciding on its partition-era fork and anchors on
+      // decisions we never saw), so the next decision we coordinate goes
+      // out as a snapshot the estranged member can decode — that is how a
+      // forked zombie finally reads its own death sentence and suicides.
+      ++counters_.delta_anchor_miss;
+      bump(m_.delta_anchor_miss);
+      snapshot_needed_ = true;
+      return;
+    }
     // A truncated or corrupted datagram must never abort or desync the
     // process: count it at the boundary and carry on.
     ++counters_.decode_rejected;
@@ -693,6 +772,13 @@ void UrcgcProcess::on_datagram(ProcessId src,
                    << wire::to_string(pdu.error()) << "), dropped");
     return;
   }
+  // Only a frame we could actually use counts as hearing from the group:
+  // a dropped delta (anchor miss) is handled "as if the datagram had been
+  // lost", and a lost datagram would not have reset the silence guard
+  // either — letting it do so here would pin a member that receives only
+  // undecodable deltas in the group forever instead of leaving after K
+  // silent coordinators, a liveness difference full encoding cannot have.
+  last_datagram_at_ = rt_.now();
   std::visit(
       [this, src](auto&& payload) {
         using T = std::decay_t<decltype(payload)>;
@@ -749,6 +835,23 @@ void UrcgcProcess::halt(HaltReason reason) {
     faults_.force_crash(self_, rt_.now());
   }
   if (observer_ != nullptr) observer_->on_halt(self_, reason, rt_.now());
+}
+
+void UrcgcProcess::account_control(bool was_delta, std::size_t bytes,
+                                   int copies) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(bytes) * static_cast<std::uint64_t>(copies);
+  if (was_delta) {
+    counters_.control_bytes_delta += total;
+    bump(m_.control_bytes_delta, total);
+    return;
+  }
+  counters_.control_bytes_full += total;
+  bump(m_.control_bytes_full, total);
+  if (config_.control_encoding == ControlEncoding::kDelta) {
+    counters_.delta_fallbacks += static_cast<std::uint64_t>(copies);
+    bump(m_.delta_fallbacks, static_cast<std::uint64_t>(copies));
+  }
 }
 
 void UrcgcProcess::send_pdu(ProcessId dst, wire::SharedBuffer bytes,

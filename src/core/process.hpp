@@ -38,6 +38,7 @@
 #include "common/types.hpp"
 #include "core/config.hpp"
 #include "core/coordinator.hpp"
+#include "core/delta.hpp"
 #include "core/mt_entity.hpp"
 #include "core/observer.hpp"
 #include "core/pdu.hpp"
@@ -175,6 +176,15 @@ class UrcgcProcess {
     /// Datagrams that failed PDU decoding (truncated, garbage, unknown
     /// type) — counted and dropped at the boundary, never acted upon.
     std::uint64_t decode_rejected = 0;
+    /// Control-plane encoding family: REQUEST/DECISION bytes sent as full
+    /// frames vs delta frames (broadcasts count per receiver, matching
+    /// the n-unicast on_sent semantics); full frames emitted while the
+    /// config asked for delta (a fallback trigger fired); and wire-valid
+    /// delta frames dropped because their anchor was not cached.
+    std::uint64_t control_bytes_full = 0;
+    std::uint64_t control_bytes_delta = 0;
+    std::uint64_t delta_fallbacks = 0;
+    std::uint64_t delta_anchor_miss = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -217,6 +227,9 @@ class UrcgcProcess {
   bool drop_if_zombie(const AppMessage& msg);
 
   void halt(HaltReason reason);
+  /// Control-plane byte accounting per frame kind: `copies` is the fan-out
+  /// (1 for a REQUEST, n-1 for a DECISION broadcast).
+  void account_control(bool was_delta, std::size_t bytes, int copies);
   void send_pdu(ProcessId dst, wire::SharedBuffer bytes, stats::MsgClass cls);
   /// Serializes once; the endpoint/subnet share `bytes` across the fan-out.
   void broadcast_pdu(wire::SharedBuffer bytes, stats::MsgClass cls);
@@ -265,10 +278,17 @@ class UrcgcProcess {
     obs::Metric pipeline_stall_rounds;
     obs::Metric pipeline_subruns_in_flight;
     obs::Metric decode_rejected;
+    obs::Metric control_bytes_full;
+    obs::Metric control_bytes_delta;
+    obs::Metric delta_fallbacks;
+    obs::Metric delta_anchor_miss;
   } m_;
   MtEntity mt_;
 
   Decision latest_;
+  /// Delta-encoding anchor window: decisions recently applied, computed
+  /// or decoded here (populated only under ControlEncoding::kDelta).
+  DecisionCache cache_;
   Seq next_seq_ = 1;
   std::deque<std::pair<std::vector<std::uint8_t>, std::vector<Mid>>>
       user_queue_;
@@ -284,6 +304,16 @@ class UrcgcProcess {
   // dead coordinator).
   int missed_decisions_ = 0;
   Tick last_datagram_at_ = -1;
+  /// Delta mode: evidence arrived since our last decision that some
+  /// member is off our anchor chain — a frame whose anchor we do not hold
+  /// (the sender is chaining on decisions we never saw: a cut member's
+  /// partition-era fork, or a peer that outran us), or a request from a
+  /// member the group already cut (the zombie transmits because it has
+  /// not yet learned of its own death, and it can only learn it from a
+  /// decision it can decode). Either way the next decision we coordinate
+  /// must be a full snapshot, never a delta chained on anchors the
+  /// estranged member cannot hold.
+  bool snapshot_needed_ = false;
 
   // Recovery bookkeeping (per origin): fruitless-attempt count toward R,
   // retry budget against the current target, rotation through candidate

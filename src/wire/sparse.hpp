@@ -1,0 +1,184 @@
+#pragma once
+// Sparse-vector codec: per-group control vectors encoded as overrides
+// against a baseline vector both peers already hold (DESIGN.md
+// "Control-plane encoding"). Each section is a u16 entry count followed by
+// (u16 index, payload) pairs whose indices are strictly increasing — the
+// canonical form; decoders reject duplicates and disorder as kBadValue so
+// a frame has exactly one valid encoding. Like codec.hpp, every decoder
+// pre-checks the count against remaining() before allocating, defending
+// against hostile length prefixes.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "wire/buffer.hpp"
+
+namespace urcgc::wire {
+
+/// Indices travel as u16: group sizes stay far below 65535 (pdu.cpp makes
+/// the same argument for process ids).
+inline constexpr std::size_t kSparseMaxIndex = 0xFFFF;
+
+/// Seq overrides: (u16 index, u32 seq) per entry where `v` differs from
+/// `base`. Sequence numbers use the same u32 wire width as put_seqs32.
+inline void put_sparse_seqs(Writer& w, const std::vector<Seq>& v,
+                            const std::vector<Seq>& base) {
+  URCGC_ASSERT(v.size() == base.size());
+  URCGC_ASSERT(v.size() <= kSparseMaxIndex);
+  std::uint16_t count = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != base[i]) ++count;
+  }
+  w.u16(count);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == base[i]) continue;
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u32(static_cast<std::uint32_t>(v[i]));
+  }
+}
+
+[[nodiscard]] inline Result<std::vector<Seq>, DecodeError> get_sparse_seqs(
+    Reader& r, const std::vector<Seq>& base) {
+  auto count = r.u16();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 6ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<Seq> v = base;
+  std::int64_t prev = -1;
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    auto idx = r.u16();
+    if (!idx) return Unexpected(idx.error());
+    auto seq = r.u32();
+    if (!seq) return Unexpected(seq.error());
+    if (idx.value() >= v.size() || idx.value() <= prev) {
+      return Unexpected(DecodeError::kBadValue);
+    }
+    prev = idx.value();
+    v[idx.value()] = static_cast<Seq>(seq.value());
+  }
+  return v;
+}
+
+/// Bool flip list: u16 indices where `v` differs from `base` (flipping the
+/// baseline bit reconstructs the value, so no payload is needed).
+inline void put_sparse_flips(Writer& w, const std::vector<bool>& v,
+                             const std::vector<bool>& base) {
+  URCGC_ASSERT(v.size() == base.size());
+  URCGC_ASSERT(v.size() <= kSparseMaxIndex);
+  std::uint16_t count = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != base[i]) ++count;
+  }
+  w.u16(count);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != base[i]) w.u16(static_cast<std::uint16_t>(i));
+  }
+}
+
+[[nodiscard]] inline Result<std::vector<bool>, DecodeError> get_sparse_flips(
+    Reader& r, const std::vector<bool>& base) {
+  auto count = r.u16();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 2ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<bool> v = base;
+  std::int64_t prev = -1;
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    auto idx = r.u16();
+    if (!idx) return Unexpected(idx.error());
+    if (idx.value() >= v.size() || idx.value() <= prev) {
+      return Unexpected(DecodeError::kBadValue);
+    }
+    prev = idx.value();
+    v[idx.value()] = !v[idx.value()];
+  }
+  return v;
+}
+
+/// u8 overrides: (u16 index, u8 value) — the attempts counters.
+inline void put_sparse_u8s(Writer& w, const std::vector<std::uint8_t>& v,
+                           const std::vector<std::uint8_t>& base) {
+  URCGC_ASSERT(v.size() == base.size());
+  URCGC_ASSERT(v.size() <= kSparseMaxIndex);
+  std::uint16_t count = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != base[i]) ++count;
+  }
+  w.u16(count);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == base[i]) continue;
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u8(v[i]);
+  }
+}
+
+[[nodiscard]] inline Result<std::vector<std::uint8_t>, DecodeError>
+get_sparse_u8s(Reader& r, const std::vector<std::uint8_t>& base) {
+  auto count = r.u16();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 3ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<std::uint8_t> v = base;
+  std::int64_t prev = -1;
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    auto idx = r.u16();
+    if (!idx) return Unexpected(idx.error());
+    auto value = r.u8();
+    if (!value) return Unexpected(value.error());
+    if (idx.value() >= v.size() || idx.value() <= prev) {
+      return Unexpected(DecodeError::kBadValue);
+    }
+    prev = idx.value();
+    v[idx.value()] = value.value();
+  }
+  return v;
+}
+
+/// ProcessId overrides: (u16 index, u16 pid) with pdu.cpp's 0xFFFF =
+/// kNoProcess sentinel — the most_updated vector.
+inline void put_sparse_pids(Writer& w, const std::vector<ProcessId>& v,
+                            const std::vector<ProcessId>& base) {
+  URCGC_ASSERT(v.size() == base.size());
+  URCGC_ASSERT(v.size() <= kSparseMaxIndex);
+  std::uint16_t count = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != base[i]) ++count;
+  }
+  w.u16(count);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == base[i]) continue;
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u16(v[i] == kNoProcess ? 0xFFFF : static_cast<std::uint16_t>(v[i]));
+  }
+}
+
+[[nodiscard]] inline Result<std::vector<ProcessId>, DecodeError>
+get_sparse_pids(Reader& r, const std::vector<ProcessId>& base) {
+  auto count = r.u16();
+  if (!count) return Unexpected(count.error());
+  if (count.value() * 4ULL > r.remaining()) {
+    return Unexpected(DecodeError::kTruncated);
+  }
+  std::vector<ProcessId> v = base;
+  std::int64_t prev = -1;
+  for (std::uint16_t i = 0; i < count.value(); ++i) {
+    auto idx = r.u16();
+    if (!idx) return Unexpected(idx.error());
+    auto pid = r.u16();
+    if (!pid) return Unexpected(pid.error());
+    if (idx.value() >= v.size() || idx.value() <= prev) {
+      return Unexpected(DecodeError::kBadValue);
+    }
+    prev = idx.value();
+    v[idx.value()] =
+        pid.value() == 0xFFFF ? kNoProcess : static_cast<ProcessId>(pid.value());
+  }
+  return v;
+}
+
+}  // namespace urcgc::wire

@@ -1,0 +1,636 @@
+// Delta-encoded control plane (src/core/delta.*, src/wire/sparse.hpp):
+// sparse-codec exactness and hostile-input behavior at the wire boundary,
+// anchor digests and the DecisionCache, delta/full frame dispatch with its
+// fallback triggers, and the cross-encoding equivalence suite — same
+// seeds, full vs delta, decision-for-decision identical reports on the
+// deterministic sim (the property DESIGN.md "Control-plane encoding"
+// promises), with the threaded backend and the sustained-omission storm
+// checked at the clause level.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/explorer.hpp"
+#include "common/rng.hpp"
+#include "core/delta.hpp"
+#include "core/pdu.hpp"
+#include "harness/experiment.hpp"
+#include "obs/registry.hpp"
+#include "stats/metrics.hpp"
+#include "wire/sparse.hpp"
+
+namespace urcgc::core {
+namespace {
+
+Decision sample_decision(int n, SubrunId decided_at) {
+  Decision d = Decision::initial(n);
+  d.decided_at = decided_at;
+  d.coordinator = static_cast<ProcessId>(decided_at % n);
+  for (int j = 0; j < n; ++j) {
+    d.clean_upto[j] = j;
+    d.stable_acc[j] = j + 1;
+    d.heard[j] = (j % 2 == 0);
+    d.max_processed[j] = 10 + j;
+    d.most_updated[j] = (j + 1) % n;
+    d.min_waiting[j] = (j == 0) ? kNoSeq : 3 * j;
+    d.attempts[j] = static_cast<std::uint8_t>(j % 5);
+    d.alive[j] = true;
+  }
+  return d;
+}
+
+/// A successor decision one subrun later with a handful of moved entries —
+/// the steady-state shape a delta frame compresses.
+Decision evolve(const Decision& anchor) {
+  Decision d = anchor;
+  d.decided_at = anchor.decided_at + 1;
+  d.coordinator = (anchor.coordinator + 1) % anchor.n();
+  d.clean_upto[0] += 2;
+  d.max_processed[1] += 1;
+  d.heard[2] = !d.heard[2];
+  d.most_updated[0] = kNoProcess;
+  d.attempts[3] = static_cast<std::uint8_t>(d.attempts[3] + 1);
+  return d;
+}
+
+Config delta_config(int n = 6) {
+  Config config;
+  config.n = n;
+  config.control_encoding = ControlEncoding::kDelta;
+  return config;
+}
+
+// ---- sparse codec ----
+
+TEST(SparseCodec, SeqOverridesRoundTrip) {
+  const std::vector<Seq> base{1, 2, 3, 4, 5};
+  std::vector<Seq> v = base;
+  v[1] = 20;
+  v[4] = kNoSeq;
+  wire::Writer w;
+  wire::put_sparse_seqs(w, v, base);
+  wire::Reader r(w.view());
+  auto decoded = wire::get_sparse_seqs(r, base);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded.value(), v);
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(SparseCodec, IdenticalVectorsCostTwoBytes) {
+  const std::vector<Seq> base{7, 8, 9};
+  wire::Writer w;
+  wire::put_sparse_seqs(w, base, base);
+  EXPECT_EQ(w.size(), 2u);  // just the zero count
+}
+
+TEST(SparseCodec, FlipsAndU8sAndPidsRoundTrip) {
+  const std::vector<bool> bbase{true, false, true, false};
+  std::vector<bool> b = bbase;
+  b[0] = false;
+  b[3] = true;
+  const std::vector<std::uint8_t> ubase{0, 1, 2, 3};
+  std::vector<std::uint8_t> u = ubase;
+  u[2] = 250;
+  const std::vector<ProcessId> pbase{0, 1, 2, 3};
+  std::vector<ProcessId> p = pbase;
+  p[1] = kNoProcess;
+
+  wire::Writer w;
+  wire::put_sparse_flips(w, b, bbase);
+  wire::put_sparse_u8s(w, u, ubase);
+  wire::put_sparse_pids(w, p, pbase);
+  wire::Reader r(w.view());
+  auto db = wire::get_sparse_flips(r, bbase);
+  auto du = wire::get_sparse_u8s(r, ubase);
+  auto dp = wire::get_sparse_pids(r, pbase);
+  ASSERT_TRUE(db.has_value());
+  ASSERT_TRUE(du.has_value());
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(db.value(), b);
+  EXPECT_EQ(du.value(), u);
+  EXPECT_EQ(dp.value(), p);
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(SparseCodec, DisorderedIndicesRejected) {
+  // Canonical form requires strictly increasing indices: (3, 1) is both
+  // out of order and, as (1, 1), a duplicate — kBadValue either way.
+  for (const std::uint16_t second : {std::uint16_t{1}, std::uint16_t{3}}) {
+    wire::Writer w;
+    w.u16(2);
+    w.u16(3);
+    w.u32(9);
+    w.u16(second);
+    w.u32(9);
+    wire::Reader r(w.view());
+    auto decoded = wire::get_sparse_seqs(r, std::vector<Seq>(5, kNoSeq));
+    ASSERT_FALSE(decoded.has_value());
+    EXPECT_EQ(decoded.error(), wire::DecodeError::kBadValue);
+  }
+}
+
+TEST(SparseCodec, OutOfRangeIndexRejected) {
+  wire::Writer w;
+  w.u16(1);
+  w.u16(5);  // base has 5 entries: valid indices are 0..4
+  w.u32(1);
+  wire::Reader r(w.view());
+  auto decoded = wire::get_sparse_seqs(r, std::vector<Seq>(5, kNoSeq));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), wire::DecodeError::kBadValue);
+}
+
+TEST(SparseCodec, HostileCountRejectedBeforeAllocating) {
+  // A count field claiming 65535 entries against a 4-byte tail must fail
+  // the pre-allocation length check, not attempt to read 65535 entries.
+  wire::Writer w;
+  w.u16(0xFFFF);
+  w.u32(0);
+  wire::Reader r(w.view());
+  auto decoded = wire::get_sparse_seqs(r, std::vector<Seq>(5, kNoSeq));
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), wire::DecodeError::kTruncated);
+}
+
+TEST(SparseCodec, RandomBytesNeverCrash) {
+  const std::vector<Seq> base(8, kNoSeq);
+  Rng rng(2024);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> bytes(rng.uniform(24));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(256));
+    wire::Reader r(bytes);
+    auto decoded = wire::get_sparse_seqs(r, base);
+    if (decoded.has_value()) {
+      EXPECT_EQ(decoded.value().size(), base.size());
+    }
+  }
+}
+
+// ---- digests and the anchor cache ----
+
+TEST(DecisionDigest, DeterministicAndContentSensitive) {
+  const Decision a = sample_decision(6, 17);
+  EXPECT_EQ(decision_digest(a), decision_digest(a));
+
+  // Same decided_at, different content — the partitioned-coordinator twin
+  // case the (decided_at, digest) key exists to distinguish.
+  Decision twin = a;
+  twin.clean_upto[2] += 1;
+  EXPECT_NE(decision_digest(a), decision_digest(twin));
+}
+
+TEST(DecisionCache, InsertFindDedupeEvict) {
+  DecisionCache cache(3);
+  EXPECT_EQ(cache.find(0, 0), nullptr);
+
+  const Decision a = sample_decision(4, 10);
+  cache.insert(a);
+  cache.insert(a);  // dedupe: second insert is a no-op
+  EXPECT_EQ(cache.size(), 1u);
+  const Decision* hit = cache.find(a.decided_at, decision_digest(a));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, a);
+
+  // The initial decision is never a usable anchor and is never cached.
+  cache.insert(Decision::initial(4));
+  EXPECT_EQ(cache.size(), 1u);
+
+  for (SubrunId s = 11; s <= 13; ++s) cache.insert(sample_decision(4, s));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find(a.decided_at, decision_digest(a)), nullptr)
+      << "oldest entry must be evicted FIFO";
+  EXPECT_NE(cache.find(13, decision_digest(sample_decision(4, 13))), nullptr);
+}
+
+TEST(DecisionCache, WindowCoversPipelineDepth) {
+  Config config;
+  EXPECT_EQ(DecisionCache::window_for(config), 8u);  // max(8, 2*1+1)
+  config.max_subruns_in_flight = 6;
+  EXPECT_EQ(DecisionCache::window_for(config), 13u);  // 2*6+1
+  config.delta_cache_window = 4;
+  EXPECT_EQ(DecisionCache::window_for(config), 4u);  // explicit knob wins
+}
+
+// ---- frame dispatch and reconstruction ----
+
+TEST(DeltaFrames, DecisionRoundTripsThroughAnchor) {
+  const Decision anchor = sample_decision(6, 17);
+  const Decision d = evolve(anchor);
+  const Config config = delta_config();
+  ASSERT_TRUE(decision_delta_eligible(d, anchor, config));
+
+  bool was_delta = false;
+  const auto frame =
+      encode_decision_pdu(d, anchor, config, /*receivers_hold_anchor=*/true,
+                          &was_delta);
+  EXPECT_TRUE(was_delta);
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame[0], static_cast<std::uint8_t>(PduType::kDecisionDelta));
+  EXPECT_LT(frame.size(), encode_pdu(d).size());
+
+  DecisionCache cache(8);
+  cache.insert(anchor);
+  DecodeContext ctx;
+  ctx.cache = &cache;
+  auto pdu = decode_pdu(frame, &ctx);
+  ASSERT_TRUE(pdu.has_value());
+  const auto* decoded = std::get_if<Decision>(&pdu.value());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(*decoded, d);
+  // The reconstructed decision must itself become an anchor candidate.
+  EXPECT_NE(cache.find(d.decided_at, decision_digest(d)), nullptr);
+}
+
+TEST(DeltaFrames, DecisionWithBoundaryAppendRoundTrips) {
+  Decision anchor = sample_decision(5, 20);
+  anchor.stability_epoch = 3;
+  anchor.boundaries.push_back({12, std::vector<Seq>(5, 4)});
+  Decision d = evolve(anchor);
+  d.stability_epoch = 4;
+  d.boundaries.push_back({d.decided_at, std::vector<Seq>(5, 9)});
+
+  const Config config = delta_config(5);
+  ASSERT_TRUE(decision_delta_eligible(d, anchor, config));
+  const auto frame = encode_decision_pdu(d, anchor, config);
+
+  DecisionCache cache(8);
+  cache.insert(anchor);
+  DecodeContext ctx;
+  ctx.cache = &cache;
+  auto pdu = decode_pdu(frame, &ctx);
+  ASSERT_TRUE(pdu.has_value());
+  EXPECT_EQ(std::get<Decision>(pdu.value()), d);
+}
+
+TEST(DeltaFrames, RequestRoundTripsAgainstItsOwnEmbed) {
+  const int n = 6;
+  Request rq;
+  rq.subrun = 36;
+  rq.from = 2;
+  rq.prev_decision = sample_decision(n, 35);
+  rq.last_processed = rq.prev_decision.max_processed;
+  rq.last_processed[3] += 2;  // one locally-ahead entry
+  rq.oldest_waiting.assign(n, kNoSeq);
+  rq.oldest_waiting[1] = 7;
+
+  const Config config = delta_config();
+  ASSERT_TRUE(request_delta_eligible(rq, config));
+  bool was_delta = false;
+  const auto frame = encode_request_pdu(rq, config, &was_delta);
+  EXPECT_TRUE(was_delta);
+  EXPECT_EQ(frame[0], static_cast<std::uint8_t>(PduType::kRequestDelta));
+  EXPECT_LT(frame.size(), encode_pdu(rq).size() / 4)
+      << "the embedded decision must shrink to a 16-byte reference";
+  EXPECT_LT(frame.size(), 64u) << "O(changed entries), not O(n)";
+
+  DecisionCache cache(8);
+  cache.insert(rq.prev_decision);
+  DecodeContext ctx;
+  ctx.cache = &cache;
+  auto pdu = decode_pdu(frame, &ctx);
+  ASSERT_TRUE(pdu.has_value());
+  const auto* decoded = std::get_if<Request>(&pdu.value());
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(*decoded, rq);
+}
+
+TEST(DeltaFrames, AnchorMissIsSignaledNotConfusedWithGarbage) {
+  const Decision anchor = sample_decision(6, 17);
+  const Decision d = evolve(anchor);
+  const Config config = delta_config();
+  const auto frame = encode_decision_pdu(d, anchor, config);
+
+  // Empty cache: wire-valid frame, unknown anchor.
+  DecisionCache cache(8);
+  DecodeContext ctx;
+  ctx.cache = &cache;
+  EXPECT_FALSE(decode_pdu(frame, &ctx).has_value());
+  EXPECT_TRUE(ctx.anchor_missed);
+
+  // No context at all (a full-mode receiver): still a clean failure.
+  EXPECT_FALSE(decode_pdu(frame).has_value());
+
+  // Garbage stays DecodeError without the anchor_missed signal.
+  DecodeContext garbage_ctx;
+  garbage_ctx.cache = &cache;
+  const std::uint8_t garbage[] = {
+      static_cast<std::uint8_t>(PduType::kDecisionDelta), 0x01};
+  EXPECT_FALSE(decode_pdu(garbage, &garbage_ctx).has_value());
+  EXPECT_FALSE(garbage_ctx.anchor_missed);
+}
+
+TEST(DeltaFrames, FullModeBytesAreUnchanged) {
+  // The tentpole's compatibility contract: full frames are byte-identical
+  // to the pre-delta encoders, whichever dispatching entry point built them.
+  Config config;
+  config.n = 6;
+  const Decision anchor = sample_decision(6, 17);
+  const Decision d = evolve(anchor);
+  bool was_delta = true;
+  EXPECT_EQ(encode_decision_pdu(d, anchor, config,
+                                /*receivers_hold_anchor=*/true, &was_delta),
+            encode_pdu(d));
+  EXPECT_FALSE(was_delta);
+
+  Request rq;
+  rq.subrun = 36;
+  rq.from = 1;
+  rq.prev_decision = d;
+  rq.last_processed = d.max_processed;
+  rq.oldest_waiting.assign(6, kNoSeq);
+  was_delta = true;
+  EXPECT_EQ(encode_request_pdu(rq, config, &was_delta), encode_pdu(rq));
+  EXPECT_FALSE(was_delta);
+}
+
+TEST(DeltaFrames, FullSnapshotTriggers) {
+  const Config config = delta_config();
+  const Decision anchor = sample_decision(6, 17);
+
+  // Unanchorable initial decision.
+  EXPECT_FALSE(
+      decision_delta_eligible(evolve(anchor), Decision::initial(6), config));
+
+  // Membership change relative to the anchor.
+  Decision member_change = evolve(anchor);
+  member_change.alive[4] = false;
+  EXPECT_FALSE(decision_delta_eligible(member_change, anchor, config));
+
+  // Periodic resync cadence: decided_at % delta_snapshot_every == 0.
+  Decision cadence = sample_decision(6, 31);
+  Decision on_cadence = evolve(cadence);  // decided_at = 32, 32 % 16 == 0
+  EXPECT_FALSE(decision_delta_eligible(on_cadence, cadence, config));
+
+  // Anchor gap beyond the pipeline depth (k = 1 here).
+  Decision gapped = evolve(anchor);
+  gapped.decided_at = anchor.decided_at + 2;
+  EXPECT_FALSE(decision_delta_eligible(gapped, anchor, config));
+
+  // delta_snapshot_every <= 1 disables the delta path outright.
+  Config always_full = config;
+  always_full.delta_snapshot_every = 1;
+  EXPECT_FALSE(decision_delta_eligible(evolve(anchor), anchor, always_full));
+}
+
+TEST(DeltaFrames, DecisionFallsBackWhenAReceiverMayLackTheAnchor) {
+  // The coordinator's receiver-coverage proof: when any alive member did
+  // not demonstrate (via its request embed) that it holds the anchor, the
+  // frame must be a full snapshot even though the delta is expressible —
+  // a chained delta would stay undecodable for that member until the next
+  // cadence point, and the run may quiesce first (the healing-partition
+  // divergence the checker caught).
+  const Decision anchor = sample_decision(6, 17);
+  const Decision d = evolve(anchor);
+  const Config config = delta_config();
+  ASSERT_TRUE(decision_delta_eligible(d, anchor, config));
+
+  bool was_delta = true;
+  const auto frame = encode_decision_pdu(
+      d, anchor, config, /*receivers_hold_anchor=*/false, &was_delta);
+  EXPECT_FALSE(was_delta);
+  EXPECT_EQ(frame[0], static_cast<std::uint8_t>(PduType::kDecision));
+  EXPECT_EQ(frame, encode_pdu(d));
+}
+
+TEST(DeltaFrames, StaleRequestSenderFallsBackToFull) {
+  // A sender whose latest decision lags the current subrun beyond the
+  // pipeline depth has missed decisions: its anchor may already be
+  // evicted from the coordinator's cache, and the full frame is what
+  // shows the coordinator the stale embed (prompting a snapshot back).
+  const int n = 6;
+  Request rq;
+  rq.subrun = 40;
+  rq.from = 2;
+  rq.prev_decision = sample_decision(n, 39);
+  rq.last_processed = rq.prev_decision.max_processed;
+  rq.oldest_waiting.assign(n, kNoSeq);
+
+  const Config config = delta_config();
+  ASSERT_TRUE(request_delta_eligible(rq, config));  // gap 1: normal pace
+
+  rq.prev_decision = sample_decision(n, 35);  // gap 5 > k + 1 at k = 1
+  rq.last_processed = rq.prev_decision.max_processed;
+  EXPECT_FALSE(request_delta_eligible(rq, config));
+
+  Config deep = config;
+  deep.max_subruns_in_flight = 4;  // the same gap is normal at k = 4
+  EXPECT_TRUE(request_delta_eligible(rq, deep));
+}
+
+TEST(DeltaFrames, TruncationAndMutationFuzzNeverCrash) {
+  const Decision anchor = sample_decision(6, 17);
+  const Decision d = evolve(anchor);
+  const Config config = delta_config();
+  const auto frame = encode_decision_pdu(d, anchor, config);
+
+  DecisionCache cache(8);
+  cache.insert(anchor);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    DecodeContext ctx;
+    ctx.cache = &cache;
+    std::span<const std::uint8_t> prefix(frame.data(), cut);
+    EXPECT_FALSE(decode_pdu(prefix, &ctx).has_value()) << "cut=" << cut;
+  }
+
+  Rng rng(7);
+  for (int round = 0; round < 2000; ++round) {
+    auto mutated = frame;
+    const std::size_t at = rng.uniform(mutated.size());
+    mutated[at] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    DecodeContext ctx;
+    ctx.cache = &cache;
+    auto pdu = decode_pdu(mutated, &ctx);  // any outcome, just no crash/UB
+    if (pdu.has_value()) {
+      if (const auto* dec = std::get_if<Decision>(&pdu.value())) {
+        EXPECT_EQ(dec->n(), 6);
+      }
+    }
+  }
+}
+
+// ---- cross-encoding equivalence through the experiment harness ----
+
+harness::ExperimentConfig encoded_config(ControlEncoding encoding, int k,
+                                         std::uint64_t seed) {
+  harness::ExperimentConfig config;
+  config.protocol.n = 6;
+  config.protocol.control_encoding = encoding;
+  config.protocol.max_subruns_in_flight = k;
+  config.workload.burst = k;
+  config.workload.load = 1.0;
+  config.workload.total_messages = 96;
+  config.workload.cross_dep_prob = 0.2;
+  config.limit_rtd = 2000;
+  config.seed = seed;
+  return config;
+}
+
+void expect_identical_decisions(const harness::ExperimentReport& full,
+                                const harness::ExperimentReport& delta) {
+  ASSERT_EQ(full.decisions.size(), delta.decisions.size());
+  for (std::size_t i = 0; i < full.decisions.size(); ++i) {
+    const auto& a = full.decisions[i];
+    const auto& b = delta.decisions[i];
+    EXPECT_EQ(a.subrun, b.subrun) << "decision " << i;
+    EXPECT_EQ(a.at, b.at) << "decision " << i;
+    EXPECT_EQ(a.coordinator, b.coordinator) << "decision " << i;
+    EXPECT_EQ(a.full_group, b.full_group) << "decision " << i;
+    EXPECT_EQ(a.alive, b.alive) << "decision " << i;
+  }
+}
+
+TEST(CrossEncoding, SimTracesAreDecisionForDecisionIdentical) {
+  // Same seed, full vs delta, paced and pipelined: on the deterministic
+  // sim the encodings must produce the same execution — every decision at
+  // the same tick by the same coordinator — while delta moves fewer
+  // control bytes.
+  for (const int k : {1, 4}) {
+    const auto full =
+        harness::Experiment(encoded_config(ControlEncoding::kFull, k, 77))
+            .run();
+    const auto delta =
+        harness::Experiment(encoded_config(ControlEncoding::kDelta, k, 77))
+            .run();
+    for (const auto* report : {&full, &delta}) {
+      EXPECT_TRUE(report->all_ok());
+      EXPECT_TRUE(report->quiescent);
+      EXPECT_TRUE(report->workload_exhausted);
+    }
+    EXPECT_EQ(full.generated, delta.generated) << "k=" << k;
+    EXPECT_EQ(full.processed_events, delta.processed_events) << "k=" << k;
+    EXPECT_EQ(full.end_tick, delta.end_tick) << "k=" << k;
+    expect_identical_decisions(full, delta);
+
+    const auto control = [](const harness::ExperimentReport& r) {
+      return r.traffic.bytes(stats::MsgClass::kRequest) +
+             r.traffic.bytes(stats::MsgClass::kDecision);
+    };
+    EXPECT_LT(control(delta) * 2, control(full)) << "k=" << k;
+  }
+}
+
+TEST(CrossEncoding, ThreadsBackendCarriesDeltaFrames) {
+  // Free-running threads are not tick-deterministic, so the contract here
+  // is clause-level: both encodings move the full workload with every
+  // correctness clause green.
+  for (const ControlEncoding encoding :
+       {ControlEncoding::kFull, ControlEncoding::kDelta}) {
+    auto config = encoded_config(encoding, 4, 33);
+    config.backend = harness::Backend::kThreads;
+    config.thread_tick_ns = 0;
+    const auto report = harness::Experiment(config).run();
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_TRUE(report.workload_exhausted);
+    EXPECT_EQ(report.generated, 96u);
+    EXPECT_EQ(report.processed_events, 96u * 6);
+  }
+}
+
+TEST(CrossEncoding, SustainedOmissionStormStaysCorrectInDeltaMode) {
+  // The fallback state machine under fire: a sustained storm with the
+  // bounded-buffer caps engaged, running entirely on delta frames. Anchor
+  // misses behave as omissions (already in the fault model), so every
+  // clause must hold; the periodic snapshot cadence and the unanchorable
+  // first decision guarantee the fallback counter moves.
+  auto config = encoded_config(ControlEncoding::kDelta, 1, 91);
+  config.faults.omission_prob = 0.01;
+  config.faults.window_end_rtd = -1.0;
+  config.protocol.waiting_cap = 24;
+  config.protocol.inbox_cap = 6;
+  config.protocol.history_threshold = 48;
+  config.protocol.recovery_backoff_base = 1;
+  config.limit_rtd = 8000;
+
+  obs::Registry registry(config.protocol.n);
+  config.metrics = &registry;
+  const auto report = harness::Experiment(config).run();
+  EXPECT_TRUE(report.all_ok()) << (report.violations.empty()
+                                       ? ""
+                                       : report.violations.front());
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_TRUE(report.workload_exhausted);
+  EXPECT_GT(registry.counter_total(registry.find("core.control_bytes_delta")),
+            0u);
+  EXPECT_GT(registry.counter_total(registry.find("core.delta_fallbacks")),
+            0u);
+}
+
+TEST(CrossEncoding, PipelinedDeltaKeepsAnchorsHitFaultFree) {
+  // At depth 4 the auto cache window (2k + 1 = 9) must keep every
+  // fault-free anchor resolvable: no anchor misses, and the only full
+  // frames are the snapshot cadence and the unanchorable boot decisions.
+  auto config = encoded_config(ControlEncoding::kDelta, 4, 55);
+  obs::Registry registry(config.protocol.n);
+  config.metrics = &registry;
+  const auto report = harness::Experiment(config).run();
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_TRUE(report.quiescent);
+  EXPECT_EQ(registry.counter_total(registry.find("core.delta_anchor_miss")),
+            0u);
+  EXPECT_GT(registry.counter_total(registry.find("core.control_bytes_delta")),
+            registry.counter_total(registry.find("core.control_bytes_full")));
+}
+
+TEST(CrossEncoding, HealingPartitionZombiesLearnTheirDeathInDeltaMode) {
+  // Regression (found by the checker's delta sweep, seed 10): members {1,5}
+  // are partitioned long enough to be cut, then healed. They missed the
+  // membership-change snapshot, so every post-heal delta decision chained
+  // past them — they never decoded their own death sentence, never
+  // suicided, and quiesced as "survivors" with diverged processed sets.
+  // The coordinator-side receiver-coverage proof plus the zombie-sighting
+  // snapshot must make delta mode end exactly like full mode: zombies
+  // suicide, the survivors agree.
+  check::CaseConfig scenario;
+  scenario.n = 6;
+  scenario.messages = 29;
+  scenario.load = 0.969747;
+  scenario.cross_dep_prob = 0.360586;
+  scenario.seed = 10;
+  scenario.schedule = 8517399826778874703ULL;
+  scenario.backend = harness::Backend::kSim;
+  scenario.limit_rtd = 400.0;
+  scenario.partitions.push_back({{1, 5}, 1.70113, 6.88791});
+
+  scenario.encoding = ControlEncoding::kDelta;
+  const check::CaseOutcome delta = check::run_case(scenario);
+  EXPECT_TRUE(delta.ok()) << delta.first_problem();
+
+  scenario.encoding = ControlEncoding::kFull;
+  const check::CaseOutcome full = check::run_case(scenario);
+  EXPECT_TRUE(full.ok()) << full.first_problem();
+}
+
+TEST(CrossEncoding, HealedForkedMinorityStillGetsItsSnapshot) {
+  // Regression (checker partition sweep, seed 387): a cut minority of
+  // three kept coordinating its own subruns on a partition-era fork, so
+  // its post-heal frames anchored on decisions the majority never saw.
+  // Those requests died at *decode* (anchor miss), never reaching the
+  // dead-member drop that arms the zombie snapshot — and the majority's
+  // delta decisions stayed undecodable for the fork in return. The anchor
+  // miss itself must arm the snapshot: any frame we cannot expand proves
+  // its sender is off our chain and needs a full frame to reconverge.
+  check::CaseConfig scenario;
+  scenario.n = 8;
+  scenario.messages = 26;
+  scenario.load = 0.736374;
+  scenario.seed = 11337622355969065434ULL;
+  scenario.schedule = 5282335576870494681ULL;
+  scenario.backend = harness::Backend::kSim;
+  scenario.limit_rtd = 400.0;
+  scenario.partitions.push_back({{2, 7, 4}, 2.84024, 8.80334});
+
+  scenario.encoding = ControlEncoding::kDelta;
+  const check::CaseOutcome delta = check::run_case(scenario);
+  EXPECT_TRUE(delta.ok()) << delta.first_problem();
+
+  scenario.encoding = ControlEncoding::kFull;
+  const check::CaseOutcome full = check::run_case(scenario);
+  EXPECT_TRUE(full.ok()) << full.first_problem();
+}
+
+}  // namespace
+}  // namespace urcgc::core

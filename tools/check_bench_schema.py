@@ -2,10 +2,11 @@
 """Validate a bench JSON document against its documented schema.
 
 Dispatches on the document's "bench" field: BENCH_throughput.json
-(bench_throughput) and BENCH_recovery.json (bench_recovery) are both
-supported. Stdlib-only, used by the CI bench-smoke job and by hand after
-regenerating a baseline (see PERFORMANCE.md for the field-by-field
-schemas). Exits 0 on success, 1 with a list of violations otherwise.
+(bench_throughput), BENCH_recovery.json (bench_recovery) and
+BENCH_scale.json (bench_scale) are all supported. Stdlib-only, used by
+the CI bench-smoke and scale-smoke jobs and by hand after regenerating a
+baseline (see PERFORMANCE.md for the field-by-field schemas). Exits 0 on
+success, 1 with a list of violations otherwise.
 
 Usage: check_bench_schema.py BENCH_file.json
 """
@@ -75,10 +76,34 @@ RECOVERY_RUN_FIELDS = {
     "ok": bool,
 }
 
+SCALE_RUN_FIELDS = {
+    "backend": str,
+    "encoding": str,
+    "n": int,
+    "senders": int,
+    "snapshot_every": int,
+    "seed": int,
+    "messages_generated": int,
+    "messages_delivered": int,
+    "request_bytes": int,
+    "decision_bytes": int,
+    "control_bytes_per_delivery": (int, float),
+    "delta_fallbacks": int,
+    "delta_anchor_miss": int,
+    "wall_seconds": (int, float),
+    "ok": bool,
+}
+
 PROTOCOLS = {"urcgc", "cbcast", "psync"}
 BACKENDS = {"sim", "threads", "socket"}
 PAYLOAD_MODES = {"shared", "per_copy"}
 MAILBOXES = {"spsc", "mutex", "none"}
+ENCODINGS = {"full", "delta"}
+
+# bench_scale's acceptance gate: from this group size up, the delta
+# encoding must cut control bytes per delivery by at least this factor.
+SCALE_RATIO_GATE_N = 1000
+SCALE_REQUIRED_RATIO = 5.0
 
 
 def check_common_run(run, where, run_fields, err):
@@ -151,6 +176,51 @@ def check_recovery_run(run, where, err):
         err(f"{where}: recovered messages but zero RecoverRsp bytes")
 
 
+def check_scale_run(run, where, err):
+    if run["backend"] != "sim":
+        err(f"{where}: bench_scale runs on the sim (got {run['backend']!r})")
+    if run["encoding"] not in ENCODINGS:
+        err(f"{where}.encoding {run['encoding']!r} not in "
+            f"{sorted(ENCODINGS)}")
+    if not 1 <= run["senders"] <= run["n"]:
+        err(f"{where}.senders {run['senders']} outside [1, n]")
+    if run["snapshot_every"] < 1:
+        err(f"{where}.snapshot_every must be >= 1")
+    if run["messages_delivered"] < run["messages_generated"]:
+        err(f"{where}: delivered {run['messages_delivered']} < "
+            f"generated {run['messages_generated']}")
+    if run["request_bytes"] == 0 or run["decision_bytes"] == 0:
+        err(f"{where}: a run that delivered messages must have moved "
+            f"control traffic in both classes")
+    if run["encoding"] == "full" and (run["delta_fallbacks"]
+                                      or run["delta_anchor_miss"]):
+        err(f"{where}: full-encoding run reports delta counters")
+
+
+def check_scale_ratios(runs, err):
+    """Cross-run gate: delta must beat full at every n, >= 5x at n >= 1000."""
+    by_n = {}
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict) or run.get("encoding") not in ENCODINGS:
+            continue
+        if by_n.setdefault(run["n"], {}).setdefault(
+                run["encoding"], run) is not run:
+            err(f"runs[{i}]: duplicate (n, encoding) point")
+    for n, points in sorted(by_n.items()):
+        if len(points) != 2:
+            continue  # one-encoding documents (e.g. a quick smoke) are fine
+        full = points["full"]["control_bytes_per_delivery"]
+        delta = points["delta"]["control_bytes_per_delivery"]
+        if delta <= 0:
+            err(f"n={n}: delta bytes/delivery must be positive")
+            continue
+        if delta >= full:
+            err(f"n={n}: delta {delta} >= full {full} bytes/delivery")
+        elif n >= SCALE_RATIO_GATE_N and full / delta < SCALE_REQUIRED_RATIO:
+            err(f"n={n}: reduction {full / delta:.2f}x below the required "
+                f"{SCALE_REQUIRED_RATIO}x")
+
+
 def check(doc):
     errors = []
 
@@ -174,6 +244,7 @@ def check(doc):
     flavours = {
         "bench_throughput": (THROUGHPUT_RUN_FIELDS, check_throughput_run),
         "bench_recovery": (RECOVERY_RUN_FIELDS, check_recovery_run),
+        "bench_scale": (SCALE_RUN_FIELDS, check_scale_run),
     }
     if doc["bench"] not in flavours:
         err(f"bench is {doc['bench']!r}, expected one of "
@@ -200,6 +271,8 @@ def check(doc):
         if not run["ok"]:
             err(f"{where}: run reported validation failure (ok=false)")
         check_specific(run, where, err)
+    if doc["bench"] == "bench_scale":
+        check_scale_ratios(doc["runs"], err)
     return errors
 
 

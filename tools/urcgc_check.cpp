@@ -42,6 +42,7 @@ struct Options {
   std::string family = "any";
   std::string mutation = "none";
   std::string pipeline_k = "1";
+  std::string control_encoding = "full";
   bool shrink = false;
   int max_failures = 1;
   int shrink_evals = 200;
@@ -71,6 +72,9 @@ struct Options {
       "  --pipeline-k=LIST      comma-separated pipelining depths to sweep\n"
       "                         (Config::max_subruns_in_flight); each case\n"
       "                         draws one uniformly (default 1)\n"
+      "  --control-encoding=full|delta|both\n"
+      "                         control-plane wire encoding(s) to sweep;\n"
+      "                         both = each case draws one uniformly (full)\n"
       "  --shrink               minimize the first failing case\n"
       "  --shrink-evals=N       shrink evaluation budget (200)\n"
       "  --max-failures=N       stop after N failures; 0 = never (1)\n"
@@ -114,6 +118,8 @@ Options parse(int argc, char** argv) {
       opt.mutation = value;
     } else if (consume(arg, "--pipeline-k", value)) {
       opt.pipeline_k = value;
+    } else if (consume(arg, "--control-encoding", value)) {
+      opt.control_encoding = value;
     } else if (arg == "--shrink") {
       opt.shrink = true;
     } else if (consume(arg, "--shrink-evals", value)) {
@@ -167,6 +173,16 @@ std::vector<int> parse_pipeline_k(const std::string& list,
   }
   if (out.empty()) usage(argv0);
   return out;
+}
+
+std::vector<core::ControlEncoding> parse_encodings(const std::string& name,
+                                                   const char* argv0) {
+  if (name == "full") return {core::ControlEncoding::kFull};
+  if (name == "delta") return {core::ControlEncoding::kDelta};
+  if (name == "both") {
+    return {core::ControlEncoding::kFull, core::ControlEncoding::kDelta};
+  }
+  usage(argv0);
 }
 
 core::ProtocolMutation parse_mutation(const std::string& name,
@@ -287,6 +303,7 @@ int main(int argc, char** argv) {
     explorer.family = parse_family(opt.family, argv[0]);
     explorer.mutation = mutation;
     explorer.pipeline_k_choices = parse_pipeline_k(opt.pipeline_k, argv[0]);
+    explorer.encoding_choices = parse_encodings(opt.control_encoding, argv[0]);
     explorer.max_failures = opt.max_failures;
     explorer.metrics = &metrics;
     const int step = std::max(1, opt.seeds / 10);

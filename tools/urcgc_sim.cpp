@@ -36,6 +36,7 @@ struct Options {
   int n = 10;
   int k = 3;
   int pipeline_k = 1;
+  std::string control_encoding = "full";
   double load = 0.5;
   std::int64_t messages = 200;
   double cross_dep = 0.3;
@@ -81,6 +82,9 @@ struct Options {
       "  --pipeline-k=K                  subruns in flight (1 = paced;\n"
       "                                  >1 pipelines DECISIONs and raises\n"
       "                                  the workload burst to match)\n"
+      "  --control-encoding=full|delta   control-plane wire encoding\n"
+      "                                  (full = self-contained frames,\n"
+      "                                  delta = anchored sparse frames)\n"
       "  --load=L                        msgs/process/round in [0,1] (0.5)\n"
       "  --messages=M                    total offered messages (200)\n"
       "  --cross-dep=P                   cross-process dep probability (0.3)\n"
@@ -136,6 +140,8 @@ Options parse(int argc, char** argv) {
       opt.k = std::atoi(value.data());
     } else if (consume(arg, "--pipeline-k", value)) {
       opt.pipeline_k = std::atoi(value.data());
+    } else if (consume(arg, "--control-encoding", value)) {
+      opt.control_encoding = value;
     } else if (consume(arg, "--load", value)) {
       opt.load = std::atof(value.data());
     } else if (consume(arg, "--messages", value)) {
@@ -233,6 +239,15 @@ int run_urcgc(const Options& opt) {
   }
   config.protocol.max_subruns_in_flight = opt.pipeline_k;
   config.workload.burst = opt.pipeline_k;
+  if (opt.control_encoding == "full") {
+    config.protocol.control_encoding = core::ControlEncoding::kFull;
+  } else if (opt.control_encoding == "delta") {
+    config.protocol.control_encoding = core::ControlEncoding::kDelta;
+  } else {
+    std::fprintf(stderr, "unknown control encoding: %s\n",
+                 opt.control_encoding.c_str());
+    return 2;
+  }
   if (opt.causality == "general") {
     config.protocol.causality = core::CausalityMode::kGeneral;
   } else if (opt.causality == "temporal") {
