@@ -11,6 +11,12 @@
 // history threshold 8n, backoff on) so the bench exercises the same
 // envelope the sustained-omission checker family does.
 //
+// A join leg rides along: the same envelope with one late joiner whose
+// snapshot catch-up reuses the batched recovery path, measuring batches,
+// replayed messages, and admitted->member latency percentiles (from the
+// core.join_catchup_latency_rtd histogram) — the cost of bringing a fresh
+// member level while the group keeps generating.
+//
 // Output: a human-readable table on stdout and, with --json=FILE, the
 // BENCH_recovery.json document whose schema PERFORMANCE.md documents
 // field by field (validated in CI by tools/check_bench_schema.py).
@@ -66,6 +72,12 @@ struct RunResult {
   std::uint64_t recovery_budget_exhausted = 0;
   std::uint64_t recovery_cache_hits = 0;
   std::uint64_t recover_rsp_bytes = 0;
+  int joins = 0;  // configured joiners (the join leg runs with 1)
+  int joins_admitted = 0;
+  std::uint64_t join_catchup_batches = 0;
+  std::uint64_t join_catchup_msgs = 0;
+  double join_latency_p50_rtd = 0.0;
+  double join_latency_p99_rtd = 0.0;
   double latency_p50_rtd = 0.0;
   double latency_p99_rtd = 0.0;
   std::size_t waiting_peak = 0;
@@ -110,15 +122,20 @@ harness::ExperimentConfig soak_envelope(int n, double omission,
 }
 
 RunResult run_point(const Options& options, bool threads, int n,
-                    double omission, int batch) {
+                    double omission, int batch, int joins = 0) {
   const auto start = std::chrono::steady_clock::now();
   harness::ExperimentConfig config =
       soak_envelope(n, omission, options.messages, options.seed);
   config.protocol.max_recover_batch = batch;
+  // The join leg: joiners request admission once histories are warm, so
+  // the snapshot catch-up has real traffic to replay.
+  for (int j = 0; j < joins; ++j) {
+    config.join_rtds.push_back(6.0 + 2.0 * j);
+  }
   config.backend =
       threads ? harness::Backend::kThreads : harness::Backend::kSim;
   config.thread_tick_ns = 0;
-  obs::Registry registry(n);
+  obs::Registry registry(n + joins);
   config.metrics = &registry;
   const auto report = harness::Experiment(config).run();
 
@@ -127,6 +144,8 @@ RunResult run_point(const Options& options, bool threads, int n,
   result.n = n;
   result.omission = omission;
   result.batch = batch;
+  result.joins = joins;
+  result.joins_admitted = static_cast<int>(report.joins.size());
   result.seed = options.seed;
   result.generated = report.generated;
   for (const auto& p : report.processes) {
@@ -136,6 +155,8 @@ RunResult run_point(const Options& options, bool threads, int n,
     result.recovery_continuations += p.recovery_continuations;
     result.recovery_budget_exhausted += p.recovery_budget_exhausted;
     result.recovery_cache_hits += p.recovery_cache_hits;
+    result.join_catchup_batches += p.join_catchup_batches;
+    result.join_catchup_msgs += p.join_catchup_msgs;
     result.waiting_peak = std::max(result.waiting_peak, p.waiting_peak);
     result.inbox_peak = std::max(result.inbox_peak, p.inbox_peak);
     result.history_peak = std::max(result.history_peak, p.history_peak);
@@ -148,8 +169,16 @@ RunResult run_point(const Options& options, bool threads, int n,
     result.latency_p50_rtd = snap.p50;
     result.latency_p99_rtd = snap.p99;
   }
+  const obs::Metric join_hist =
+      registry.find("core.join_catchup_latency_rtd");
+  if (join_hist.valid()) {
+    const obs::HistogramSnapshot snap = registry.histogram_merged(join_hist);
+    result.join_latency_p50_rtd = snap.p50;
+    result.join_latency_p99_rtd = snap.p99;
+  }
   result.ok = report.all_ok() && report.quiescent &&
               report.workload_exhausted &&
+              result.joins_admitted == joins &&
               (config.protocol.waiting_cap == 0 ||
                result.waiting_peak <= config.protocol.waiting_cap) &&
               (config.protocol.inbox_cap == 0 ||
@@ -217,6 +246,16 @@ void write_json(const Options& options,
                  r.latency_p50_rtd);
     std::fprintf(f, "      \"recovery_latency_rtd_p99\": %.4f,\n",
                  r.latency_p99_rtd);
+    std::fprintf(f, "      \"joins\": %d,\n", r.joins);
+    std::fprintf(f, "      \"joins_admitted\": %d,\n", r.joins_admitted);
+    std::fprintf(f, "      \"join_catchup_batches\": %llu,\n",
+                 static_cast<unsigned long long>(r.join_catchup_batches));
+    std::fprintf(f, "      \"join_catchup_msgs\": %llu,\n",
+                 static_cast<unsigned long long>(r.join_catchup_msgs));
+    std::fprintf(f, "      \"join_catchup_latency_rtd_p50\": %.4f,\n",
+                 r.join_latency_p50_rtd);
+    std::fprintf(f, "      \"join_catchup_latency_rtd_p99\": %.4f,\n",
+                 r.join_latency_p99_rtd);
     std::fprintf(f, "      \"waiting_peak\": %zu,\n", r.waiting_peak);
     std::fprintf(f, "      \"inbox_peak\": %zu,\n", r.inbox_peak);
     std::fprintf(f, "      \"history_peak\": %zu,\n", r.history_peak);
@@ -306,6 +345,38 @@ int run_sweep(const Options& options) {
         before, after, after <= before ? "OK" : "FAIL");
     if (after > before) all_ok = false;
   }
+
+  // Join leg: one late joiner per point, snapshot catch-up over the same
+  // batched recovery path, with and without the sustained storm.
+  std::printf("\nJoin catch-up leg — one joiner at 6 rtd, batch 8\n\n");
+  harness::Table join_table({"n", "omission", "admitted", "batches",
+                             "msgs replayed", "join lat p50",
+                             "join lat p99"});
+  std::vector<double> join_omissions{0.0, 0.01};
+  if (options.quick) join_omissions = {0.01};
+  for (int n : group_sizes) {
+    for (double omission : join_omissions) {
+      RunResult r = run_point(options, /*threads=*/false, n, omission,
+                              /*batch=*/8, /*joins=*/1);
+      if (!r.ok) {
+        std::fprintf(stderr,
+                     "JOIN LEG VALIDATION FAILED: n=%d omission=%.4f\n", n,
+                     omission);
+        all_ok = false;
+      }
+      join_table.row({harness::Table::num(n, 0),
+                      harness::Table::num(omission, 4),
+                      harness::Table::num(r.joins_admitted, 0),
+                      harness::Table::num(
+                          static_cast<double>(r.join_catchup_batches), 0),
+                      harness::Table::num(
+                          static_cast<double>(r.join_catchup_msgs), 0),
+                      harness::Table::num(r.join_latency_p50_rtd, 2),
+                      harness::Table::num(r.join_latency_p99_rtd, 2)});
+      results.push_back(std::move(r));
+    }
+  }
+  join_table.print();
 
   if (!options.json_path.empty()) write_json(options, results);
   return all_ok ? 0 : 1;

@@ -58,6 +58,20 @@ class PrefixSet {
   /// Smallest unprocessed seq (the first gap).
   [[nodiscard]] Seq first_gap() const { return prefix_ + 1; }
 
+  /// Adopts an externally-agreed processed prefix (snapshot catch-up): all
+  /// seqs <= p count as processed without their payloads ever transiting
+  /// this member. No-op if p is not past the current prefix.
+  void adopt_prefix(Seq p) {
+    if (p <= prefix_) return;
+    prefix_ = p;
+    sparse_.erase(sparse_.begin(), sparse_.upper_bound(prefix_));
+    auto it = sparse_.begin();
+    while (it != sparse_.end() && *it == prefix_ + 1) {
+      ++prefix_;
+      it = sparse_.erase(it);
+    }
+  }
+
  private:
   Seq prefix_ = 0;
   std::set<Seq> sparse_;

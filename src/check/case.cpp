@@ -75,6 +75,7 @@ harness::ExperimentConfig CaseConfig::to_experiment() const {
   config.faults.window_end_rtd = window_end_rtd;
   config.faults.crashes = crashes;
   config.faults.partitions = partitions;
+  config.join_rtds = joins;
   config.protocol.waiting_cap = waiting_cap;
   config.protocol.inbox_cap = inbox_cap;
   config.protocol.history_threshold = history_threshold;
@@ -128,6 +129,9 @@ std::string CaseConfig::serialize() const {
       os << part.side_a[i];
     }
     os << "@" << part.start_rtd << ":" << part.end_rtd << "\n";
+  }
+  for (const double at : joins) {
+    os << "join=" << at << "\n";
   }
   return os.str();
 }
@@ -269,6 +273,10 @@ std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
         return bad();
       }
       out.partitions.push_back(std::move(spec));
+    } else if (key == "join") {
+      double at = 0.0;
+      if (!parse_double(value, &at) || at < 0.0) return bad();
+      out.joins.push_back(at);
     } else {
       return fail("line " + std::to_string(lineno) + ": unknown key '" +
                   std::string(key) + "'");
@@ -276,12 +284,18 @@ std::optional<CaseConfig> CaseConfig::parse(const std::string& text,
   }
 
   if (!saw_header) return fail("empty case: missing header");
+  // Fault targets may name joiners too (ids n .. n+joins-1): churn cases
+  // crash or partition a process that entered the group mid-run.
+  const auto n_total =
+      static_cast<ProcessId>(out.n + static_cast<int>(out.joins.size()));
   for (const auto& [p, at] : out.crashes) {
-    if (p < 0 || p >= out.n) return fail("crash process out of range");
+    if (p < 0 || p >= n_total) return fail("crash process out of range");
   }
   for (const auto& part : out.partitions) {
     for (ProcessId m : part.side_a) {
-      if (m < 0 || m >= out.n) return fail("partition member out of range");
+      if (m < 0 || m >= n_total) {
+        return fail("partition member out of range");
+      }
     }
   }
   return out;

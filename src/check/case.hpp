@@ -20,6 +20,8 @@
 //   window=0:5            # omission window in rtd; absent = open
 //   crash=1@140           # process@tick, repeatable
 //   partition=0,1@2:6     # side-A members@start_rtd:end_rtd (-1 = forever)
+//   join=6.5              # joiner boot rtd, repeatable; n counts founders
+//                         # and joiners get ids n, n+1, ... in line order
 
 #include <cstdint>
 #include <optional>
@@ -57,6 +59,11 @@ struct CaseConfig {
   std::vector<std::pair<ProcessId, Tick>> crashes;
   std::vector<harness::PartitionSpec> partitions;
 
+  /// Dynamic membership (the churn family): boot rtd of each late joiner.
+  /// `n` stays the founder count; the harness provisions capacity for
+  /// n + joins.size() and the oracle widens its bookkeeping to match.
+  std::vector<double> joins;
+
   /// Bounded-buffer / flow-control knobs (0 = off, the protocol default).
   /// The sustained-omission family sets all of them so the buffer-bounds
   /// clause has caps to check and the budgets/backoff paths run.
@@ -75,7 +82,13 @@ struct CaseConfig {
 
   /// True when no fault of any kind is configured — the explorer enables
   /// the decision-fork check only then (forks are legitimate under faults).
-  [[nodiscard]] bool fault_free() const { return fault_count() == 0; }
+  /// Joins count against it too: while a widening decision propagates, two
+  /// processes can transiently disagree on the view and thus on the
+  /// coordinator rotation, so same-subrun forks are legitimate during
+  /// admission just as they are under faults.
+  [[nodiscard]] bool fault_free() const {
+    return fault_count() == 0 && joins.empty();
+  }
 
   [[nodiscard]] harness::ExperimentConfig to_experiment() const;
 

@@ -9,9 +9,20 @@ namespace urcgc::check {
 
 EndStateResult validate_end_state(const causal::CausalGraph& graph,
                                   std::span<const std::span<const Mid>> logs,
-                                  const std::vector<bool>& halted) {
+                                  const std::vector<bool>& halted,
+                                  std::span<const std::vector<Seq>> baselines) {
   EndStateResult result;
   const auto n = static_cast<ProcessId>(logs.size());
+  const auto has_baseline = [&](ProcessId p) {
+    return p < static_cast<ProcessId>(baselines.size()) &&
+           !baselines[static_cast<std::size_t>(p)].empty();
+  };
+  const auto covered = [&](ProcessId p, const Mid& mid) {
+    const auto& b = baselines[static_cast<std::size_t>(p)];
+    return mid.origin >= 0 &&
+           mid.origin < static_cast<ProcessId>(b.size()) &&
+           mid.seq <= b[static_cast<std::size_t>(mid.origin)];
+  };
 
   result.acyclic_ok = graph.acyclic();
   if (!result.acyclic_ok) {
@@ -42,10 +53,43 @@ EndStateResult validate_end_state(const causal::CausalGraph& graph,
     }
   }
   if (!survivors.empty()) {
-    std::set<Mid> reference(logs[survivors.front()].begin(),
-                            logs[survivors.front()].end());
-    for (std::size_t i = 1; i < survivors.size(); ++i) {
-      std::set<Mid> mine(logs[survivors[i]].begin(), logs[survivors[i]].end());
+    // Anchor the reference set on a full (non-joiner) survivor when one
+    // exists — founders hold the complete history, joiners only their
+    // post-baseline suffix.
+    ProcessId anchor = survivors.front();
+    for (ProcessId p : survivors) {
+      if (!has_baseline(p)) {
+        anchor = p;
+        break;
+      }
+    }
+    std::set<Mid> reference(logs[anchor].begin(), logs[anchor].end());
+    for (ProcessId p : survivors) {
+      if (p == anchor) continue;
+      std::set<Mid> mine(logs[p].begin(), logs[p].end());
+      if (has_baseline(p)) {
+        // Joiner clause: baseline-covered messages may legitimately be
+        // absent from its log — compare against the uncovered remainder,
+        // and never allow the joiner extra messages no survivor holds.
+        std::set<Mid> owed;
+        for (const Mid& mid : reference) {
+          if (!covered(p, mid)) owed.insert(mid);
+        }
+        std::set<Mid> mine_uncovered;
+        for (const Mid& mid : mine) {
+          if (!covered(p, mid)) mine_uncovered.insert(mid);
+        }
+        if (mine_uncovered != owed ||
+            !std::includes(reference.begin(), reference.end(), mine.begin(),
+                           mine.end())) {
+          result.atomicity_ok = false;
+          std::ostringstream os;
+          os << "joiner p" << p << " disagrees with survivor p" << anchor
+             << " beyond its snapshot baseline";
+          result.violations.push_back(os.str());
+        }
+        continue;
+      }
       if (mine != reference) {
         result.atomicity_ok = false;
         std::vector<Mid> diff;
@@ -53,8 +97,8 @@ EndStateResult validate_end_state(const causal::CausalGraph& graph,
                                       mine.begin(), mine.end(),
                                       std::back_inserter(diff));
         std::ostringstream os;
-        os << "survivors p" << survivors.front() << " and p" << survivors[i]
-           << " disagree on " << diff.size() << " message(s), first "
+        os << "survivors p" << anchor << " and p" << p << " disagree on "
+           << diff.size() << " message(s), first "
            << (diff.empty() ? std::string("?") : to_string(diff.front()));
         result.violations.push_back(os.str());
       }

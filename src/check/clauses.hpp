@@ -36,9 +36,18 @@ struct EndStateResult {
 /// left the group (halted/crashed) — they are exempt from the atomicity
 /// comparison (messages held only by the departed may vanish), but their
 /// logs must still respect causal order for as long as they ran.
+///
+/// `baselines[p]`, when non-empty, marks p as a joiner that caught up from
+/// a history snapshot: messages with seq <= baselines[p][origin] were
+/// group-stable before p joined, so p is allowed (not required) to lack
+/// them. Beyond its baseline, a joiner owes exactly the reference set: it
+/// must hold every uncovered message some full survivor holds, and nothing
+/// no survivor holds. Pass an empty span (or all-empty vectors) when no
+/// joins occurred.
 [[nodiscard]] EndStateResult validate_end_state(
     const causal::CausalGraph& graph,
     std::span<const std::span<const Mid>> logs,
-    const std::vector<bool>& halted);
+    const std::vector<bool>& halted,
+    std::span<const std::vector<Seq>> baselines = {});
 
 }  // namespace urcgc::check

@@ -56,6 +56,7 @@ CaseConfig generate_case(const ExplorerOptions& options, int index) {
     case Family::kCrashes: family = 2; break;
     case Family::kPartition: family = 3; break;
     case Family::kSustainedOmission: family = 4; break;
+    case Family::kChurn: family = 5; break;
   }
 
   switch (family) {
@@ -123,6 +124,36 @@ CaseConfig generate_case(const ExplorerOptions& options, int index) {
       config.backoff = 1;
       break;
     }
+    case 5: {  // churn: late joins interleaved with a departure
+      // Founders stay small so the joiner is a large fraction of the view
+      // and admission races with real traffic; joins land anywhere from
+      // "group barely warmed up" to "histories already cleaned".
+      config.n = static_cast<int>(rng.uniform_range(3, 6));
+      const int joiners = rng.bernoulli(0.35) ? 2 : 1;
+      for (int j = 0; j < joiners; ++j) {
+        config.joins.push_back(2.0 + 12.0 * rng.uniform01());
+      }
+      // Interleave a departure among the founders (never more than the
+      // founder group's resilience bound): a crash, a healing partition,
+      // or a join-only case — churn is joins x leaves x crashes.
+      const int ft = (config.n - 1) / 2;
+      const double mix = rng.uniform01();
+      if (mix < 0.4 && ft >= 1) {
+        const auto victim = static_cast<ProcessId>(
+            rng.uniform(static_cast<std::uint64_t>(config.n)));
+        const Tick at = rng.uniform_range(2 * clock.ticks_per_rtd(),
+                                          14 * clock.ticks_per_rtd());
+        config.crashes.emplace_back(victim, at);
+      } else if (mix < 0.65 && ft >= 1) {
+        harness::PartitionSpec spec;
+        spec.side_a.push_back(static_cast<ProcessId>(
+            rng.uniform(static_cast<std::uint64_t>(config.n))));
+        spec.start_rtd = 2.0 + 6.0 * rng.uniform01();
+        spec.end_rtd = spec.start_rtd + 2.0 + 4.0 * rng.uniform01();
+        config.partitions.push_back(std::move(spec));
+      }
+      break;
+    }
     default: break;
   }
 
@@ -156,7 +187,8 @@ CaseOutcome run_case(const CaseConfig& config,
                                  trace::EventKind::kDecision,
                                  trace::EventKind::kCleaned,
                                  trace::EventKind::kHalt,
-                                 trace::EventKind::kDiscarded});
+                                 trace::EventKind::kDiscarded,
+                                 trace::EventKind::kJoined});
   trace::TraceRecorder& recorder = external != nullptr ? *external : internal;
   harness::ExperimentConfig experiment = config.to_experiment();
   experiment.extra_observer = &recorder;
@@ -167,7 +199,11 @@ CaseOutcome run_case(const CaseConfig& config,
   outcome.trace_events = recorder.size();
 
   OracleOptions oracle;
-  oracle.n = config.n;
+  // Capacity includes every configured joiner; the founder count switches
+  // the oracle's joiner relaxations on (baseline-exempt C1/C2, deferred
+  // C3 anchoring).
+  oracle.n = config.n + static_cast<int>(config.joins.size());
+  if (!config.joins.empty()) oracle.initial_members = config.n;
   // Mid-flight disagreement is legitimate if the run was cut off by the
   // limit; the liveness verdict (quiescent flag) covers that case instead.
   oracle.require_final_agreement = report.quiescent;

@@ -26,7 +26,9 @@ namespace urcgc::check {
 /// four classic families per case (the calibrated default mix);
 /// kSustainedOmission is opt-in — an open-ended omission storm with the
 /// bounded-buffer caps and recovery budgets/backoff engaged, the soak
-/// envelope the nightly checker sweeps separately.
+/// envelope the nightly checker sweeps separately. kChurn is opt-in too —
+/// dynamic membership sweeps interleaving one or two late joins with a
+/// founder crash or a healing partition, the join-path envelope.
 enum class Family : std::uint8_t {
   kAny,
   kFaultFree,
@@ -34,6 +36,7 @@ enum class Family : std::uint8_t {
   kCrashes,
   kPartition,
   kSustainedOmission,
+  kChurn,
 };
 
 struct ExplorerOptions {

@@ -25,13 +25,27 @@ struct PrefixTracker {
   void add(Seq seq) {
     if (seq == prefix + 1) {
       ++prefix;
-      auto it = pending.begin();
-      while (it != pending.end() && *it == prefix + 1) {
-        ++prefix;
-        it = pending.erase(it);
-      }
+      drain();
     } else if (seq > prefix) {
       pending.insert(seq);
+    }
+  }
+
+  /// Jump the prefix to at least `floor` (a joiner adopting a snapshot
+  /// baseline): everything at or below it counts as processed.
+  void seed(Seq floor) {
+    if (floor <= prefix) return;
+    prefix = floor;
+    pending.erase(pending.begin(), pending.upper_bound(prefix));
+    drain();
+  }
+
+ private:
+  void drain() {
+    auto it = pending.begin();
+    while (it != pending.end() && *it == prefix + 1) {
+      ++prefix;
+      it = pending.erase(it);
     }
   }
 };
@@ -46,13 +60,19 @@ class OracleRun {
  public:
   OracleRun(const std::vector<TraceEvent>& events,
             const OracleOptions& options)
-      : events_(events), options_(options), n_(options.n) {
+      : events_(events),
+        options_(options),
+        n_(options.n),
+        founders_(options.initial_members > 0 ? options.initial_members
+                                              : options.n) {
     URCGC_ASSERT_MSG(n_ > 0, "OracleOptions::n must be set");
     processed_.resize(n_);
     prefixes_.assign(static_cast<std::size_t>(n_),
                      std::vector<PrefixTracker>(n_));
     halted_at_.assign(n_, kNoTick);
     last_subrun_.assign(n_, -1);
+    joined_at_.assign(n_, kNoTick);
+    baselines_.resize(n_);
   }
 
   OracleReport run() {
@@ -70,6 +90,7 @@ class OracleRun {
             halted_at_[event.process] = event.at;
           }
           break;
+        case EventKind::kJoined: on_joined(event); break;
         default: break;
       }
     }
@@ -126,9 +147,18 @@ class OracleRun {
     }
     processed_at_[event.mid].emplace_back(p, event.at);
 
-    // C2: every declared dependency must already be processed here.
+    // C2: every declared dependency must already be processed here. A
+    // joiner's catch-up replay runs before its kJoined event lands in the
+    // trace (and so before the oracle learns the adopted baseline), so a
+    // joiner's missing dependency is parked and resolved at the end of the
+    // scan: covered by the baseline = satisfied group-wide pre-join.
     for (const Mid& dep : gen->second.deps) {
       if (!processed_[p].contains(dep)) {
+        if (is_joiner(p)) {
+          pending_ordering_.push_back(
+              PendingOrdering{p, event.mid, dep, index, event.at});
+          continue;
+        }
         std::ostringstream os;
         os << "p" << p << " processed " << to_string(event.mid)
            << " before its dependency " << to_string(dep);
@@ -136,6 +166,28 @@ class OracleRun {
         break;
       }
     }
+  }
+
+  void on_joined(const TraceEvent& event) {
+    const ProcessId p = event.process;
+    if (p < 0 || p >= n_) return;
+    if (joined_at_[p] == kNoTick) joined_at_[p] = event.at;
+    baselines_[p] = event.clean_upto;  // kJoined reuses clean_upto
+    // The adopted baseline is the joiner's processed prefix from here on:
+    // seed the trackers so C3 measures it against the right floor.
+    for (ProcessId j = 0;
+         j < n_ && j < static_cast<ProcessId>(baselines_[p].size()); ++j) {
+      prefixes_[p][j].seed(baselines_[p][j]);
+    }
+  }
+
+  [[nodiscard]] bool is_joiner(ProcessId p) const { return p >= founders_; }
+
+  /// Dependency already group-stable when joiner `p` adopted its baseline.
+  [[nodiscard]] bool covered_by_baseline(ProcessId p, const Mid& dep) const {
+    const auto origin = static_cast<std::size_t>(dep.origin);
+    return origin < baselines_[p].size() &&
+           dep.seq <= baselines_[p][origin];
   }
 
   void on_decision(const TraceEvent& event, std::int64_t index) {
@@ -184,6 +236,12 @@ class OracleRun {
     for (ProcessId q = 0; q < n_ && q < n_mask; ++q) {
       if (!event.alive_mask[q]) continue;
       if (halted_at_[q] != kNoTick) continue;  // departed: exempt
+      // An admitted joiner still catching up is counted alive but has not
+      // adopted its snapshot baseline yet; the cleaning points it skips
+      // come from windows it never contributed to (it applies them only
+      // after the baseline supersedes them), so it anchors C3 only once
+      // its kJoined event lands.
+      if (is_joiner(q) && joined_at_[q] == kNoTick) continue;
       for (ProcessId j = 0;
            j < n_ && j < static_cast<ProcessId>(event.clean_upto.size());
            ++j) {
@@ -205,16 +263,69 @@ class OracleRun {
 
   void finish() {
     const Tick end_tick = events_.empty() ? 0 : events_.back().at;
+
+    // C2, the deferred joiner half: a parked missing dependency is fine if
+    // the joiner's adopted baseline covers it (processed group-wide before
+    // the join); a joiner that never joined is mid-bootstrap replay and
+    // exempt wholesale. Everything else is a real ordering violation.
+    for (const PendingOrdering& pend : pending_ordering_) {
+      if (joined_at_[pend.p] == kNoTick) continue;
+      if (covered_by_baseline(pend.p, pend.dep)) continue;
+      std::ostringstream os;
+      os << "joiner p" << pend.p << " processed " << to_string(pend.mid)
+         << " before its dependency " << to_string(pend.dep)
+         << " (not covered by its snapshot baseline)";
+      violate(Clause::kOrdering, pend.index, pend.at, pend.p, os.str());
+      break;
+    }
+
     std::vector<ProcessId> survivors;
     for (ProcessId p = 0; p < n_; ++p) {
       if (halted_at_[p] == kNoTick) survivors.push_back(p);
     }
 
-    // C1 final agreement: survivors end with identical processed sets.
+    // C1 final agreement: survivors end with identical processed sets. A
+    // surviving joiner that never completed admission processed nothing as
+    // a member and is exempt like a departed process; one that joined owes
+    // exactly the reference set beyond its adopted baseline — covered
+    // messages were group-stable before it arrived, and it must hold
+    // nothing outside the reference.
     if (options_.require_final_agreement && survivors.size() > 1) {
-      const auto& reference = processed_[survivors.front()];
-      for (std::size_t i = 1; i < survivors.size(); ++i) {
-        const auto& mine = processed_[survivors[i]];
+      const ProcessId anchor = [&] {
+        for (const ProcessId p : survivors) {
+          if (!is_joiner(p) || joined_at_[p] != kNoTick) return p;
+        }
+        return survivors.front();
+      }();
+      const auto& reference = processed_[anchor];
+      for (const ProcessId p : survivors) {
+        if (p == anchor) continue;
+        const auto& mine = processed_[p];
+        if (is_joiner(p)) {
+          if (joined_at_[p] == kNoTick) continue;  // never admitted: exempt
+          bool agree = true;
+          Mid example{};
+          for (const Mid& mid : reference) {
+            if (covered_by_baseline(p, mid)) continue;
+            if (!mine.contains(mid)) { agree = false; example = mid; break; }
+          }
+          if (agree) {
+            for (const Mid& mid : mine) {
+              if (!reference.contains(mid)) {
+                agree = false;
+                example = mid;
+                break;
+              }
+            }
+          }
+          if (agree) continue;
+          std::ostringstream os;
+          os << "joiner p" << p << " disagrees with survivor p" << anchor
+             << " beyond its snapshot baseline (e.g. " << to_string(example)
+             << ")";
+          violate(Clause::kAtomicity, -1, end_tick, p, os.str());
+          break;
+        }
         if (mine == reference) continue;
         // Name one concrete divergence for the report.
         Mid example{};
@@ -227,11 +338,11 @@ class OracleRun {
           }
         }
         std::ostringstream os;
-        os << "survivors p" << survivors.front() << " and p" << survivors[i]
+        os << "survivors p" << anchor << " and p" << p
            << " disagree on their final processed sets ("
            << reference.size() << " vs " << mine.size() << " messages, e.g. "
            << to_string(example) << ")";
-        violate(Clause::kAtomicity, -1, end_tick, survivors[i], os.str());
+        violate(Clause::kAtomicity, -1, end_tick, p, os.str());
         break;
       }
     }
@@ -264,6 +375,12 @@ class OracleRun {
         const Tick deadline = info.at + options_.atomicity_bound_ticks;
         if (deadline > end_tick) continue;  // bound not yet observable
         for (ProcessId p : survivors) {
+          // A joiner only owes messages generated after it joined;
+          // earlier ones reach it via the baseline, outside any bound.
+          if (is_joiner(p) &&
+              (joined_at_[p] == kNoTick || info.at <= joined_at_[p])) {
+            continue;
+          }
           Tick processed_tick = kNoTick;
           auto it = processed_at_.find(mid);
           if (it != processed_at_.end()) {
@@ -291,9 +408,19 @@ class OracleRun {
     std::vector<Seq> clean_upto;
   };
 
+  /// A joiner's missing dependency, parked until its baseline is known.
+  struct PendingOrdering {
+    ProcessId p = kNoProcess;
+    Mid mid{};
+    Mid dep{};
+    std::int64_t index = -1;
+    Tick at = kNoTick;
+  };
+
   const std::vector<TraceEvent>& events_;
   const OracleOptions& options_;
   const ProcessId n_;
+  const ProcessId founders_;
   OracleReport report_;
 
   std::unordered_map<Mid, GeneratedInfo> generated_;
@@ -303,6 +430,9 @@ class OracleRun {
   std::vector<std::vector<PrefixTracker>> prefixes_;  // [process][origin]
   std::vector<Tick> halted_at_;
   std::vector<SubrunId> last_subrun_;
+  std::vector<Tick> joined_at_;
+  std::vector<std::vector<Seq>> baselines_;
+  std::vector<PendingOrdering> pending_ordering_;
   std::set<SubrunId> decided_subruns_;
   std::unordered_map<SubrunId, DecisionSnapshot> decisions_by_subrun_;
 };

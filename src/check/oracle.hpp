@@ -61,8 +61,20 @@ struct Violation {
 };
 
 struct OracleOptions {
-  /// Group cardinality; the trace does not carry it.
+  /// Group cardinality (provisioned capacity: founders + every configured
+  /// joiner); the trace does not carry it.
   int n = 0;
+  /// Founder count for dynamic-membership runs; processes with id >=
+  /// initial_members are late joiners whose kJoined event carries the
+  /// snapshot baseline they adopted. 0 (the default) means every process
+  /// is a founder. Joiner-specific relaxations:
+  ///  C1 — a joiner that never joined is exempt from final agreement; one
+  ///       that joined owes exactly the reference set beyond its baseline.
+  ///  C2 — a dependency covered by the joiner's adopted baseline counts as
+  ///       satisfied (it was processed group-wide before the join).
+  ///  C3 — a joiner is not a cleaning anchor until it joined; from then on
+  ///       its prefix is seeded from the baseline.
+  int initial_members = 0;
   /// Enforce survivor set-equality at end of trace (C1). Enable only when
   /// the run reached quiescence plus grace — mid-flight disagreement is
   /// legitimate.

@@ -10,14 +10,17 @@ namespace urcgc::check {
 
 namespace {
 
-/// Drops faults that reference processes outside [0, n) after a group
-/// shrink; partitions that stop separating anything are removed.
+/// Drops faults that reference processes outside the provisioned capacity
+/// (founders + joiners) after a group shrink; partitions that stop
+/// separating anything are removed.
 void clamp_faults(CaseConfig* config) {
+  const auto limit = static_cast<ProcessId>(
+      config->n + static_cast<int>(config->joins.size()));
   std::erase_if(config->crashes,
-                [&](const auto& c) { return c.first >= config->n; });
+                [&](const auto& c) { return c.first >= limit; });
   for (auto& part : config->partitions) {
     std::erase_if(part.side_a,
-                  [&](ProcessId p) { return p >= config->n; });
+                  [&](ProcessId p) { return p >= limit; });
   }
   std::erase_if(config->partitions, [&](const harness::PartitionSpec& p) {
     return p.side_a.empty() ||
@@ -129,6 +132,23 @@ ShrinkResult shrink_case(const CaseConfig& failing,
       CaseConfig candidate = best;
       candidate.partitions.erase(candidate.partitions.begin() +
                                  static_cast<std::ptrdiff_t>(i));
+      if (try_candidate(std::move(candidate))) {
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    // Joins shrink like faults: a repro that still fails with a join
+    // removed takes the whole admission/catch-up machinery with it. The
+    // clamp keeps fault targets inside the narrowed capacity (joiner ids
+    // renumber with the join list; reseeding re-rolls the interleaving).
+    for (std::size_t i = 0;
+         i < best.joins.size() &&
+         result.evaluations < options.max_evaluations;) {
+      CaseConfig candidate = best;
+      candidate.joins.erase(candidate.joins.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      clamp_faults(&candidate);
       if (try_candidate(std::move(candidate))) {
         progressed = true;
       } else {

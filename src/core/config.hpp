@@ -87,8 +87,26 @@ enum class ControlEncoding : std::uint8_t {
 }
 
 struct Config {
-  /// Initial group cardinality n.
+  /// Provisioned group capacity: initial members plus every joiner the
+  /// deployment may ever admit. Wire vectors never exceed this width.
   int n = 10;
+
+  /// Number of founding members (ids [0, initial_members)). Processes with
+  /// ids in [initial_members, n) start outside the group and must be
+  /// admitted through the JOIN path (DESIGN.md section 12). 0 means every
+  /// provisioned process is a founder — the paper's static group.
+  int initial_members = 0;
+
+  /// JOIN budget: request rounds a joiner keeps soliciting admission (and,
+  /// once admitted, subruns it keeps chasing its history snapshot) before
+  /// giving up and halting. Exhaustion never half-admits: the group either
+  /// decided the join (and treats the silent joiner like any silent
+  /// member) or never saw it.
+  int join_attempts = 64;
+
+  [[nodiscard]] int founders() const {
+    return initial_members > 0 ? initial_members : n;
+  }
 
   /// K — retries before a silent process is declared crashed, and before a
   /// process that hears no coordinator gives up and leaves.

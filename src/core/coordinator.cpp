@@ -29,15 +29,31 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
   // point against a fresher decision.
   std::fill(d.clean_upto.begin(), d.clean_upto.end(), kNoSeq);
 
+  // Reads entry j of a possibly-narrower report vector: a sender holding
+  // an older (pre-join) view reports nothing about origins it has not yet
+  // learned, which is exactly what kNoSeq means.
+  const auto at = [](const std::vector<Seq>& v, ProcessId j) {
+    return j < static_cast<ProcessId>(v.size()) ? v[j] : kNoSeq;
+  };
+  const auto padded = [n](const std::vector<Seq>& v) {
+    std::vector<Seq> out = v;
+    out.resize(static_cast<std::size_t>(n), kNoSeq);
+    return out;
+  };
+
   // Who was heard this subrun. Requests from processes the base marks dead
   // are dropped: they are scheduled for suicide, not for rejoining.
+  // Requests from ids past the view (a joiner not yet admitted, or a
+  // sender racing ahead of this coordinator's view) and reports wider than
+  // the view are dropped too — the join path readmits the former through
+  // a widened decision, and the latter cannot be judged against this base.
   std::vector<bool> heard_now(n, false);
   std::vector<const Request*> live_requests;
   live_requests.reserve(inputs.requests.size());
   for (const Request& rq : inputs.requests) {
-    URCGC_ASSERT(rq.from >= 0 && rq.from < n);
-    URCGC_ASSERT(static_cast<int>(rq.last_processed.size()) == n);
-    URCGC_ASSERT(static_cast<int>(rq.oldest_waiting.size()) == n);
+    if (rq.from < 0 || rq.from >= n) continue;
+    if (static_cast<int>(rq.last_processed.size()) > n) continue;
+    if (static_cast<int>(rq.oldest_waiting.size()) > n) continue;
     if (!inputs.base.alive[rq.from]) continue;
     if (heard_now[rq.from]) continue;  // duplicate request copy
     heard_now[rq.from] = true;
@@ -81,9 +97,9 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
   if (inputs.mutation == ProtocolMutation::kSkipRequestMerge &&
       live_requests.size() > 1) {
     skipped = live_requests.front();
-    auto progress = [n](const Request* rq) {
+    auto progress = [n, &at](const Request* rq) {
       Seq sum = 0;
-      for (ProcessId j = 0; j < n; ++j) sum += rq->last_processed[j];
+      for (ProcessId j = 0; j < n; ++j) sum += at(rq->last_processed, j);
       return sum;
     };
     for (const Request* rq : live_requests) {
@@ -96,11 +112,11 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
       continue;
     }
     if (!window_had_contributor) {
-      d.stable_acc = rq->last_processed;
+      d.stable_acc = padded(rq->last_processed);
       window_had_contributor = true;
     } else {
       for (ProcessId j = 0; j < n; ++j) {
-        d.stable_acc[j] = std::min(d.stable_acc[j], rq->last_processed[j]);
+        d.stable_acc[j] = std::min(d.stable_acc[j], at(rq->last_processed, j));
       }
     }
     d.heard[rq->from] = true;
@@ -117,7 +133,7 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
   std::fill(d.most_updated.begin(), d.most_updated.end(), kNoProcess);
   for (const Request* rq : live_requests) {
     for (ProcessId j = 0; j < n; ++j) {
-      const Seq reported = rq->last_processed[j];
+      const Seq reported = at(rq->last_processed, j);
       if (reported > d.max_processed[j] ||
           (reported == d.max_processed[j] && reported != kNoSeq &&
            (d.most_updated[j] == kNoProcess || !d.alive[d.most_updated[j]]) &&
@@ -132,7 +148,7 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
   std::fill(d.min_waiting.begin(), d.min_waiting.end(), kNoSeq);
   for (const Request* rq : live_requests) {
     for (ProcessId j = 0; j < n; ++j) {
-      const Seq w = rq->oldest_waiting[j];
+      const Seq w = at(rq->oldest_waiting, j);
       if (w == kNoSeq) continue;
       if (d.min_waiting[j] == kNoSeq || w < d.min_waiting[j]) {
         d.min_waiting[j] = w;
@@ -166,11 +182,11 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
     for (const Request* rq : live_requests) {
       d.heard[rq->from] = true;
       if (!reseeded) {
-        d.stable_acc = rq->last_processed;
+        d.stable_acc = padded(rq->last_processed);
         reseeded = true;
       } else {
         for (ProcessId j = 0; j < n; ++j) {
-          d.stable_acc[j] = std::min(d.stable_acc[j], rq->last_processed[j]);
+          d.stable_acc[j] = std::min(d.stable_acc[j], at(rq->last_processed, j));
         }
       }
     }
@@ -180,6 +196,40 @@ Decision compute_decision(const CoordinatorInputs& inputs) {
   }
 
   return d;
+}
+
+int admit_joins(Decision& d, std::span<const ProcessId> joiners,
+                int capacity) {
+  if (joiners.empty()) return 0;
+  std::vector<ProcessId> sorted(joiners.begin(), joiners.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  int admitted = 0;
+  for (ProcessId id : sorted) {
+    // Contiguous-only: the next admissible id is exactly the current view
+    // width. Ids below the view are members (or cut — rejoin is a fresh
+    // identity, never readmission); ids further ahead wait until the gap
+    // before them is admitted, so out-of-order JOIN arrivals cannot make
+    // two coordinators assign the same slot to different processes.
+    if (id != d.n()) continue;
+    if (d.n() >= capacity) break;
+    d.clean_upto.push_back(kNoSeq);
+    d.stable_acc.push_back(kNoSeq);
+    d.heard.push_back(false);
+    d.max_processed.push_back(kNoSeq);
+    d.most_updated.push_back(kNoProcess);
+    d.min_waiting.push_back(kNoSeq);
+    d.attempts.push_back(0);
+    d.alive.push_back(true);
+    ++admitted;
+  }
+  if (admitted > 0) {
+    for (StabilityBoundary& boundary : d.boundaries) {
+      boundary.clean_upto.resize(d.alive.size(), kNoSeq);
+    }
+  }
+  return admitted;
 }
 
 }  // namespace urcgc::core

@@ -38,6 +38,19 @@ struct CoordinatorInputs {
   ProtocolMutation mutation = ProtocolMutation::kNone;
 };
 
+/// Widens `d` in place, admitting parked joiners at this decided subrun
+/// boundary (DESIGN.md section 12). Joiner ids must be admitted
+/// contiguously — a joiner is appended only when its id equals the current
+/// view width d.n(), so the live view is always a prefix of the
+/// provisioned capacity and every survivor derives the same id for the
+/// same joiner. Each admitted entry starts alive with heard=false and
+/// attempts=0, which stalls the next full-group cleaning until the joiner's
+/// first REQUEST is merged (the adopted baseline cannot be purged out from
+/// under a catching-up joiner). Stability-boundary windows are padded to
+/// the new width. Returns the number of joiners admitted.
+int admit_joins(Decision& d, std::span<const ProcessId> joiners,
+                int capacity);
+
 /// Computes the subrun's decision:
 ///  * attempts accounting — reset for processes heard this subrun,
 ///    incremented otherwise; processes reaching K are removed (alive=false);

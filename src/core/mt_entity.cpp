@@ -12,7 +12,8 @@ MtEntity::MtEntity(const Config& config, ProcessId self, Observer* observer)
       self_(self),
       observer_(observer),
       history_(config.n),
-      processed_(config.n) {}
+      processed_(config.n),
+      clean_floor_(config.n, kNoSeq) {}
 
 bool MtEntity::processed(const Mid& mid) const {
   if (!mid.valid()) return true;  // "no message" is trivially processed
@@ -111,24 +112,73 @@ RecoverRsp MtEntity::serve_recovery(const RecoverRq& rq) const {
 }
 
 std::size_t MtEntity::clean(const std::vector<Seq>& clean_upto) {
-  URCGC_ASSERT(static_cast<int>(clean_upto.size()) == config_.n);
+  URCGC_ASSERT(static_cast<int>(clean_upto.size()) <= config_.n);
   std::size_t purged = 0;
-  for (ProcessId j = 0; j < config_.n; ++j) {
+  const int width = static_cast<int>(clean_upto.size());
+  for (ProcessId j = 0; j < width; ++j) {
     if (clean_upto[j] == kNoSeq) continue;
     // Cleaning a message we have not processed would violate the stability
     // invariant (our own report bounds the group minimum). When a deliberate
     // protocol mutation is active the faulty decision must survive as an
     // observable trace violation for the checker, so clamp instead of abort.
     if (config_.mutation != ProtocolMutation::kNone) {
-      purged += history_.purge_upto(j, std::min(clean_upto[j],
-                                                processed_[j].prefix()));
+      const Seq upto = std::min(clean_upto[j], processed_[j].prefix());
+      purged += history_.purge_upto(j, upto);
+      clean_floor_[j] = std::max(clean_floor_[j], upto);
       continue;
     }
     URCGC_ASSERT_MSG(clean_upto[j] <= processed_[j].prefix(),
                      "cleaning point beyond local processed prefix");
     purged += history_.purge_upto(j, clean_upto[j]);
+    clean_floor_[j] = std::max(clean_floor_[j], clean_upto[j]);
   }
   return purged;
+}
+
+std::size_t MtEntity::adopt_baseline(const std::vector<Seq>& baseline,
+                                     Tick now) {
+  const int width =
+      std::min(static_cast<int>(baseline.size()), config_.n);
+  std::size_t adopted = 0;
+  for (ProcessId j = 0; j < width; ++j) {
+    const Seq before = processed_[j].prefix();
+    processed_[j].adopt_prefix(baseline[j]);
+    if (processed_[j].prefix() > before) {
+      adopted += static_cast<std::size_t>(processed_[j].prefix() - before);
+    }
+    clean_floor_[j] = std::max(clean_floor_[j], baseline[j]);
+  }
+  if (adopted == 0) return 0;
+
+  // Parked copies the baseline now covers are duplicates: sweep them before
+  // a release could route them through process_now a second time.
+  for (ProcessId j = 0; j < width; ++j) {
+    while (auto oldest = waiting_.oldest_waiting(j)) {
+      if (!processed_[j].contains(*oldest)) break;
+      if (!waiting_.extract(Mid{j, *oldest})) break;
+      ++duplicates_;
+    }
+  }
+
+  // Waiters blocked on dependencies the baseline satisfies become
+  // processable (they were generated after the stable floor).
+  const std::vector<Mid> blocking = waiting_.missing_mids();
+  for (const Mid& mid : blocking) {
+    if (!processed(mid)) continue;
+    for (causal::PendingMessage& released : waiting_.on_processed(mid)) {
+      AppMessage next;
+      next.mid = released.mid;
+      next.deps = std::move(released.deps);
+      next.generated_at = released.generated_at;
+      next.payload = std::move(released.payload);
+      if (processed(next.mid)) {
+        ++duplicates_;
+        continue;
+      }
+      process_now(std::move(next), now);
+    }
+  }
+  return adopted;
 }
 
 std::vector<Mid> MtEntity::discard_orphans(ProcessId origin, Seq gap_seq,

@@ -67,8 +67,31 @@ class MtEntity {
   /// Serves a peer's recovery request from the local history.
   [[nodiscard]] RecoverRsp serve_recovery(const RecoverRq& rq) const;
 
-  /// Applies a full_group cleaning decision. Returns messages purged.
+  /// Applies a full_group cleaning decision. `clean_upto` may be narrower
+  /// than the provisioned capacity (it is view-width when the live view has
+  /// not yet grown to capacity); origins past its width are untouched.
+  /// Returns messages purged.
   std::size_t clean(const std::vector<Seq>& clean_upto);
+
+  /// Snapshot catch-up (DESIGN.md section 12): adopts a serving member's
+  /// per-origin clean floor as this member's processed prefix. Everything
+  /// at or below the floor is group-stable, so marking it processed without
+  /// the payloads ever transiting is safe; parked copies the baseline
+  /// covers are swept as duplicates and waiters whose missing dependencies
+  /// the baseline satisfies are released. Returns seqs newly covered.
+  std::size_t adopt_baseline(const std::vector<Seq>& baseline, Tick now);
+
+  /// Per-origin highest cleaning point applied locally — the baseline this
+  /// member serves to a catching-up joiner (kNoSeq where never cleaned:
+  /// the full sequence is still recoverable from the history).
+  [[nodiscard]] const std::vector<Seq>& clean_floor() const {
+    return clean_floor_;
+  }
+
+  /// The live view changed (a join widened the member vectors). Bumps the
+  /// history version so recovery serve-cache entries from the old view
+  /// cannot revalidate (the cached range may predate the joiner).
+  void note_view_change() { history_.note_membership_change(); }
 
   /// Cuts an orphaned sequence: discards every waiting message depending on
   /// origin's messages with seq >= gap_seq (paper Section 4: the gap can
@@ -118,6 +141,7 @@ class MtEntity {
   History history_;
   causal::WaitingList waiting_;
   std::vector<causal::PrefixSet> processed_;
+  std::vector<Seq> clean_floor_;
   std::vector<Mid> log_;  // local processing order, for validation
   std::uint64_t duplicates_ = 0;
   std::uint64_t waiting_rejected_ = 0;

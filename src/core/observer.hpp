@@ -18,6 +18,7 @@ enum class HaltReason {
   kSuicide,          // learned the group declared it crashed
   kRecoveryExhausted,  // R unsuccessful recovery attempts
   kNoCoordinator,    // K consecutive subruns without a decision
+  kJoinExhausted,    // joiner ran out of admission/catch-up attempts
 };
 
 [[nodiscard]] constexpr const char* to_string(HaltReason reason) {
@@ -27,6 +28,7 @@ enum class HaltReason {
     case HaltReason::kSuicide: return "suicide";
     case HaltReason::kRecoveryExhausted: return "recovery-exhausted";
     case HaltReason::kNoCoordinator: return "no-coordinator";
+    case HaltReason::kJoinExhausted: return "join-exhausted";
   }
   return "?";
 }
@@ -56,6 +58,11 @@ class Observer {
   /// inbox window and was discarded (quorum shrinkage).
   virtual void on_request_dropped(ProcessId /*p*/, ProcessId /*from*/,
                                   SubrunId /*rq_subrun*/, Tick /*at*/) {}
+  /// Joiner `p` finished catch-up: its snapshot baseline (per-origin
+  /// processed prefixes adopted from the serving member) is final and the
+  /// joiner participates as a full member from here on.
+  virtual void on_joined(ProcessId /*p*/, const std::vector<Seq>& /*baseline*/,
+                         Tick /*at*/) {}
 };
 
 }  // namespace urcgc::core

@@ -224,6 +224,29 @@ std::vector<std::uint8_t> encode_pdu(const ClientRq& rq) {
   return std::move(w).take();
 }
 
+std::vector<std::uint8_t> encode_pdu(const JoinRq& rq) {
+  wire::Writer w(16);
+  w.u8(static_cast<std::uint8_t>(PduType::kJoinRq));
+  w.i32(rq.from);
+  w.i32(rq.attempt);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const SnapshotRq& rq) {
+  wire::Writer w(16);
+  w.u8(static_cast<std::uint8_t>(PduType::kSnapshotRq));
+  w.i32(rq.from);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_pdu(const SnapshotRsp& rsp) {
+  wire::Writer w(32);
+  w.u8(static_cast<std::uint8_t>(PduType::kSnapshotRsp));
+  w.i32(rsp.from);
+  wire::put_seqs32(w, rsp.baseline);
+  return std::move(w).take();
+}
+
 std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp) {
   wire::Writer w(64);
   w.u8(static_cast<std::uint8_t>(PduType::kRecoverRsp));
@@ -338,6 +361,44 @@ Result<Pdu, wire::DecodeError> decode_pdu(
         auto msg = decode_app_message(r);
         if (!msg) return Unexpected(msg.error());
         rsp.messages.push_back(std::move(msg).value());
+      }
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{std::move(rsp)};
+    }
+    case PduType::kJoinRq: {
+      JoinRq rq;
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rq.from = from.value();
+      auto attempt = r.i32();
+      if (!attempt) return Unexpected(attempt.error());
+      rq.attempt = attempt.value();
+      if (rq.from < 0 || rq.attempt < 0) {
+        return Unexpected(wire::DecodeError::kBadValue);
+      }
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{rq};
+    }
+    case PduType::kSnapshotRq: {
+      SnapshotRq rq;
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rq.from = from.value();
+      if (rq.from < 0) return Unexpected(wire::DecodeError::kBadValue);
+      if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
+      return Pdu{rq};
+    }
+    case PduType::kSnapshotRsp: {
+      SnapshotRsp rsp;
+      auto from = r.i32();
+      if (!from) return Unexpected(from.error());
+      rsp.from = from.value();
+      auto baseline = wire::get_seqs32(r);
+      if (!baseline) return Unexpected(baseline.error());
+      rsp.baseline = std::move(baseline).value();
+      if (rsp.from < 0) return Unexpected(wire::DecodeError::kBadValue);
+      for (Seq s : rsp.baseline) {
+        if (s < kNoSeq) return Unexpected(wire::DecodeError::kBadValue);
       }
       if (auto fin = r.finish(); !fin) return Unexpected(fin.error());
       return Pdu{std::move(rsp)};

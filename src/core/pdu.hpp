@@ -35,6 +35,12 @@ enum class PduType : std::uint8_t {
   /// encoding".
   kRequestDelta = 7,
   kDecisionDelta = 8,
+  /// Dynamic membership (DESIGN.md section 12): admission solicitation,
+  /// and the snapshot handshake that bootstraps the joiner's causal state
+  /// before the batched recovery path drains the live tail.
+  kJoinRq = 9,
+  kSnapshotRq = 10,
+  kSnapshotRsp = 11,
 };
 
 /// One agreed stability point: after the subrun that decided it, messages
@@ -143,6 +149,40 @@ struct RecoverRsp {
   friend bool operator==(const RecoverRsp&, const RecoverRsp&) = default;
 };
 
+/// Dynamic membership: a provisioned-but-dormant process solicits
+/// admission. Broadcast every request round (budget-limited) until the
+/// sender observes a decided view that includes it — the acting
+/// coordinator admits parked joins by widening the next decision's member
+/// vectors at the decided subrun boundary.
+struct JoinRq {
+  ProcessId from = kNoProcess;
+  /// Admission attempt ordinal (diagnostics; not protocol-relevant).
+  std::int32_t attempt = 0;
+
+  friend bool operator==(const JoinRq&, const JoinRq&) = default;
+};
+
+/// Joiner -> member: request a history-snapshot baseline once admitted.
+struct SnapshotRq {
+  ProcessId from = kNoProcess;
+
+  friend bool operator==(const SnapshotRq&, const SnapshotRq&) = default;
+};
+
+/// Member -> joiner: the serving member's per-origin clean floor. Every
+/// (origin, seq <= baseline[origin]) is group-stable — processed by all
+/// active members and possibly purged from histories — so the joiner
+/// adopts the floor as its processed prefix and drains the live tail
+/// (baseline, max_processed] over the batched recovery path (RecoverRq
+/// continuations, capped batches, serve cache).
+struct SnapshotRsp {
+  ProcessId from = kNoProcess;
+  /// Per-origin adopted processed prefix; width = server's live view.
+  std::vector<Seq> baseline;
+
+  friend bool operator==(const SnapshotRsp&, const SnapshotRsp&) = default;
+};
+
 /// Client-server structure: a client hands its payload (and the causal
 /// dependencies it declares) to its home server, which generates the
 /// message within its own sequence.
@@ -156,7 +196,7 @@ struct ClientRq {
 
 /// Any decodable urcgc PDU (AppMessage arrives as kAppData frames).
 using Pdu = std::variant<AppMessage, Request, Decision, RecoverRq, RecoverRsp,
-                         ClientRq>;
+                         ClientRq, JoinRq, SnapshotRq, SnapshotRsp>;
 
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const AppMessage& msg);
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const Request& rq);
@@ -164,6 +204,9 @@ using Pdu = std::variant<AppMessage, Request, Decision, RecoverRq, RecoverRsp,
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const RecoverRq& rq);
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const RecoverRsp& rsp);
 [[nodiscard]] std::vector<std::uint8_t> encode_pdu(const ClientRq& rq);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const JoinRq& rq);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const SnapshotRq& rq);
+[[nodiscard]] std::vector<std::uint8_t> encode_pdu(const SnapshotRsp& rsp);
 
 /// Canonical full encoding of a decision body — the payload of a full
 /// DECISION frame, the tail of a full REQUEST, and the byte string

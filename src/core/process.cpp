@@ -20,7 +20,7 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
       observer_(observer),
       metrics_(metrics),
       mt_(config, self, observer),
-      latest_(Decision::initial(config.n)),
+      latest_(Decision::initial(config.founders())),
       cache_(DecisionCache::window_for(config)),
       pipeline_(config.max_subruns_in_flight, config.inbox_cap),
       recovery_(config.n) {
@@ -28,6 +28,12 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
   URCGC_ASSERT(config.k_attempts >= 1);
   URCGC_ASSERT(config.r_recovery >= 1);
   URCGC_ASSERT(config.max_subruns_in_flight >= 1);
+  URCGC_ASSERT_MSG(config.initial_members >= 0 &&
+                       config.initial_members <= config.n,
+                   "initial_members must lie in [0, n]");
+  URCGC_ASSERT(config.join_attempts >= 1);
+  join_attempts_left_ = config.join_attempts;
+  if (self_ >= config_.founders()) join_phase_ = JoinPhase::kJoining;
   URCGC_ASSERT_MSG(config.structure == GroupStructure::kPeer ||
                        (config.server_count >= 1 &&
                         config.server_count <= config.n),
@@ -67,6 +73,13 @@ UrcgcProcess::UrcgcProcess(const Config& config, ProcessId self,
     m_.pipeline_subruns_in_flight =
         metrics_->counter("core.pipeline_subruns_in_flight");
     m_.decode_rejected = metrics_->counter("net.decode_rejected");
+    m_.join_requested = metrics_->counter("core.join_requested");
+    m_.join_decided = metrics_->counter("core.join_decided");
+    m_.join_catchup_batches = metrics_->counter("core.join_catchup_batches");
+    m_.join_catchup_msgs = metrics_->counter("core.join_catchup_msgs");
+    m_.join_catchup_latency_rtd = metrics_->histogram(
+        "core.join_catchup_latency_rtd",
+        {.lo = 0.0, .hi = 40.0, .buckets = 40});
     m_.control_bytes_full = metrics_->counter("core.control_bytes_full");
     m_.control_bytes_delta = metrics_->counter("core.control_bytes_delta");
     m_.delta_fallbacks = metrics_->counter("core.delta_fallbacks");
@@ -131,7 +144,11 @@ bool UrcgcProcess::backpressured() const {
 }
 
 ProcessId UrcgcProcess::coordinator_of(SubrunId s) const {
-  const int n = config_.n;
+  // Rotation spans the live view, not the provisioned capacity: every
+  // member with the same applied decision derives the same coordinator,
+  // and a view-lagged member's divergent pick is absorbed by the same
+  // K-miss machinery that covers cut-lag divergence.
+  const int n = latest_.n();
   for (int offset = 0; offset < n; ++offset) {
     const auto candidate =
         static_cast<ProcessId>((s + offset) % static_cast<SubrunId>(n));
@@ -155,6 +172,13 @@ void UrcgcProcess::on_round(RoundId round) {
 }
 
 void UrcgcProcess::request_round(SubrunId subrun) {
+  if (join_phase_ == JoinPhase::kJoining) {
+    // Not in the view yet: no REQUEST to send, no quorum to join — just
+    // keep soliciting admission against the budget.
+    join_round(subrun);
+    return;
+  }
+
   // Close the books on the oldest in-flight subrun: did its decision reach
   // us? "A process that fails to receive from K consecutive coordinators
   // autonomously leaves the group" — but a subrun without a decision is
@@ -193,6 +217,11 @@ void UrcgcProcess::request_round(SubrunId subrun) {
   issue_recoveries(subrun);
   if (halted_) return;  // recovery exhaustion may have made us leave
 
+  if (join_phase_ == JoinPhase::kCatchUp) {
+    catchup_round(subrun);
+    if (halted_) return;  // the join budget may have run out
+  }
+
   const auto in_flight = static_cast<std::uint64_t>(
       pipeline_.decisions_in_flight(subrun, latest_.decided_at));
   if (in_flight > 0) {
@@ -205,6 +234,10 @@ void UrcgcProcess::request_round(SubrunId subrun) {
 }
 
 void UrcgcProcess::generate_burst(SubrunId subrun) {
+  // A joiner generates nothing until it is a caught-up member: its first
+  // own message must causally follow the adopted baseline, and the group
+  // must never see traffic from an origin it has not admitted.
+  if (join_phase_ != JoinPhase::kMember) return;
   if (pipeline_.stalled(subrun, latest_.decided_at) &&
       !user_queue_.empty()) {
     // The decision lag reached the pipeline depth with traffic queued:
@@ -310,8 +343,13 @@ void UrcgcProcess::send_request(SubrunId subrun) {
   Request rq;
   rq.subrun = subrun;
   rq.from = self_;
+  // Report vectors travel at the live view's width (they widen with it):
+  // origins past the view are unknown to the group's agreement and their
+  // parked traffic resurfaces once a decision admits them.
   rq.last_processed = mt_.last_processed_vec();
+  rq.last_processed.resize(static_cast<std::size_t>(latest_.n()));
   rq.oldest_waiting = mt_.oldest_waiting_vec();
+  rq.oldest_waiting.resize(static_cast<std::size_t>(latest_.n()));
   rq.prev_decision = latest_;
 
   const ProcessId coordinator = coordinator_of(subrun);
@@ -361,6 +399,22 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
   inputs.requests = std::move(inbox);
 
   Decision d = compute_decision(inputs);
+
+  // Admit parked joiners at this decided subrun boundary: the decision's
+  // member vectors widen, so every survivor that applies it agrees on the
+  // first subrun that includes the joiner. A widened decision is never
+  // delta-eligible (its width differs from every cached anchor), so the
+  // joiner — who holds no anchors — can always decode its own admission.
+  std::erase_if(parked_joins_,
+                [&](ProcessId p) { return p < d.n(); });
+  const int admitted = admit_joins(d, parked_joins_, config_.n);
+  if (admitted > 0) {
+    counters_.join_decided += static_cast<std::uint64_t>(admitted);
+    bump(m_.join_decided, static_cast<std::uint64_t>(admitted));
+    std::erase_if(parked_joins_,
+                  [&](ProcessId p) { return p < d.n(); });
+  }
+
   ++counters_.decisions_made;
   bump(m_.decisions_made);
   if (observer_ != nullptr) observer_->on_decision_made(self_, d, rt_.now());
@@ -389,14 +443,14 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
       receivers_hold_anchor = false;
       snapshot_needed_ = false;
     }
-    std::vector<bool> acked(static_cast<std::size_t>(config_.n), false);
+    std::vector<bool> acked(d.alive.size(), false);
     for (const Request& rq : inputs.requests) {
-      if (rq.from >= 0 && rq.from < config_.n &&
+      if (rq.from >= 0 && rq.from < d.n() &&
           rq.prev_decision.decided_at >= inputs.base.decided_at) {
         acked[static_cast<std::size_t>(rq.from)] = true;
       }
     }
-    for (ProcessId q = 0; q < config_.n; ++q) {
+    for (ProcessId q = 0; q < d.n(); ++q) {
       if (q != self_ && d.alive[static_cast<std::size_t>(q)] &&
           !acked[static_cast<std::size_t>(q)]) {
         receivers_hold_anchor = false;
@@ -407,7 +461,7 @@ void UrcgcProcess::act_as_coordinator(SubrunId subrun) {
   bool was_delta = false;
   std::vector<std::uint8_t> frame = encode_decision_pdu(
       d, inputs.base, config_, receivers_hold_anchor, &was_delta);
-  account_control(was_delta, frame.size(), config_.n - 1);
+  account_control(was_delta, frame.size(), d.n() - 1);
   broadcast_pdu(std::move(frame), stats::MsgClass::kDecision);
   apply_decision(d);
 }
@@ -420,18 +474,38 @@ void UrcgcProcess::apply_decision(const Decision& d) {
     cache_.insert(d);
   }
   if (d.decided_at <= latest_.decided_at) return;  // stale or duplicate
+  // Views only ever widen along the decision chain; a fresher-numbered but
+  // narrower decision is a pre-join-era fork (a healed zombie deciding on
+  // its stale view) and adopting it would un-admit a member.
+  if (d.n() < latest_.n()) return;
+  const int old_view = latest_.n();
   latest_ = d;
+  if (d.n() > old_view) {
+    // The view widened: recovery serve-cache entries encoded under the old
+    // view must not revalidate (satellite: a post-join joiner must never
+    // be served a pre-join cached range).
+    mt_.note_view_change();
+  }
   ++counters_.decisions_applied;
   bump(m_.decisions_applied);
 
-  if (!d.alive[self_]) {
-    // The group declared us crashed; an alive process that notices it is
-    // supposed dead commits suicide (paper Section 4).
-    halt(HaltReason::kSuicide);
-    return;
+  if (self_ < d.n()) {
+    if (!d.alive[self_]) {
+      // The group declared us crashed; an alive process that notices it is
+      // supposed dead commits suicide (paper Section 4). An admitted-then-
+      // cut joiner takes the same exit: rejoin is a fresh identity.
+      halt(HaltReason::kSuicide);
+      return;
+    }
+    if (join_phase_ == JoinPhase::kJoining) begin_catchup();
   }
 
-  if (d.full_group) {
+  // A catching-up joiner skips group cleaning until it adopts a snapshot
+  // baseline: the published stability point comes from a window the joiner
+  // never contributed to, so it can sit far beyond the joiner's (empty)
+  // processed prefix. The baseline it adopts supersedes these cleanings.
+  if (d.full_group && (join_phase_ == JoinPhase::kMember ||
+                       baseline_adopted_)) {
     const std::size_t purged = mt_.clean(d.clean_upto);
     if (purged > 0) {
       ++counters_.cleanings;
@@ -453,7 +527,7 @@ void UrcgcProcess::apply_decision(const Decision& d) {
   // Orphan cut: a crashed originator whose oldest waiting message sits more
   // than one past the best processed point means the gap messages died with
   // their holders; everything depending on them must be destroyed.
-  for (ProcessId q = 0; q < config_.n; ++q) {
+  for (ProcessId q = 0; q < d.n(); ++q) {
     if (d.alive[q]) continue;
     if (d.min_waiting[q] == kNoSeq) continue;
     if (d.min_waiting[q] > d.max_processed[q] + 1) {
@@ -463,13 +537,22 @@ void UrcgcProcess::apply_decision(const Decision& d) {
       bump(m_.orphans_discarded, discarded.size());
     }
   }
+
+  // Parked JOIN solicitations the applied view already covers are settled
+  // (admitted — or, for ids below the view that somehow parked, moot).
+  std::erase_if(parked_joins_,
+                [&](ProcessId p) { return p < latest_.n(); });
 }
 
 std::vector<ProcessId> UrcgcProcess::recovery_candidates(
     ProcessId origin, Seq from_seq) const {
+  const int view = latest_.n();
   std::vector<ProcessId> ring;
   const auto push = [&](ProcessId p) {
-    if (p == kNoProcess || p == self_ || !latest_.alive[p]) return;
+    if (p == kNoProcess || p == self_ || p < 0 || p >= view ||
+        !latest_.alive[p]) {
+      return;
+    }
     for (ProcessId q : ring) {
       if (q == p) return;
     }
@@ -480,15 +563,24 @@ std::vector<ProcessId> UrcgcProcess::recovery_candidates(
   // of the live membership follows: any member that processed the span
   // still holds it (stability cleaning cannot pass our own prefix), and a
   // member that has not replies with an empty batch, spending one budget.
-  if (latest_.max_processed[origin] >= from_seq) {
+  // An origin past our view (traffic from a joiner we have not learned of)
+  // has no advertisement to consult; any live member may cover it.
+  if (origin >= 0 && origin < view &&
+      latest_.max_processed[origin] >= from_seq) {
     push(latest_.most_updated[origin]);
   }
   push(origin);
-  for (ProcessId q = 0; q < config_.n; ++q) push(q);
+  for (ProcessId q = 0; q < view; ++q) push(q);
   return ring;
 }
 
 void UrcgcProcess::issue_recoveries(SubrunId subrun) {
+  // Until the snapshot baseline is adopted, a catching-up joiner must not
+  // chase gaps: everything below the group's clean floor is purged from
+  // every history, so the attempts could only burn the R budget. The
+  // baseline closes that span; recovery then drains the live tail.
+  if (join_phase_ == JoinPhase::kCatchUp && !baseline_adopted_) return;
+
   auto ranges = mt_.missing_ranges();
 
   // The waiting list only reveals gaps that block received messages. The
@@ -496,7 +588,7 @@ void UrcgcProcess::issue_recoveries(SubrunId subrun) {
   // processed further into origin q's sequence than our prefix, we are
   // missing messages even though nothing waits on them locally (e.g. the
   // final messages of a sender whose later traffic never reached us).
-  for (ProcessId q = 0; q < config_.n; ++q) {
+  for (ProcessId q = 0; q < latest_.n(); ++q) {
     const Seq advertised = latest_.max_processed[q];
     const Seq prefix = mt_.prefix(q);
     if (advertised == kNoSeq || advertised <= prefix) continue;
@@ -591,6 +683,24 @@ void UrcgcProcess::issue_recoveries(SubrunId subrun) {
 }
 
 void UrcgcProcess::handle_request(Request rq) {
+  if (rq.from < 0 || rq.from >= config_.n) return;  // beyond capacity
+  if (rq.from >= latest_.n()) {
+    // A sender past our view: a joiner admitted by a decision we have not
+    // applied yet. We cannot judge its aliveness, but its embedded
+    // prev_decision is exactly the catch-up we need — park it; the
+    // coordinator path folds the embed into its base and compute_decision
+    // re-judges the sender under the widened view.
+    const ProcessId from = rq.from;
+    const SubrunId rq_subrun = rq.subrun;
+    if (pipeline_.admit(std::move(rq)) != SubrunPipeline::Admit::kAccepted) {
+      ++counters_.requests_dropped;
+      bump(m_.requests_dropped);
+      if (observer_ != nullptr) {
+        observer_->on_request_dropped(self_, from, rq_subrun, rt_.now());
+      }
+    }
+    return;
+  }
   if (!latest_.alive[rq.from]) {
     // A member the group cut is no longer part of any quorum. Merging a
     // zombie's request (a partitioned member keeps transmitting until the
@@ -693,6 +803,12 @@ void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
     bump(m_.recovery_batches);
     counters_.recovery_msgs += recovered;
     bump(m_.recovery_msgs, recovered);
+    if (join_phase_ == JoinPhase::kCatchUp) {
+      ++counters_.join_catchup_batches;
+      bump(m_.join_catchup_batches);
+      counters_.join_catchup_msgs += recovered;
+      bump(m_.join_catchup_msgs, recovered);
+    }
   }
 
   // A truncated batch means "more available", not "gap satisfied": pull
@@ -712,9 +828,132 @@ void UrcgcProcess::handle_recover_rsp(const RecoverRsp& rsp) {
     }
     send_pdu(rsp.from, encode_pdu(next), stats::MsgClass::kRecoverRq);
   }
+
+  // A drained batch may have been the last missing span of a catch-up.
+  maybe_finish_catchup();
+}
+
+void UrcgcProcess::handle_join_rq(const JoinRq& rq) {
+  if (rq.from < 0 || rq.from >= config_.n) return;  // beyond capacity
+  if (rq.from == self_) return;
+  if (rq.from < latest_.n()) {
+    // The id is already inside our view: either the joiner missed its own
+    // admission decision (an omission — make sure the next decision we
+    // coordinate is a full snapshot it can decode), or the id was cut and
+    // this is a rejoin attempt, which requires a fresh identity.
+    if (latest_.alive[rq.from]) snapshot_needed_ = true;
+    return;
+  }
+  for (ProcessId p : parked_joins_) {
+    if (p == rq.from) return;  // already parked
+  }
+  parked_joins_.push_back(rq.from);
+}
+
+void UrcgcProcess::handle_snapshot_rq(const SnapshotRq& rq) {
+  // Only settled members serve baselines: a catching-up joiner's floor is
+  // still moving, and a kJoining process has nothing to offer.
+  if (join_phase_ != JoinPhase::kMember) return;
+  if (rq.from < 0 || rq.from >= latest_.n() || !latest_.alive[rq.from]) {
+    // Not (yet) a member under our view: the joiner retries after we both
+    // learn the widened decision.
+    return;
+  }
+  SnapshotRsp rsp;
+  rsp.from = self_;
+  rsp.baseline = mt_.clean_floor();
+  rsp.baseline.resize(static_cast<std::size_t>(latest_.n()));
+  send_pdu(rq.from, encode_pdu(rsp), stats::MsgClass::kJoin);
+}
+
+void UrcgcProcess::handle_snapshot_rsp(const SnapshotRsp& rsp) {
+  if (join_phase_ != JoinPhase::kCatchUp) return;
+  if (baseline_adopted_) return;  // a duplicate from a slower server
+  if (static_cast<int>(rsp.baseline.size()) > config_.n) return;
+  mt_.adopt_baseline(rsp.baseline, rt_.now());
+  baseline_adopted_ = true;
+  join_baseline_ = rsp.baseline;
+  ++counters_.join_catchup_batches;
+  bump(m_.join_catchup_batches);
+  maybe_finish_catchup();
+}
+
+void UrcgcProcess::join_round(SubrunId /*subrun*/) {
+  if (join_attempts_left_ <= 0) {
+    // Admission never arrived. The group either never decided the join
+    // (we were invisible — nothing to unwind) or decided it and will cut
+    // the silent joiner through the normal K-attempts accounting; either
+    // way the survivors stay consistent and we leave cleanly.
+    halt(HaltReason::kJoinExhausted);
+    return;
+  }
+  --join_attempts_left_;
+  JoinRq rq;
+  rq.from = self_;
+  rq.attempt = static_cast<std::int32_t>(counters_.join_requested);
+  ++counters_.join_requested;
+  bump(m_.join_requested);
+  broadcast_pdu(encode_pdu(rq), stats::MsgClass::kJoin);
+}
+
+void UrcgcProcess::begin_catchup() {
+  join_phase_ = JoinPhase::kCatchUp;
+  catchup_started_at_ = rt_.now();
+  // The admission wait and the catch-up each get the full budget.
+  join_attempts_left_ = config_.join_attempts;
+  missed_decisions_ = 0;
+}
+
+void UrcgcProcess::catchup_round(SubrunId /*subrun*/) {
+  if (maybe_finish_catchup()) return;
+  if (baseline_adopted_) return;  // the recovery machinery drains the tail
+  if (join_attempts_left_ <= 0) {
+    halt(HaltReason::kJoinExhausted);
+    return;
+  }
+  --join_attempts_left_;
+  // Rotate the solicitation over the live members: a server whose
+  // response was dropped (or who has not applied our admission yet) must
+  // not absorb the whole budget.
+  std::vector<ProcessId> ring;
+  for (ProcessId q = 0; q < latest_.n(); ++q) {
+    if (q != self_ && latest_.alive[q]) ring.push_back(q);
+  }
+  if (ring.empty()) return;
+  const ProcessId target =
+      ring[static_cast<std::size_t>(snapshot_rotation_++) % ring.size()];
+  SnapshotRq rq;
+  rq.from = self_;
+  send_pdu(target, encode_pdu(rq), stats::MsgClass::kJoin);
+}
+
+bool UrcgcProcess::maybe_finish_catchup() {
+  if (join_phase_ != JoinPhase::kCatchUp || !baseline_adopted_ || halted_) {
+    return false;
+  }
+  // Caught up = nothing blocked locally and nothing the freshest decision
+  // advertises beyond our prefix.
+  for (ProcessId q = 0; q < latest_.n(); ++q) {
+    if (latest_.max_processed[q] > mt_.prefix(q)) return false;
+  }
+  if (!mt_.missing_ranges().empty()) return false;
+  join_phase_ = JoinPhase::kMember;
+  if (metrics_ != nullptr && catchup_started_at_ != kNoTick) {
+    metrics_->observe(self_, m_.join_catchup_latency_rtd,
+                      static_cast<double>(rt_.now() - catchup_started_at_) /
+                          static_cast<double>(rt_.clock().ticks_per_rtd()));
+  }
+  if (observer_ != nullptr) {
+    observer_->on_joined(self_, join_baseline_, rt_.now());
+  }
+  return true;
 }
 
 bool UrcgcProcess::from_zombie(const Mid& mid) const {
+  // An origin past our view is a joiner admitted by a decision fresher
+  // than ours — it only transmits after admission — never a zombie (cuts
+  // mark alive=false; they never narrow the view).
+  if (mid.origin < 0 || mid.origin >= latest_.n()) return false;
   return !latest_.alive[mid.origin] &&
          mid.seq > latest_.max_processed[mid.origin];
 }
@@ -805,12 +1044,22 @@ void UrcgcProcess::on_datagram(ProcessId src,
           // can coordinate a higher-numbered subrun that resurrects dead
           // members and re-advertises their post-cut progress; applying
           // it would steer recovery toward zombies and fork the history.
-          if (!latest_.alive[src]) return;
+          // A coordinator past our view is a joiner admitted by decisions
+          // we have not applied — its decision is exactly how we learn of
+          // the widened view, so it passes (apply_decision still rejects
+          // stale and narrower frames).
+          if (src >= 0 && src < latest_.n() && !latest_.alive[src]) return;
           apply_decision(payload);
         } else if constexpr (std::is_same_v<T, RecoverRq>) {
           handle_recover_rq(payload);
         } else if constexpr (std::is_same_v<T, RecoverRsp>) {
           handle_recover_rsp(payload);
+        } else if constexpr (std::is_same_v<T, JoinRq>) {
+          handle_join_rq(payload);
+        } else if constexpr (std::is_same_v<T, SnapshotRq>) {
+          handle_snapshot_rq(payload);
+        } else if constexpr (std::is_same_v<T, SnapshotRsp>) {
+          handle_snapshot_rsp(payload);
         } else if constexpr (std::is_same_v<T, ClientRq>) {
           // Servers absorb client submissions into their own queue.
           if (config_.structure == GroupStructure::kClientServer &&
@@ -865,8 +1114,9 @@ void UrcgcProcess::send_pdu(ProcessId dst, wire::SharedBuffer bytes,
 void UrcgcProcess::broadcast_pdu(wire::SharedBuffer bytes,
                                  stats::MsgClass cls) {
   if (observer_ != nullptr) {
-    // n-unicast semantics: one message per other group member.
-    for (ProcessId q = 0; q < config_.n; ++q) {
+    // n-unicast semantics: one message per other live-view member (a
+    // kJoining sender's view is the founders' until it is admitted).
+    for (ProcessId q = 0; q < latest_.n(); ++q) {
       if (q == self_) continue;
       observer_->on_sent(self_, cls, bytes.size(), rt_.now());
     }

@@ -97,6 +97,20 @@ class UrcgcProcess {
   [[nodiscard]] const Decision& latest_decision() const { return latest_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Dynamic-membership phase (DESIGN.md section 12). Founders are members
+  /// from the start; a provisioned joiner solicits admission (kJoining),
+  /// then bootstraps its causal state (kCatchUp), then participates in
+  /// full (kMember).
+  enum class JoinPhase : std::uint8_t { kMember, kJoining, kCatchUp };
+  [[nodiscard]] JoinPhase join_phase() const { return join_phase_; }
+  /// True once this process is a fully caught-up group member — the gate
+  /// workloads use before generating traffic on a joiner.
+  [[nodiscard]] bool member() const {
+    return join_phase_ == JoinPhase::kMember;
+  }
+  /// Width of the live view this process believes in (<= capacity n).
+  [[nodiscard]] int view() const { return latest_.n(); }
+
   /// Mid of the last message of `origin` this process has processed in
   /// contiguous order (invalid Mid if none) — what workloads use to declare
   /// cross-process dependencies.
@@ -185,6 +199,14 @@ class UrcgcProcess {
     std::uint64_t control_bytes_delta = 0;
     std::uint64_t delta_fallbacks = 0;
     std::uint64_t delta_anchor_miss = 0;
+    /// Dynamic-membership family: JOIN solicitations broadcast (joiner
+    /// side), joiners admitted into a decision this process coordinated,
+    /// and snapshot/recovery batches + messages absorbed while catching
+    /// up (joiner side).
+    std::uint64_t join_requested = 0;
+    std::uint64_t join_decided = 0;
+    std::uint64_t join_catchup_batches = 0;
+    std::uint64_t join_catchup_msgs = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -219,6 +241,21 @@ class UrcgcProcess {
   void handle_request(Request rq);
   void handle_recover_rq(const RecoverRq& rq);
   void handle_recover_rsp(const RecoverRsp& rsp);
+  void handle_join_rq(const JoinRq& rq);
+  void handle_snapshot_rq(const SnapshotRq& rq);
+  void handle_snapshot_rsp(const SnapshotRsp& rsp);
+
+  /// kJoining request round: broadcast a JOIN solicitation against the
+  /// admission budget.
+  void join_round(SubrunId subrun);
+  /// kCatchUp request round: solicit the snapshot baseline (rotating over
+  /// live members, against the budget) until adopted; check completion.
+  void catchup_round(SubrunId subrun);
+  /// Transition kJoining -> kCatchUp on seeing ourselves in the view.
+  void begin_catchup();
+  /// kCatchUp -> kMember when the baseline is adopted and no gap remains
+  /// (locally blocked or decision-advertised). Returns true on transition.
+  bool maybe_finish_catchup();
 
   /// True when `mid` is new traffic from a member the latest decision
   /// declares dead — a zombie message that must not enter the history.
@@ -282,6 +319,11 @@ class UrcgcProcess {
     obs::Metric control_bytes_delta;
     obs::Metric delta_fallbacks;
     obs::Metric delta_anchor_miss;
+    obs::Metric join_requested;
+    obs::Metric join_decided;
+    obs::Metric join_catchup_batches;
+    obs::Metric join_catchup_msgs;
+    obs::Metric join_catchup_latency_rtd;  // histogram: admitted -> member
   } m_;
   MtEntity mt_;
 
@@ -342,6 +384,18 @@ class UrcgcProcess {
     wire::SharedBuffer frame;
   };
   ServeCache serve_cache_;
+
+  // Dynamic-membership state. parked_joins_ is everyone's (not just the
+  // coordinator's): the rotation means any member may coordinate the
+  // decision boundary that admits a parked joiner. Ids already inside the
+  // applied view are pruned on every decision.
+  JoinPhase join_phase_ = JoinPhase::kMember;
+  int join_attempts_left_ = 0;
+  bool baseline_adopted_ = false;
+  std::vector<Seq> join_baseline_;
+  Tick catchup_started_at_ = kNoTick;
+  int snapshot_rotation_ = 0;
+  std::vector<ProcessId> parked_joins_;
 
   bool halted_ = false;
   HaltReason halt_reason_ = HaltReason::kNone;

@@ -112,12 +112,20 @@ class Recorder final : public core::Observer {
     }
   }
 
+  void on_joined(ProcessId p, const std::vector<Seq>& baseline,
+                 Tick at) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    joins_.push_back({p, at, baseline});
+    if (extra_ != nullptr) extra_->on_joined(p, baseline, at);
+  }
+
   std::mutex mu_;
   stats::DelayTracker delays_;
   stats::TrafficAccountant traffic_;
   causal::CausalGraph graph_;
   std::vector<DecisionEvent> decisions_;
   std::vector<HaltEvent> halts_;
+  std::vector<JoinEvent> joins_;
   std::uint64_t generated_ = 0;
   std::uint64_t discarded_ = 0;
   Tick ticks_per_rtd_;
@@ -138,13 +146,22 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
 
 ExperimentReport Experiment::run() {
   const wire::BufferStats buffers_before = wire::buffer_stats();
+  // `n` founders boot as members; joiners occupy ids [n, n_total) and are
+  // admitted through the decision stream at their scheduled rtd.
   const int n = config_.protocol.n;
+  const int n_joiners = static_cast<int>(config_.join_rtds.size());
+  const int n_total = n + n_joiners;
+  core::Config protocol = config_.protocol;
+  if (n_joiners > 0) {
+    protocol.n = n_total;
+    protocol.initial_members = n;
+  }
   const rt::RoundClock clock(config_.round_ticks);
   const Tick per_rtd = clock.ticks_per_rtd();
 
   // --- Fault plan -----------------------------------------------------
   Rng master(config_.seed);
-  fault::FaultPlan plan(n);
+  fault::FaultPlan plan(n_total);
   plan.uniform_omissions(config_.faults.omission_prob);
   plan.packet_loss(config_.faults.packet_loss);
   for (const auto& [p, at] : config_.faults.crashes) plan.crash(p, at);
@@ -179,13 +196,13 @@ ExperimentReport Experiment::run() {
   // The runtime is declared first so it outlives (is destroyed after)
   // everything whose callbacks it may still hold.
   if (config_.metrics != nullptr) {
-    URCGC_ASSERT_MSG(config_.metrics->processes() >= n,
+    URCGC_ASSERT_MSG(config_.metrics->processes() >= n_total,
                      "metrics registry built for fewer processes than n");
   }
   std::unique_ptr<rt::Runtime> runtime;
   if (config_.backend == Backend::kThreads) {
     rt::ThreadedConfig tc;
-    tc.n = n;
+    tc.n = n_total;
     tc.clock = clock;
     tc.tick_duration = std::chrono::nanoseconds(config_.thread_tick_ns);
     tc.lockfree_mailboxes = config_.lockfree_mailboxes;
@@ -193,7 +210,7 @@ ExperimentReport Experiment::run() {
     runtime = std::make_unique<rt::ThreadedRuntime>(tc);
   } else if (config_.backend == Backend::kSocket) {
     rt::SocketConfig sc;
-    sc.n = n;
+    sc.n = n_total;
     sc.clock = clock;
     sc.tick_duration = std::chrono::nanoseconds(config_.thread_tick_ns);
     sc.lockfree_mailboxes = config_.lockfree_mailboxes;
@@ -217,9 +234,9 @@ ExperimentReport Experiment::run() {
   std::vector<std::unique_ptr<net::Endpoint>> endpoints;
   std::vector<net::TransportEndpoint*> transports;
   std::vector<std::unique_ptr<core::UrcgcProcess>> processes;
-  endpoints.reserve(n);
-  processes.reserve(n);
-  for (ProcessId p = 0; p < n; ++p) {
+  endpoints.reserve(n_total);
+  processes.reserve(n_total);
+  for (ProcessId p = 0; p < n_total; ++p) {
     if (config_.use_transport) {
       auto transport = std::make_unique<net::TransportEndpoint>(
           network, p, config_.transport);
@@ -229,7 +246,7 @@ ExperimentReport Experiment::run() {
       endpoints.push_back(std::make_unique<net::DatagramEndpoint>(network, p));
     }
     processes.push_back(std::make_unique<core::UrcgcProcess>(
-        config_.protocol, p, rt, *endpoints.back(), injector, &recorder,
+        protocol, p, rt, *endpoints.back(), injector, &recorder,
         config_.metrics));
   }
 
@@ -239,7 +256,10 @@ ExperimentReport Experiment::run() {
     return processes[p]->data_rq(std::move(payload), std::move(deps));
   };
   hooks.active = [&](ProcessId p) {
-    return !processes[p]->halted() && !injector.is_crashed(p, rt.now());
+    // Joiners take workload only once catch-up completes — a catching-up
+    // process must not extend its own sequence mid-transfer.
+    return processes[p]->member() && !processes[p]->halted() &&
+           !injector.is_crashed(p, rt.now());
   };
   hooks.pending = [&](ProcessId p) {
     return static_cast<std::int64_t>(processes[p]->pending_user_messages());
@@ -247,14 +267,25 @@ ExperimentReport Experiment::run() {
   hooks.last_processed = [&](ProcessId p, ProcessId origin) {
     return processes[p]->last_processed_mid_of(origin);
   };
-  workload::LoadGenerator load(n, config_.workload, std::move(hooks),
+  workload::LoadGenerator load(n_total, config_.workload, std::move(hooks),
                                master.fork(0x10AD));
 
   // Registration order fixes intra-round execution order: workload first
   // (so submissions are visible to this round's generation), processes
   // next, samplers last (so series reflect post-round state).
   rt.on_round([&](RoundId round) { load.on_round(round); });
-  for (auto& process : processes) process->start();
+  for (ProcessId p = 0; p < n; ++p) processes[p]->start();
+  // Joiners boot at their scheduled tick, on their own execution context:
+  // start() attaches the endpoint upcall and round heartbeat from inside
+  // the posted closure, which every backend permits from the owner's
+  // context (see rt::Runtime::on_round).
+  for (int j = 0; j < n_joiners; ++j) {
+    const auto p = static_cast<ProcessId>(n + j);
+    const auto at = static_cast<Tick>(config_.join_rtds[static_cast<std::size_t>(j)] *
+                                      static_cast<double>(per_rtd));
+    core::UrcgcProcess* joiner = processes[static_cast<std::size_t>(p)].get();
+    rt.post(p, at, [joiner] { joiner->start(); });
+  }
 
   ExperimentReport report;
   rt.on_round([&](RoundId round) {
@@ -318,13 +349,18 @@ ExperimentReport Experiment::run() {
     if (!load.exhausted()) return false;
     for (const auto& process : processes) {
       if (process->halted()) continue;
+      // A joiner still dormant, soliciting admission, or mid-catch-up is
+      // outstanding work: the run isn't settled until every surviving
+      // joiner is a full member.
+      if (!process->member()) return false;
       if (process->pending_user_messages() > 0) return false;
       if (process->mt().waiting_size() > 0) return false;
       if (!process->mt().missing_ranges().empty()) return false;
       // Gaps advertised by the circulating decision count as outstanding
-      // work too (the process will issue recovery for them).
+      // work too (the process will issue recovery for them). The decision
+      // vectors are view-width, which may lag capacity.
       const auto& d = process->latest_decision();
-      for (ProcessId q = 0; q < n; ++q) {
+      for (ProcessId q = 0; q < d.n(); ++q) {
         if (d.max_processed[q] != kNoSeq &&
             d.max_processed[q] > process->mt().prefix(q)) {
           return false;
@@ -377,8 +413,9 @@ ExperimentReport Experiment::run() {
   }
   report.decisions = std::move(recorder.decisions_);
   report.halts = std::move(recorder.halts_);
+  report.joins = std::move(recorder.joins_);
 
-  report.processes.reserve(n);
+  report.processes.reserve(n_total);
   for (const auto& process : processes) {
     ProcessEndState state;
     state.halted = process->halted();
@@ -405,6 +442,11 @@ ExperimentReport Experiment::run() {
     state.pipeline_eager_deliveries = c.pipeline_eager_deliveries;
     state.pipeline_stall_rounds = c.pipeline_stall_rounds;
     state.pipeline_subruns_in_flight = c.pipeline_subruns_in_flight;
+    state.join_phase = process->join_phase();
+    state.join_requested = c.join_requested;
+    state.join_decided = c.join_decided;
+    state.join_catchup_batches = c.join_catchup_batches;
+    state.join_catchup_msgs = c.join_catchup_msgs;
     report.processes.push_back(state);
   }
 
@@ -413,14 +455,22 @@ ExperimentReport Experiment::run() {
   // end-state clauses for every consumer.
   std::vector<std::span<const Mid>> logs;
   std::vector<bool> halted;
-  logs.reserve(n);
-  halted.reserve(n);
+  logs.reserve(n_total);
+  halted.reserve(n_total);
   for (const auto& process : processes) {
     logs.emplace_back(process->mt().processing_log());
-    halted.push_back(process->halted());
+    // A joiner that never completed admission (dormant, join budget
+    // exhausted, run hit the limit) never entered the group — it is
+    // exempt from atomicity exactly like a departed process.
+    halted.push_back(process->halted() || !process->member());
+  }
+  std::vector<std::vector<Seq>> baselines(
+      static_cast<std::size_t>(n_total));
+  for (const JoinEvent& event : report.joins) {
+    baselines[static_cast<std::size_t>(event.p)] = event.baseline;
   }
   check::EndStateResult end_state =
-      check::validate_end_state(recorder.graph_, logs, halted);
+      check::validate_end_state(recorder.graph_, logs, halted, baselines);
   report.acyclic_ok = end_state.acyclic_ok;
   report.ordering_ok = end_state.ordering_ok;
   report.atomicity_ok = end_state.atomicity_ok;

@@ -15,6 +15,7 @@
 
 #include "core/config.hpp"
 #include "core/observer.hpp"
+#include "core/process.hpp"
 #include "fault/injector.hpp"
 #include "net/network.hpp"
 #include "net/transport.hpp"
@@ -73,6 +74,14 @@ struct ExperimentConfig {
   core::Config protocol;
   workload::WorkloadConfig workload;
   FaultSpec faults;
+
+  /// Dynamic membership: one entry per late joiner, giving the rtd at
+  /// which it boots and starts soliciting admission. `protocol.n` is the
+  /// founder count; the harness provisions capacity for
+  /// `protocol.n + join_rtds.size()` processes and assigns joiner ids
+  /// founders, founders+1, ... in list order. Joiners take workload only
+  /// after they finish snapshot catch-up and become members.
+  std::vector<double> join_rtds;
   /// One hop takes most of a round, so a request+decision exchange fills
   /// the subrun — the paper's "subrun as long as the round trip delay".
   net::NetConfig net{.min_latency = 5, .max_latency = 9};
@@ -131,6 +140,15 @@ struct HaltEvent {
   Tick at = 0;
 };
 
+/// A joiner finished snapshot catch-up and became a full member.
+struct JoinEvent {
+  ProcessId p = kNoProcess;
+  Tick at = 0;
+  /// Group-stable per-origin prefix the joiner adopted instead of
+  /// replaying history (see MtEntity::adopt_baseline).
+  std::vector<Seq> baseline;
+};
+
 struct ProcessEndState {
   bool halted = false;
   core::HaltReason reason = core::HaltReason::kNone;
@@ -160,6 +178,13 @@ struct ProcessEndState {
   std::uint64_t pipeline_eager_deliveries = 0;
   std::uint64_t pipeline_stall_rounds = 0;
   std::uint64_t pipeline_subruns_in_flight = 0;
+  /// Membership: end-of-run join phase and join accounting.
+  core::UrcgcProcess::JoinPhase join_phase =
+      core::UrcgcProcess::JoinPhase::kMember;
+  std::uint64_t join_requested = 0;
+  std::uint64_t join_decided = 0;
+  std::uint64_t join_catchup_batches = 0;
+  std::uint64_t join_catchup_msgs = 0;
 };
 
 struct ExperimentReport {
@@ -195,6 +220,7 @@ struct ExperimentReport {
 
   std::vector<DecisionEvent> decisions;
   std::vector<HaltEvent> halts;
+  std::vector<JoinEvent> joins;
   std::vector<ProcessEndState> processes;
 
   // URCGC clause validation over the whole run.

@@ -54,9 +54,10 @@ class Runtime {
 
   /// Registers a handler called at the start of every round on `owner`'s
   /// execution context. Handlers of the same owner run in registration
-  /// order. Register before the runtime runs; registration mid-run is a
-  /// backend-specific extension (the simulator allows it, the threaded
-  /// backend does not).
+  /// order. Register before the runtime runs, or mid-run from `owner`'s
+  /// own execution context (e.g. a posted closure attaching a late joiner
+  /// to the heartbeat). Mid-run registration from any *other* thread is
+  /// undefined on backends with real concurrency.
   virtual void on_round(ProcessId owner, RoundHandler handler) = 0;
 
   /// Convenience: register on the host/driver context.

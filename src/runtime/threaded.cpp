@@ -147,8 +147,17 @@ void ThreadedRuntime::note_collected(Mailbox& mailbox, const Task& task) {
 
 void ThreadedRuntime::on_round(ProcessId owner, RoundHandler handler) {
   URCGC_ASSERT(owner == kNoProcess || (owner >= 0 && owner < config_.n));
-  URCGC_ASSERT_MSG(next_round_ == 0,
-                   "threaded backend: register round handlers before running");
+  // Before the first round runs, any thread may register (assembly phase).
+  // Mid-run, registration is allowed only from the owner's own execution
+  // context — a posted closure attaching a joiner to its round heartbeat,
+  // or the driver thread inside run_rounds — so the handler vector is only
+  // ever mutated by the thread that also iterates it.
+  URCGC_ASSERT_MSG(
+      next_round_ == 0 ||
+          (owner == kNoProcess ? current_worker() == -1
+                               : current_worker() == owner),
+      "threaded backend: mid-run round-handler registration must come from "
+      "the owner's execution context");
   const int idx = owner == kNoProcess ? config_.n : owner;
   mailboxes_[idx]->handlers.push_back(std::move(handler));
 }
@@ -221,7 +230,10 @@ void ThreadedRuntime::worker_loop(int idx) {
     // coordinator must see the requests of the previous round before it
     // computes the decision, exactly as in the simulator.
     drain(idx, start);
-    for (const RoundHandler& handler : mailboxes_[idx]->handlers) handler(r);
+    // By index: a drained task (or a handler) may register a new handler
+    // for this context mid-iteration, growing the vector.
+    auto& handlers = mailboxes_[idx]->handlers;
+    for (std::size_t h = 0; h < handlers.size(); ++h) handlers[h](r);
     // Catch zero-delay posts made by our own handlers.
     drain(idx, start);
     // Publish buffered output (e.g. a socket tx batch) before parking, so
@@ -271,8 +283,9 @@ Tick ThreadedRuntime::run_rounds(Tick limit,
       return now();
     }
     drain(config_.n, start);
-    for (const RoundHandler& handler : mailboxes_[config_.n]->handlers) {
-      handler(r);
+    auto& host_handlers = mailboxes_[config_.n]->handlers;
+    for (std::size_t h = 0; h < host_handlers.size(); ++h) {
+      host_handlers[h](r);
     }
     // Driver-context sends must be visible before the workers start the
     // round: flush before the barrier opens.

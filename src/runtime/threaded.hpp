@@ -188,7 +188,9 @@ class ThreadedRuntime : public Runtime {
 
   /// One mailbox per execution context; index n is the driver context.
   /// The mutex guards `spill` only — `handlers` is written before the
-  /// first round and read-only afterwards; `rings[i]` is SPSC between
+  /// first round or, mid-run, only from this context's own thread (see
+  /// on_round), so the iterating thread is the mutating thread;
+  /// `rings[i]` is SPSC between
   /// worker i (producer) and this context's thread (consumer); `pending`,
   /// `seen_upto` and `ooo` are touched only by the consumer;
   /// `producer_seq[i]` is written only by worker i.

@@ -19,6 +19,7 @@ std::string_view to_string(MsgClass cls) {
     case MsgClass::kPsyncRetransRq: return "psync-retrans-rq";
     case MsgClass::kPsyncMaskOut: return "psync-mask-out";
     case MsgClass::kTransportAck: return "transport-ack";
+    case MsgClass::kJoin: return "join";
     case MsgClass::kCount: break;
   }
   return "?";

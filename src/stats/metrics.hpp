@@ -31,6 +31,7 @@ enum class MsgClass : int {
   kPsyncRetransRq,
   kPsyncMaskOut,
   kTransportAck,
+  kJoin,             // urcgc membership: JOIN solicitations + snapshot handshake
   kCount,
 };
 

@@ -17,6 +17,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kRecovery: return "recovery";
     case EventKind::kFlowBlocked: return "flow-blocked";
     case EventKind::kRequestDropped: return "request-dropped";
+    case EventKind::kJoined: return "joined";
     case EventKind::kCount: break;
   }
   return "?";
@@ -155,6 +156,16 @@ void TraceRecorder::on_request_dropped(ProcessId p, ProcessId from,
   record(event);
 }
 
+void TraceRecorder::on_joined(ProcessId p, const std::vector<Seq>& baseline,
+                              Tick at) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = EventKind::kJoined;
+  event.process = p;
+  event.clean_upto = baseline;
+  record(std::move(event));
+}
+
 std::vector<TraceEvent> TraceRecorder::filter(EventKind kind) const {
   std::vector<TraceEvent> out;
   for (const TraceEvent& event : events_) {
@@ -229,6 +240,16 @@ void TraceRecorder::write_jsonl(std::ostream& os) const {
       case EventKind::kRequestDropped:
         os << ",\"from\":" << event.peer << ",\"subrun\":" << event.subrun;
         break;
+      case EventKind::kJoined:
+        if (!event.clean_upto.empty()) {
+          os << ",\"baseline\":[";
+          for (std::size_t i = 0; i < event.clean_upto.size(); ++i) {
+            if (i > 0) os << ",";
+            os << event.clean_upto[i];
+          }
+          os << "]";
+        }
+        break;
       case EventKind::kFlowBlocked:
       case EventKind::kCount:
         break;
@@ -269,6 +290,14 @@ void TraceRecorder::write_text(std::ostream& os, Tick ticks_per_rtd) const {
         break;
       case EventKind::kRequestDropped:
         os << " from p" << event.peer << " for subrun " << event.subrun;
+        break;
+      case EventKind::kJoined:
+        os << " baseline=[";
+        for (std::size_t i = 0; i < event.clean_upto.size(); ++i) {
+          if (i > 0) os << ",";
+          os << event.clean_upto[i];
+        }
+        os << "]";
         break;
       case EventKind::kFlowBlocked:
       case EventKind::kCount:

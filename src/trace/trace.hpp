@@ -28,6 +28,7 @@ enum class EventKind : std::uint8_t {
   kRecovery,
   kFlowBlocked,
   kRequestDropped,
+  kJoined,
   kCount,  // sentinel, not a real kind
 };
 
@@ -52,8 +53,9 @@ struct TraceEvent {
   // Checker payloads (src/check): the declared causal dependencies of a
   // generated message, and the decision's cleaning point + membership
   // mask. Empty for every other kind, so the common event stays light.
+  // kJoined reuses clean_upto for the adopted snapshot baseline.
   std::vector<Mid> deps;                  // generated
-  std::vector<Seq> clean_upto;            // decision (full_group only)
+  std::vector<Seq> clean_upto;            // decision (full_group) / joined
   std::vector<Seq> max_processed;         // decision
   std::vector<bool> alive_mask;           // decision
 
@@ -85,6 +87,8 @@ class TraceRecorder final : public core::Observer {
   void on_flow_blocked(ProcessId p, Tick at) override;
   void on_request_dropped(ProcessId p, ProcessId from, SubrunId rq_subrun,
                           Tick at) override;
+  void on_joined(ProcessId p, const std::vector<Seq>& baseline,
+                 Tick at) override;
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
@@ -154,6 +158,10 @@ class MultiObserver final : public core::Observer {
   void on_request_dropped(ProcessId p, ProcessId from, SubrunId rq_subrun,
                           Tick at) override {
     for (auto* o : observers_) o->on_request_dropped(p, from, rq_subrun, at);
+  }
+  void on_joined(ProcessId p, const std::vector<Seq>& baseline,
+                 Tick at) override {
+    for (auto* o : observers_) o->on_joined(p, baseline, at);
   }
 
  private:

@@ -444,6 +444,184 @@ TEST(Oracle, ContiguousDecisionsPassContinuity) {
   EXPECT_TRUE(check_trace(events, options).ok());
 }
 
+// ---- Dynamic membership: joiner relaxations + churn family ---------------
+
+TraceEvent joined(Tick at, ProcessId p, std::vector<Seq> baseline) {
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kJoined;
+  e.process = p;
+  e.clean_upto = std::move(baseline);  // kJoined reuses clean_upto
+  return e;
+}
+
+OracleOptions churn_options(int capacity, int founders) {
+  OracleOptions o;
+  o.n = capacity;
+  o.initial_members = founders;
+  return o;
+}
+
+TEST(Oracle, JoinerBaselineCoversMissingDependency) {
+  // p2 joins after m1 was cleaned group-wide; its catch-up replay processes
+  // m2 (which depends on m1) without ever processing m1 itself. The
+  // snapshot baseline covers m1, so C2's deferred joiner half must accept —
+  // but only when the oracle knows p2 is a joiner.
+  const Mid m1{0, 1};
+  const Mid m2{0, 2};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),        processed(0, 0, m1),
+      processed(1, 1, m1),        generated(10, 0, m2, {m1}),
+      processed(10, 0, m2),       processed(11, 1, m2),
+      processed(19, 2, m2),       // catch-up replay precedes kJoined
+      joined(20, 2, {1, 0, 0}),   // baseline covers origin 0 up to seq 1
+  };
+  EXPECT_TRUE(check_trace(events, churn_options(3, 2)).ok());
+  // Same trace through a founders-only oracle: p2 is just a process that
+  // skipped a dependency, and C2 must fire.
+  const OracleReport strict = check_trace(events, options_for(3));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.first()->clause, Clause::kOrdering);
+}
+
+TEST(Oracle, JoinerUncoveredDependencyStillFires) {
+  // The baseline exemption is exact: a dependency beyond the adopted
+  // baseline is a real ordering violation even for a joiner.
+  const Mid m1{0, 1};
+  const Mid m2{0, 2};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),      processed(0, 0, m1),
+      processed(1, 1, m1),      generated(10, 0, m2, {m1}),
+      processed(10, 0, m2),     processed(11, 1, m2),
+      processed(19, 2, m2),
+      joined(20, 2, {0, 0, 0}),  // empty baseline: m1 is NOT covered
+      processed(21, 2, m1),      // late arrival keeps final sets agreeing
+  };
+  const OracleReport report = check_trace(events, churn_options(3, 2));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.first()->clause, Clause::kOrdering);
+  EXPECT_NE(report.first()->message.find("snapshot baseline"),
+            std::string::npos);
+}
+
+TEST(Oracle, JoinerDivergenceBeyondBaselineFiresAtomicity) {
+  // An admitted joiner owes every reference message its baseline does not
+  // cover; missing one is the C1 disagreement the catch-up path must never
+  // produce.
+  const Mid m1{0, 1};
+  const Mid m2{1, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),       processed(0, 0, m1),
+      processed(1, 1, m1),       generated(5, 1, m2),
+      processed(5, 1, m2),       processed(6, 0, m2),
+      joined(10, 2, {1, 0, 0}),  // covers m1 only
+      // p2 never processes m2: beyond-baseline disagreement.
+  };
+  const OracleReport report = check_trace(events, churn_options(3, 2));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.first()->clause, Clause::kAtomicity);
+  EXPECT_NE(report.first()->message.find("beyond its snapshot baseline"),
+            std::string::npos);
+}
+
+TEST(Oracle, NeverAdmittedJoinerIsExemptEverywhere) {
+  // A configured joiner whose admission never completed (budget exhausted,
+  // partitioned away) processed nothing as a member: it must not anchor C1
+  // final agreement, C2, or C3 cleaning floors.
+  const Mid m1{0, 1};
+  const std::vector<TraceEvent> events = {
+      generated(0, 0, m1),
+      processed(0, 0, m1),
+      processed(1, 1, m1),
+      // Full-group cleaning decision counts the still-catching-up joiner
+      // alive; it has processed nothing, but C3 must not anchor on it.
+      decision(20, 0, 1, {true, true, true}, {1, 0, 0}, true),
+  };
+  EXPECT_TRUE(check_trace(events, churn_options(3, 2)).ok());
+  // A founders-only oracle has no join concept: the same alive-but-empty
+  // process is a premature-cleaning victim and C3 fires.
+  const OracleReport strict = check_trace(events, options_for(3));
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.first()->clause, Clause::kStability);
+}
+
+TEST(CaseFormat, JoinRoundTrips) {
+  CaseConfig original;
+  original.n = 4;
+  original.messages = 40;
+  original.joins = {3.5, 9.0};
+  original.crashes = {{5, 120}};  // joiner id: valid within n + joins
+
+  std::string error;
+  const auto parsed = CaseConfig::parse(original.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->joins, original.joins);
+  EXPECT_EQ(parsed->serialize(), original.serialize());
+
+  // Joins flow through to the harness as join_rtds (capacity = n + joins).
+  const harness::ExperimentConfig experiment = parsed->to_experiment();
+  EXPECT_EQ(experiment.join_rtds, original.joins);
+
+  // A join makes the run non-fault-free: transient view disagreement while
+  // a widening decision propagates legitimizes same-subrun forks, so the
+  // strict fork/continuity clauses must stay off.
+  EXPECT_FALSE(parsed->fault_free());
+
+  // Fault ids validate against the widened capacity, not the founders:
+  // p5 is the second joiner above, p6 does not exist.
+  EXPECT_FALSE(CaseConfig::parse(
+      "urcgc-check-case-v1\nn=4\njoin=3.5\njoin=9\ncrash=6@10\n", &error));
+  EXPECT_NE(error.find("range"), std::string::npos);
+  EXPECT_TRUE(CaseConfig::parse(
+      "urcgc-check-case-v1\nn=4\njoin=3.5\njoin=9\ncrash=5@10\n", &error));
+
+  // Default (no joins) serializes without join lines, so pre-churn case
+  // files and their byte-exact serializations stay valid.
+  CaseConfig legacy;
+  EXPECT_EQ(legacy.serialize().find("join"), std::string::npos);
+}
+
+TEST(CaseFormat, ChurnFamilyGeneratesBoundedScenarios) {
+  ExplorerOptions options;
+  options.base_seed = 11;
+  options.family = Family::kChurn;
+  bool saw_two_joiners = false;
+  bool saw_fault = false;
+  for (int i = 0; i < 32; ++i) {
+    const CaseConfig a = generate_case(options, i);
+    const CaseConfig b = generate_case(options, i);
+    EXPECT_EQ(a.serialize(), b.serialize()) << "index " << i;
+    EXPECT_GE(a.n, 3);
+    EXPECT_LE(a.n, 6);
+    ASSERT_GE(a.joins.size(), 1u);
+    ASSERT_LE(a.joins.size(), 2u);
+    saw_two_joiners |= a.joins.size() == 2;
+    for (const double rtd : a.joins) EXPECT_GE(rtd, 2.0);
+    // Departures stay within the FOUNDER group's resilience bound.
+    EXPECT_LE(a.crashes.size() + a.partitions.size(), 1u);
+    saw_fault |= a.fault_count() > 0;
+    for (const auto& [p, _] : a.crashes) EXPECT_LT(p, a.n);
+    for (const auto& part : a.partitions) {
+      EXPECT_EQ(part.side_a.size(), 1u);
+      EXPECT_GE(part.end_rtd, part.start_rtd);
+    }
+  }
+  EXPECT_TRUE(saw_two_joiners);  // the mix actually exercises both arms
+  EXPECT_TRUE(saw_fault);
+}
+
+TEST(Explorer, ChurnFamilyPassesOnCleanProtocol) {
+  ExplorerOptions options;
+  options.executions = 8;
+  options.base_seed = 6001;
+  options.family = Family::kChurn;
+  options.max_failures = 0;
+  const ExplorerReport report = explore(options);
+  EXPECT_EQ(report.executions, 8);
+  EXPECT_EQ(report.violations, 0)
+      << report.failures.front().first_problem();
+}
+
 // ---- Explorer on the real protocol --------------------------------------
 
 TEST(Explorer, CleanProtocolPassesWithMetrics) {

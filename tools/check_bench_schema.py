@@ -69,6 +69,12 @@ RECOVERY_RUN_FIELDS = {
     "bytes_per_recovered": (int, float),
     "recovery_latency_rtd_p50": (int, float),
     "recovery_latency_rtd_p99": (int, float),
+    "joins": int,
+    "joins_admitted": int,
+    "join_catchup_batches": int,
+    "join_catchup_msgs": int,
+    "join_catchup_latency_rtd_p50": (int, float),
+    "join_catchup_latency_rtd_p99": (int, float),
     "waiting_peak": int,
     "inbox_peak": int,
     "history_peak": int,
@@ -174,6 +180,14 @@ def check_recovery_run(run, where, err):
         err(f"{where}: continuations exceed recoveries issued")
     if run["recovered_messages"] and not run["recover_rsp_bytes"]:
         err(f"{where}: recovered messages but zero RecoverRsp bytes")
+    if run["joins"] < 0 or run["joins_admitted"] > run["joins"]:
+        err(f"{where}: joins_admitted {run['joins_admitted']} outside "
+            f"[0, joins]")
+    if run["joins"] == 0 and (run["join_catchup_batches"]
+                              or run["join_catchup_msgs"]):
+        err(f"{where}: join catch-up counters without a configured joiner")
+    if run["joins_admitted"] and not run["join_catchup_batches"]:
+        err(f"{where}: a joiner was admitted without any catch-up batch")
 
 
 def check_scale_run(run, where, err):

@@ -66,6 +66,7 @@ struct Options {
       "  --family=NAME          restrict generation to one scenario\n"
       "                         family: any | fault-free | omission-window\n"
       "                         | crashes | partition | sustained-omission\n"
+      "                         | churn (joins x leaves x crashes)\n"
       "  --mutation=NAME        inject a protocol defect (checker\n"
       "                         self-test): none | skip-request-merge |\n"
       "                         ignore-one-dep\n"
@@ -158,6 +159,7 @@ check::Family parse_family(const std::string& name, const char* argv0) {
   if (name == "crashes") return check::Family::kCrashes;
   if (name == "partition") return check::Family::kPartition;
   if (name == "sustained-omission") return check::Family::kSustainedOmission;
+  if (name == "churn") return check::Family::kChurn;
   usage(argv0);
 }
 

@@ -42,6 +42,7 @@ struct Options {
   double cross_dep = 0.3;
   double omission = 0.0;
   double packet_loss = 0.0;
+  std::vector<double> joins;  // join request rtds, one joiner each
   std::vector<std::pair<ProcessId, Tick>> crashes;
   int coordinator_crashes = 0;
   int storm = -1;  // cbcast flush-coordinator storm
@@ -91,6 +92,10 @@ struct Options {
       "  --omission=P                    send+recv omission probability\n"
       "  --packet-loss=P                 subnet loss probability\n"
       "  --crash=PID@TICK                fail-stop schedule (repeatable)\n"
+      "  --joins=RTD[,RTD...]            urcgc: start one joiner per entry\n"
+      "                                  at that rtd; ids continue after\n"
+      "                                  the founders (--n=4 --joins=6 ->\n"
+      "                                  p4 requests admission at 6 rtd)\n"
       "  --coordinator-crashes=F         urcgc Fig.5 storm\n"
       "  --storm=F                       cbcast flush-coordinator storm\n"
       "  --threshold=H                   history flow-control threshold\n"
@@ -158,6 +163,21 @@ Options parse(int argc, char** argv) {
       if (at == std::string::npos) usage(argv[0]);
       opt.crashes.push_back({std::atoi(s.substr(0, at).c_str()),
                              std::atoll(s.substr(at + 1).c_str())});
+    } else if (consume(arg, "--joins", value)) {
+      std::string s(value);
+      std::size_t pos = 0;
+      while (pos <= s.size()) {
+        const auto comma = s.find(',', pos);
+        const std::string item =
+            s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+        if (item.empty()) usage(argv[0]);
+        const double rtd = std::atof(item.c_str());
+        if (rtd < 0) usage(argv[0]);
+        opt.joins.push_back(rtd);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
     } else if (consume(arg, "--coordinator-crashes", value)) {
       opt.coordinator_crashes = std::atoi(value.data());
     } else if (consume(arg, "--storm", value)) {
@@ -266,6 +286,7 @@ int run_urcgc(const Options& opt) {
   config.faults.packet_loss = opt.packet_loss;
   config.faults.crashes = opt.crashes;
   config.faults.coordinator_crashes = opt.coordinator_crashes;
+  config.join_rtds = opt.joins;
   config.use_transport = opt.use_transport;
   config.net.per_copy_payloads = opt.per_copy;
   config.transport.h_all_on_broadcast = true;
@@ -289,12 +310,12 @@ int run_urcgc(const Options& opt) {
   // which would dominate the file). With --metrics-* but no --trace the
   // recorder still observes — it feeds the trace.events.* counters — but
   // its in-memory log keeps only the rare kinds so long runs stay cheap.
-  obs::Registry registry(opt.n);
+  obs::Registry registry(opt.n + static_cast<int>(opt.joins.size()));
   if (opt.wants_metrics()) config.metrics = &registry;
 
   std::vector<trace::EventKind> keep{
       trace::EventKind::kHalt, trace::EventKind::kDiscarded,
-      trace::EventKind::kRequestDropped};
+      trace::EventKind::kRequestDropped, trace::EventKind::kJoined};
   if (!opt.trace_path.empty()) {
     keep.insert(keep.end(),
                 {trace::EventKind::kGenerated, trace::EventKind::kProcessed,
@@ -369,6 +390,11 @@ int run_urcgc(const Options& opt) {
                     report.buffers.bytes_allocated),
                 static_cast<unsigned long long>(report.buffers.bytes_copied),
                 opt.per_copy ? " (per-copy mode)" : "");
+    for (const auto& join : report.joins) {
+      std::printf("  join: p%d admitted at tick %lld (baseline %zu seqs)\n",
+                  join.p, static_cast<long long>(join.at),
+                  join.baseline.size());
+    }
     for (const auto& halt : report.halts) {
       std::printf("  halt: p%d (%s) at tick %lld\n", halt.p,
                   to_string(halt.reason), static_cast<long long>(halt.at));
